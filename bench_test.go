@@ -1,0 +1,359 @@
+package pinscope
+
+// bench_test.go regenerates every table and figure of the paper from a
+// shared study, one benchmark per experiment (see the DESIGN.md index).
+// The shared study is built once; each benchmark times the experiment's
+// computation (workload generation + measurement aggregation). The heavy
+// pipeline stages have their own per-app benchmarks at the bottom.
+
+import (
+	"sync"
+	"testing"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/core"
+	"pinscope/internal/detrand"
+	"pinscope/internal/device"
+	"pinscope/internal/dynamicanalysis"
+	"pinscope/internal/mitmproxy"
+	"pinscope/internal/pki"
+	"pinscope/internal/staticanalysis"
+	"pinscope/internal/worldgen"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *core.Study
+	benchErr   error
+)
+
+// benchSetup builds one shared mini study for all aggregation benchmarks.
+func benchSetup(b *testing.B) *core.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy, benchErr = core.Run(core.TestConfig(1234))
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+func BenchmarkTable1DatasetOverview(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Table1(10)
+		if len(rows) != 6 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkTable2PriorTechniques(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Table2()
+		if len(rows) < 9 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+func BenchmarkTable3Prevalence(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells := s.Table3()
+		if len(cells) != 6 {
+			b.Fatal("wrong cell count")
+		}
+	}
+}
+
+func BenchmarkTable4AndroidCategories(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.TableCategories(appmodel.Android, 10, 2); len(rows) == 0 {
+			b.Fatal("no categories")
+		}
+	}
+}
+
+func BenchmarkTable5IOSCategories(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.TableCategories(appmodel.IOS, 10, 2); len(rows) == 0 {
+			b.Fatal("no categories")
+		}
+	}
+}
+
+func BenchmarkFigure2CommonSplit(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := s.Figure2Data()
+		if f.Pairs == 0 {
+			b.Fatal("no pairs")
+		}
+	}
+}
+
+func BenchmarkFigure3BothPlatformHeatmap(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Figure3Data()
+	}
+}
+
+func BenchmarkFigure4ExclusiveHeatmap(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Figure4Data()
+	}
+}
+
+func BenchmarkFigure5DomainSplit(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, plat := range appmodel.Platforms {
+			_ = s.Figure5Data(plat)
+			_ = s.Figure5Stats(plat)
+		}
+	}
+}
+
+func BenchmarkTable6PKIType(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Table6()
+		if len(rows) != 2 {
+			b.Fatal("wrong platform count")
+		}
+	}
+}
+
+func BenchmarkCAvsLeafPins(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.PinTargets()
+	}
+}
+
+func BenchmarkSPKIvsWholeCert(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Rotations()
+	}
+}
+
+func BenchmarkValidationSubversion(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.ExpiredAccepted() != 0 {
+			b.Fatal("expired certificates accepted at pinned destinations")
+		}
+	}
+}
+
+func BenchmarkTable7ThirdPartyFrameworks(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, plat := range appmodel.Platforms {
+			_ = s.Table7(plat, 5, 2)
+		}
+	}
+}
+
+func BenchmarkTable8WeakCiphers(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells := s.Table8()
+		if len(cells) != 6 {
+			b.Fatal("wrong cell count")
+		}
+	}
+}
+
+func BenchmarkTable9PII(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.Table9()
+		if len(rows) == 0 {
+			b.Fatal("no PII rows")
+		}
+	}
+}
+
+func BenchmarkCircumventionRate(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := s.Circumvention()
+		if len(cs) != 2 {
+			b.Fatal("wrong platform count")
+		}
+	}
+}
+
+func BenchmarkSleepSweep(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := core.SleepSweep(s.World, 99, []float64{15, 30, 60}, 10)
+		if err != nil || len(points) != 3 {
+			b.Fatalf("sweep failed: %v", err)
+		}
+	}
+}
+
+// --- ablation benches ---------------------------------------------------------
+
+// benchAblation runs the named detector ablation over a small app sample.
+func benchAblation(b *testing.B, name string) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := core.RunAblations(s.World, 77, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		found := false
+		for _, r := range rows {
+			if r.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			b.Fatalf("ablation %s missing", name)
+		}
+	}
+}
+
+func BenchmarkAblationNaiveDetector(b *testing.B)       { benchAblation(b, "naive-detector") }
+func BenchmarkAblationBackgroundExclusion(b *testing.B) { benchAblation(b, "no-background-exclusion") }
+func BenchmarkAblationTLS13Heuristic(b *testing.B)      { benchAblation(b, "no-tls13-heuristic") }
+
+func BenchmarkAblationNSCOnly(b *testing.B) {
+	// NSC-only static detection (the prior-work technique) vs the full
+	// static pipeline, per app.
+	s := benchSetup(b)
+	var apps []*appmodel.App
+	for _, ds := range s.World.DS.All() {
+		for _, a := range s.World.Apps(ds) {
+			if a.Platform == appmodel.Android {
+				apps = append(apps, a)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nsc, full := 0, 0
+		for _, a := range apps {
+			rep, err := staticanalysis.Analyze(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.NSCHasPins {
+				nsc++
+			}
+			if rep.HasCertMaterial() {
+				full++
+			}
+		}
+		if nsc > full {
+			b.Fatal("NSC-only found more than the full pipeline")
+		}
+	}
+}
+
+// --- pipeline micro/meso benches ------------------------------------------------
+
+func BenchmarkWorldBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := worldgen.Build(worldgen.TestParams(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStaticAnalysisPerApp(b *testing.B) {
+	s := benchSetup(b)
+	var apps []*appmodel.App
+	for _, ds := range s.World.DS.All() {
+		apps = append(apps, s.World.Apps(ds)...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := apps[i%len(apps)]
+		if a.Pkg.Encrypted {
+			a.Pkg.DecryptIOS()
+		}
+		if _, err := staticanalysis.Analyze(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicDetectionPerApp(b *testing.B) {
+	// Full differential per-app measurement: baseline run + MITM run +
+	// verdicts, on a fresh network per iteration set.
+	s := benchSetup(b)
+	w := s.World
+	var apps []*appmodel.App
+	for _, ds := range w.DS.All() {
+		apps = append(apps, w.Apps(ds)...)
+	}
+	netPlain := w.NewNetwork(true)
+	netMITM := w.NewNetwork(true)
+	proxy, err := mitmproxy.NewWithCA(detrand.New(55).Child("bench-proxy"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	netMITM.SetInterceptor(proxy)
+	devs := map[appmodel.Platform][2]*device.Device{}
+	for _, plat := range appmodel.Platforms {
+		base := map[appmodel.Platform]*pki.RootStore{
+			appmodel.Android: w.Eco.OEM, appmodel.IOS: w.Eco.IOS,
+		}[plat]
+		dp := device.New(plat, netPlain, base, detrand.New(55).Child("bd/"+string(plat)))
+		dm := device.New(plat, netMITM, base, detrand.New(55).Child("bd/"+string(plat)))
+		dm.InstallCA(proxy.CACert())
+		devs[plat] = [2]*device.Device{dp, dm}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := apps[i%len(apps)]
+		d := devs[a.Platform]
+		capA := d[0].Run(a, device.RunOptions{})
+		capB := d[1].Run(a, device.RunOptions{})
+		res := dynamicanalysis.Detect(a.ID, capA, capB, dynamicanalysis.Options{})
+		_ = res.Pins()
+	}
+}
+
+func BenchmarkStudyEndToEnd(b *testing.B) {
+	// The complete mini study: world build + all pipelines. Expensive; run
+	// with small b.N.
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(core.TestConfig(int64(9000 + i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

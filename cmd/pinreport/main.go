@@ -1,0 +1,151 @@
+// Command pinreport re-analyzes an exported study dataset offline, the way
+// downstream researchers consume the dataset the paper releases: no world,
+// no devices — just the JSON verdicts.
+//
+// Usage:
+//
+//	pinstudy -scale mini -export study.json
+//	pinreport -in study.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pinscope/internal/core"
+	"pinscope/internal/stats"
+)
+
+func main() {
+	in := flag.String("in", "", "exported dataset JSON (from pinstudy -export)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "pinreport: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pinreport:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	ds, err := core.LoadDataset(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pinreport:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dataset: seed %d, %d apps, %d pinned destinations\n\n",
+		ds.Meta.Seed, len(ds.Apps), len(ds.Destinations))
+
+	// Prevalence per dataset/platform (the Table 3 cells, recomputed from
+	// the released verdicts alone).
+	type cell struct{ n, dyn, static, nsc int }
+	cells := map[string]*cell{}
+	for _, a := range ds.Apps {
+		for _, d := range a.Datasets {
+			key := d + " " + a.Platform
+			c := cells[key]
+			if c == nil {
+				c = &cell{}
+				cells[key] = c
+			}
+			c.n++
+			if a.PinsDynamic {
+				c.dyn++
+			}
+			if a.StaticMaterial {
+				c.static++
+			}
+			if a.NSCPinSet {
+				c.nsc++
+			}
+		}
+	}
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("prevalence by dataset (recomputed from released verdicts):")
+	for _, k := range keys {
+		c := cells[k]
+		fmt.Printf("  %-18s n=%-5d dynamic %5.2f%%  static %5.2f%%  nsc %5.2f%%\n",
+			k, c.n, stats.Percent(c.dyn, c.n), stats.Percent(c.static, c.n), stats.Percent(c.nsc, c.n))
+	}
+
+	// Category leaders.
+	fmt.Println("\ntop pinning categories:")
+	for _, plat := range []string{"android", "ios"} {
+		counts := map[string][2]int{} // category -> [apps, pinning]
+		for _, a := range ds.Apps {
+			if a.Platform != plat {
+				continue
+			}
+			v := counts[a.Category]
+			v[0]++
+			if a.PinsDynamic {
+				v[1]++
+			}
+			counts[a.Category] = v
+		}
+		type row struct {
+			cat string
+			pct float64
+			n   int
+		}
+		var rows []row
+		for cat, v := range counts {
+			if v[1] == 0 || v[0] < 5 {
+				continue
+			}
+			rows = append(rows, row{cat, stats.Percent(v[1], v[0]), v[1]})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].pct != rows[j].pct {
+				return rows[i].pct > rows[j].pct
+			}
+			return rows[i].cat < rows[j].cat
+		})
+		fmt.Printf("  %s:\n", plat)
+		for i, r := range rows {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("    %-22s %5.1f%% (%d apps)\n", r.cat, r.pct, r.n)
+		}
+	}
+
+	// Destination PKI split.
+	var def, custom, selfs, unavail int
+	for _, d := range ds.Destinations {
+		switch {
+		case d.DefaultPKI:
+			def++
+		case d.CustomPKI:
+			custom++
+		case d.SelfSigned:
+			selfs++
+		case d.Unavailable:
+			unavail++
+		}
+	}
+	fmt.Printf("\npinned destinations: %d default-PKI, %d custom-PKI, %d self-signed, %d unavailable\n",
+		def, custom, selfs, unavail)
+
+	// Circumvention coverage.
+	circ, pinners := 0, 0
+	for _, a := range ds.Apps {
+		if !a.PinsDynamic {
+			continue
+		}
+		pinners++
+		if len(a.CircumventedDomains) > 0 {
+			circ++
+		}
+	}
+	fmt.Printf("pinning apps: %d; with at least one hook-circumvented destination: %d (%.1f%%)\n",
+		pinners, circ, stats.Percent(circ, pinners))
+}

@@ -1,0 +1,112 @@
+// Command pinscan demonstrates the static half of the methodology on a
+// single app: it picks an app from a generated world (or the first pinning
+// app), decrypts it if needed, and prints everything the static pipeline
+// finds — certificate files, pin hashes and their code paths, NSC pin-sets,
+// third-party attribution and CT-log pin resolution.
+//
+// Usage:
+//
+//	pinscan [-seed N] [-platform android|ios] [-app com.example.id]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/detrand"
+	"pinscope/internal/device"
+	"pinscope/internal/sdkregistry"
+	"pinscope/internal/staticanalysis"
+	"pinscope/internal/worldgen"
+)
+
+func main() {
+	seed := flag.Int64("seed", 7, "world seed")
+	platform := flag.String("platform", "android", "android or ios")
+	appID := flag.String("app", "", "app id to scan (default: first pinning app)")
+	flag.Parse()
+
+	plat := appmodel.Android
+	if *platform == "ios" {
+		plat = appmodel.IOS
+	}
+
+	w, err := worldgen.Build(worldgen.TestParams(*seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pinscan: %v\n", err)
+		os.Exit(1)
+	}
+
+	var target *appmodel.App
+	for _, ds := range w.DS.All() {
+		for _, a := range w.Apps(ds) {
+			if a.Platform != plat {
+				continue
+			}
+			if *appID != "" && a.ID == *appID {
+				target = a
+			}
+			if *appID == "" && target == nil && a.Truth.PinsAtRuntime && !a.Truth.Obfuscated {
+				target = a
+			}
+		}
+	}
+	if target == nil {
+		fmt.Fprintf(os.Stderr, "pinscan: no matching app found\n")
+		os.Exit(1)
+	}
+
+	fmt.Printf("app:       %s (%q by %s)\n", target.ID, target.Name, target.Developer)
+	fmt.Printf("platform:  %s   category: %s\n", target.Platform, target.Category)
+	fmt.Printf("package:   %d files, encrypted=%v\n\n", target.Pkg.Len(), target.Pkg.Encrypted)
+
+	if target.Pkg.Encrypted {
+		dev := device.New(plat, w.NewNetwork(true), w.Eco.IOS, detrand.New(*seed).Child("scan-device"))
+		if err := dev.DecryptApp(target); err != nil {
+			fmt.Fprintf(os.Stderr, "pinscan: decrypt: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("decrypted payload via jailbroken device (Flexdecrypt step)")
+	}
+
+	rep, err := staticanalysis.Analyze(target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pinscan: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nembedded certificates: %d\n", len(rep.Certs))
+	for _, c := range rep.Certs {
+		owner := "first-party/unknown"
+		if sdk, ok := sdkregistry.AttributePath(plat, c.Path); ok {
+			owner = "SDK: " + sdk.Name
+		}
+		fmt.Printf("  %-52s CN=%q CA=%v (%s)\n", c.Path, c.Cert.Subject.CommonName, c.Cert.IsCA, owner)
+	}
+
+	fmt.Printf("\npin hashes: %d\n", len(rep.Pins))
+	for _, p := range rep.Pins {
+		fmt.Printf("  %-52s %s\n", p.Path, p.Raw)
+	}
+
+	if rep.NSC != nil {
+		fmt.Printf("\nnetwork security config: %d domain blocks, pin-set=%v\n",
+			len(rep.NSC.Domains), rep.NSCHasPins)
+		for _, m := range rep.Misconfigs {
+			fmt.Printf("  MISCONFIGURATION: %s\n", m)
+		}
+	}
+
+	resolved, frac := staticanalysis.ResolvePins(rep, w.CT)
+	fmt.Printf("\nCT-log pin resolution: %.0f%% of unique pins resolved\n", frac*100)
+	for key, certs := range resolved {
+		for _, c := range certs {
+			fmt.Printf("  %s -> CN=%q\n", key[:24]+"...", c.Subject.CommonName)
+		}
+	}
+
+	fmt.Printf("\nverdict: potential pinning (cert material present) = %v\n", rep.HasCertMaterial())
+	fmt.Printf("ground truth (generator): pins at runtime = %v\n", target.Truth.PinsAtRuntime)
+}

@@ -1,0 +1,109 @@
+// Bypass: RQ5 — what hides behind pinned connections? The example works at
+// the substrate level: it builds a world, finds a pinning app, shows that
+// the MITM proxy sees nothing on its pinned destination, then attaches the
+// instrumentation hooks (Frida step, §4.3), re-runs the app, and scans the
+// now-visible plaintext for PII (§4.4).
+//
+//	go run ./examples/bypass
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/detrand"
+	"pinscope/internal/device"
+	"pinscope/internal/frida"
+	"pinscope/internal/mitmproxy"
+	"pinscope/internal/pii"
+	"pinscope/internal/pki"
+	"pinscope/internal/worldgen"
+)
+
+func main() {
+	const seed = 23
+	w, err := worldgen.Build(worldgen.TestParams(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find an iOS app that pins a destination through a hookable stack.
+	var target *appmodel.App
+	for _, ds := range w.DS.All() {
+		for _, a := range w.Apps(ds) {
+			if a.Platform != appmodel.IOS || !a.Truth.PinsAtRuntime {
+				continue
+			}
+			for _, c := range a.Conns {
+				if !c.Pins.Empty() && c.Lib == appmodel.LibNSURLSession {
+					target = a
+				}
+			}
+		}
+		if target != nil {
+			break
+		}
+	}
+	if target == nil {
+		log.Fatal("no suitable app in this seed")
+	}
+	fmt.Printf("target app: %s (%s)\npinned destinations (ground truth): %v\n\n",
+		target.ID, target.Name, target.Truth.PinnedHosts)
+
+	// MITM setup: proxy on the network, CA installed on the device.
+	net := w.NewNetwork(true)
+	proxy, err := mitmproxy.NewWithCA(detrand.New(seed).Child("proxy"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.SetInterceptor(proxy)
+	stores := map[appmodel.Platform]*pki.RootStore{appmodel.IOS: w.Eco.IOS}
+	dev := device.New(appmodel.IOS, net, stores[appmodel.IOS], detrand.New(seed).Child("dev"))
+	dev.InstallCA(proxy.CACert())
+
+	pinnedSet := target.PinnedHostSet()
+	countPinnedPayloads := func() int {
+		n := 0
+		for _, lg := range proxy.Logs() {
+			if pinnedSet[lg.Dest()] {
+				n += len(lg.Payloads)
+			}
+		}
+		return n
+	}
+
+	// Run 1: MITM without hooks — pinned traffic stays opaque.
+	dev.Run(target, device.RunOptions{})
+	fmt.Printf("run 1 (MITM only):    %d plaintext payloads from pinned destinations\n",
+		countPinnedPayloads())
+
+	// Run 2: attach instrumentation, disable certificate validation in the
+	// app's TLS stacks, re-run.
+	hooks, err := frida.Attach(appmodel.IOS, dev.Jailbroken)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proxy.ResetLogs()
+	dev.Run(target, device.RunOptions{Hooks: hooks})
+	fmt.Printf("run 2 (MITM + hooks): %d plaintext payloads from pinned destinations\n\n",
+		countPinnedPayloads())
+
+	// Scan what pinning was protecting.
+	scanner := pii.NewScanner(dev.Profile)
+	for _, lg := range proxy.Logs() {
+		if !pinnedSet[lg.Dest()] || len(lg.Payloads) == 0 {
+			continue
+		}
+		found := scanner.ScanAll(lg.Payloads)
+		fmt.Printf("pinned destination %s:\n", lg.Dest())
+		fmt.Printf("  first payload: %.96q...\n", lg.Payloads[0])
+		if len(found) == 0 {
+			fmt.Println("  PII detected: none")
+			continue
+		}
+		for k := range found {
+			fmt.Printf("  PII detected: %s\n", k)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Financeaudit: the workload the paper's introduction motivates — auditing
+// the security posture of finance apps, the category that pins the most on
+// both platforms. The example runs a study, isolates finance-category apps,
+// and reports their pinning adoption, weak-cipher hygiene and which pinned
+// destinations resist instrumentation (i.e., whose traffic an auditor
+// cannot inspect).
+//
+//	go run ./examples/financeaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"pinscope"
+)
+
+func main() {
+	study, err := pinscope.Run(pinscope.MiniConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type bucket struct {
+		apps, pinning, protectedOnly int
+	}
+	perPlatform := map[pinscope.Platform]*bucket{
+		pinscope.Android: {}, pinscope.IOS: {},
+	}
+
+	fmt.Println("finance-category audit")
+	fmt.Println(strings.Repeat("-", 64))
+	for _, v := range study.Verdicts() {
+		if v.Category != "Finance" {
+			continue
+		}
+		b := perPlatform[v.Platform]
+		b.apps++
+		if !v.Pinned {
+			continue
+		}
+		b.pinning++
+
+		// Destinations whose pinned traffic the hooks could NOT open: the
+		// contents stay opaque even to an auditor with a jailbroken device.
+		opaque := make(map[string]bool)
+		for _, d := range v.PinnedDomains {
+			opaque[d] = true
+		}
+		for _, d := range v.CircumventedDomains {
+			delete(opaque, d)
+		}
+		if len(opaque) > 0 {
+			b.protectedOnly++
+		}
+
+		fmt.Printf("%-34s %s\n", v.AppID, v.Platform)
+		fmt.Printf("    pins %d destination(s): %v\n", len(v.PinnedDomains), v.PinnedDomains)
+		if len(v.CircumventedDomains) > 0 {
+			fmt.Printf("    inspectable after hooking: %v\n", v.CircumventedDomains)
+		}
+		if len(opaque) > 0 {
+			var list []string
+			for d := range opaque {
+				list = append(list, d)
+			}
+			fmt.Printf("    RESISTS instrumentation:   %v\n", list)
+		}
+	}
+
+	fmt.Println(strings.Repeat("-", 64))
+	for _, plat := range []pinscope.Platform{pinscope.Android, pinscope.IOS} {
+		b := perPlatform[plat]
+		if b.apps == 0 {
+			continue
+		}
+		fmt.Printf("%-8s: %d finance apps, %d pin (%.1f%%), %d have uninspectable pinned traffic\n",
+			plat, b.apps, b.pinning, 100*float64(b.pinning)/float64(b.apps), b.protectedOnly)
+	}
+
+	// The category tables for context.
+	fmt.Println()
+	for _, sec := range []pinscope.Section{pinscope.SecTable4, pinscope.SecTable5} {
+		out, err := study.Report(sec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,65 @@
+// Pinadvisor: turn the study's measurements into developer guidance — the
+// "better set of guidelines" the paper's discussion calls for (§5.7). The
+// example runs a mini study, then prints per-destination pinning advice for
+// a cross-platform product with inconsistent pinning and for a finance app.
+//
+//	go run ./examples/pinadvisor
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"pinscope"
+)
+
+func main() {
+	study, err := pinscope.Run(pinscope.MiniConfig(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	printAdvice := func(label string, plat pinscope.Platform, appID string) {
+		advice, err := study.AdviseApp(plat, appID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — %s (%s)\n%s\n", label, appID, plat, strings.Repeat("-", 66))
+		for _, a := range advice {
+			verdict := "do not pin"
+			if a.Pin {
+				verdict = "PIN (" + a.Strategy + " via " + a.Mechanism + ")"
+			}
+			fmt.Printf("  %-34s %s\n", a.Host, verdict)
+			for _, r := range a.Rationale {
+				fmt.Printf("      why: %s\n", r)
+			}
+			for _, w := range a.Warnings {
+				fmt.Printf("      WARNING: %s\n", w)
+			}
+		}
+		fmt.Println()
+	}
+
+	// Pick a finance app that pins, and any pinning app with warnings.
+	var financeApp, warnedApp *pinscope.Verdict
+	for i, v := range study.Verdicts() {
+		vv := study.Verdicts()[i]
+		if financeApp == nil && v.Category == "Finance" && v.Pinned {
+			financeApp = &vv
+		}
+		if warnedApp == nil && v.Pinned && v.Category != "Finance" {
+			warnedApp = &vv
+		}
+	}
+	if financeApp != nil {
+		printAdvice("finance app", financeApp.Platform, financeApp.AppID)
+	}
+	if warnedApp != nil {
+		printAdvice("pinning app", warnedApp.Platform, warnedApp.AppID)
+	}
+	if financeApp == nil && warnedApp == nil {
+		fmt.Println("no pinning apps in this seed; try another")
+	}
+}

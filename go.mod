@@ -1,0 +1,3 @@
+module pinscope
+
+go 1.22

@@ -1,0 +1,203 @@
+// Package advisor turns the study's findings into per-destination pinning
+// guidance, the "better set of guidelines for developers" the paper's
+// discussion calls for (§5.7). The rules condense the paper's observations
+// and the sources it builds on (OWASP MASVS, Oltrogge et al.'s
+// to-pin-or-not-to-pin criteria, Android's NSC documentation):
+//
+//   - pin what you control: first-party destinations where the same entity
+//     ships the app and operates the server are the safe case (§2.1);
+//   - never hand-pin third-party destinations — their operators rotate
+//     certificates on their own schedule, and their SDKs pin themselves;
+//   - prefer CA pins or SPKI pins with a backup over raw leaf certificates
+//     (§5.3.3 shows raw-cert pinning survives only through key reuse);
+//   - on Android, declare pins in the Network Security Configuration with
+//     an expiration instead of code (§4.1.1), and never set overridePins;
+//   - keep the policy consistent across platforms (§5.1/§5.7).
+package advisor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Strategy is a recommended pinning mechanism.
+type Strategy int
+
+const (
+	// StrategyNone: do not pin this destination.
+	StrategyNone Strategy = iota
+	// StrategyCAPin: pin the issuing CA's SPKI plus a backup CA.
+	StrategyCAPin
+	// StrategySPKIWithBackup: pin the leaf SPKI plus a backup key.
+	StrategySPKIWithBackup
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyCAPin:
+		return "pin issuing-CA SPKI (+backup CA)"
+	case StrategySPKIWithBackup:
+		return "pin leaf SPKI (+backup key)"
+	}
+	return "do not pin"
+}
+
+// Destination describes one host an app contacts, as the analyses see it.
+type Destination struct {
+	Host string
+	// FirstParty: the app's developer controls the destination (whois/name
+	// attribution, as in Figure 5).
+	FirstParty bool
+	// PinnedHere / PinnedOnSibling: current policy on this platform and on
+	// the other platform's build of the same product.
+	PinnedHere      bool
+	PinnedOnSibling bool
+	// SiblingContacts: the other platform's build talks to this host.
+	SiblingContacts bool
+	// CarriesCredentials / CarriesPII: what flows over the connection.
+	CarriesCredentials bool
+	CarriesPII         bool
+	// KeyRotationFrequent: operator rotates keys (not just certs) often,
+	// which makes leaf pinning a maintenance hazard.
+	KeyRotationFrequent bool
+}
+
+// Profile is the per-app input.
+type Profile struct {
+	AppID string
+	// Android apps should carry pins declaratively in the NSC.
+	Android bool
+	// SensitiveCategory: finance/health/dating etc. — the categories the
+	// study found pinning concentrated in (Tables 4, 5).
+	SensitiveCategory bool
+	Destinations      []Destination
+}
+
+// Recommendation is the advice for one destination.
+type Recommendation struct {
+	Host      string
+	Pin       bool
+	Strategy  Strategy
+	Mechanism string // "NSC pin-set" on Android, "pinning delegate" on iOS
+	Rationale []string
+	Warnings  []string
+}
+
+// Advise produces per-destination recommendations, sorted by host.
+func Advise(p Profile) []Recommendation {
+	var out []Recommendation
+	for _, d := range p.Destinations {
+		out = append(out, adviseOne(p, d))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+func adviseOne(p Profile, d Destination) Recommendation {
+	rec := Recommendation{Host: d.Host}
+	if p.Android {
+		rec.Mechanism = "NSC pin-set with expiration"
+	} else {
+		rec.Mechanism = "URLSession pinning delegate"
+	}
+
+	if !d.FirstParty {
+		rec.Strategy = StrategyNone
+		rec.Rationale = append(rec.Rationale,
+			"third-party destination: its operator rotates certificates on their own schedule; pinning it risks breaking the app (§2.1)")
+		if d.PinnedHere {
+			rec.Warnings = append(rec.Warnings,
+				"currently pinned by app code; if the pin comes from the vendor SDK leave it to the SDK, otherwise remove it")
+		}
+		return rec
+	}
+
+	// First-party destination.
+	sensitive := d.CarriesCredentials || d.CarriesPII || p.SensitiveCategory
+	if !sensitive {
+		rec.Strategy = StrategyNone
+		rec.Rationale = append(rec.Rationale,
+			"first-party but low-sensitivity traffic: standard PKI validation suffices; pinning adds maintenance risk without a matching threat (§1)")
+	} else {
+		rec.Pin = true
+		if d.KeyRotationFrequent {
+			rec.Strategy = StrategyCAPin
+			rec.Rationale = append(rec.Rationale,
+				"keys rotate frequently: pin the issuing CA so server-side renewal never strands shipped app versions (§5.3.2)")
+		} else {
+			rec.Strategy = StrategySPKIWithBackup
+			rec.Rationale = append(rec.Rationale,
+				"developer controls both endpoints: leaf SPKI pinning with a backup key gives the strongest guarantee while surviving certificate renewal (§5.3.3)")
+		}
+		rec.Rationale = append(rec.Rationale,
+			"never embed the raw certificate: renewals must not require app updates (§5.3.3)")
+		if p.Android {
+			rec.Rationale = append(rec.Rationale,
+				"declare the pin-set in the Network Security Configuration with an expiration date, not in code (§4.1.1); never combine it with overridePins")
+		}
+	}
+
+	// Cross-platform consistency (§5.1/§5.7): the reasoning behind pinning
+	// is platform-independent.
+	switch {
+	case rec.Pin && d.SiblingContacts && !d.PinnedOnSibling:
+		rec.Warnings = append(rec.Warnings,
+			"the other platform's build contacts this host unpinned: align the policies (§5.7)")
+	case !rec.Pin && d.PinnedOnSibling:
+		rec.Warnings = append(rec.Warnings,
+			"the other platform's build pins this host: either both builds face the threat or neither does (§5.7)")
+	}
+	if d.PinnedHere && !rec.Pin {
+		rec.Warnings = append(rec.Warnings, "currently pinned against this advice")
+	}
+	if !d.PinnedHere && rec.Pin {
+		rec.Warnings = append(rec.Warnings, "currently NOT pinned despite sensitive first-party traffic")
+	}
+	return rec
+}
+
+// Summary aggregates recommendations for reporting.
+type Summary struct {
+	Destinations   int
+	RecommendPin   int
+	Inconsistent   int // cross-platform warnings
+	AgainstCurrent int // current policy contradicts the advice
+}
+
+// Summarize tallies a recommendation list.
+func Summarize(recs []Recommendation) Summary {
+	var s Summary
+	for _, r := range recs {
+		s.Destinations++
+		if r.Pin {
+			s.RecommendPin++
+		}
+		for _, w := range r.Warnings {
+			switch {
+			case contains(w, "other platform"):
+				s.Inconsistent++
+			case contains(w, "currently"):
+				s.AgainstCurrent++
+			}
+		}
+	}
+	return s
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders one recommendation compactly.
+func (r Recommendation) String() string {
+	return fmt.Sprintf("%s: %s via %s", r.Host, r.Strategy, r.Mechanism)
+}

@@ -1,0 +1,186 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestThirdPartyNeverPinned(t *testing.T) {
+	recs := Advise(Profile{
+		AppID: "com.a", Android: true, SensitiveCategory: true,
+		Destinations: []Destination{
+			{Host: "tracker.example.net", FirstParty: false, CarriesPII: true},
+		},
+	})
+	if len(recs) != 1 || recs[0].Pin || recs[0].Strategy != StrategyNone {
+		t.Fatalf("recs: %+v", recs)
+	}
+}
+
+func TestThirdPartyAlreadyPinnedWarns(t *testing.T) {
+	recs := Advise(Profile{
+		AppID: "com.a",
+		Destinations: []Destination{
+			{Host: "t.example.net", PinnedHere: true},
+		},
+	})
+	if len(recs[0].Warnings) == 0 || !strings.Contains(recs[0].Warnings[0], "SDK") {
+		t.Fatalf("warnings: %v", recs[0].Warnings)
+	}
+}
+
+func TestSensitiveFirstPartyGetsSPKIWithBackup(t *testing.T) {
+	recs := Advise(Profile{
+		AppID: "com.bank", Android: true, SensitiveCategory: true,
+		Destinations: []Destination{
+			{Host: "api.bank.com", FirstParty: true, CarriesCredentials: true},
+		},
+	})
+	r := recs[0]
+	if !r.Pin || r.Strategy != StrategySPKIWithBackup {
+		t.Fatalf("rec: %+v", r)
+	}
+	if r.Mechanism != "NSC pin-set with expiration" {
+		t.Fatalf("mechanism: %q", r.Mechanism)
+	}
+	joined := strings.Join(r.Rationale, " | ")
+	if !strings.Contains(joined, "overridePins") {
+		t.Fatalf("Android rationale missing NSC guidance: %s", joined)
+	}
+	// Not currently pinned: should warn.
+	found := false
+	for _, w := range r.Warnings {
+		if strings.Contains(w, "NOT pinned") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing unpinned warning: %v", r.Warnings)
+	}
+}
+
+func TestFrequentKeyRotationPrefersCAPin(t *testing.T) {
+	recs := Advise(Profile{
+		AppID: "com.shop",
+		Destinations: []Destination{
+			{Host: "api.shop.com", FirstParty: true, CarriesPII: true, KeyRotationFrequent: true},
+		},
+	})
+	if recs[0].Strategy != StrategyCAPin {
+		t.Fatalf("strategy: %v", recs[0].Strategy)
+	}
+	if recs[0].Mechanism != "URLSession pinning delegate" {
+		t.Fatalf("iOS mechanism: %q", recs[0].Mechanism)
+	}
+}
+
+func TestLowSensitivityFirstPartyNotPinned(t *testing.T) {
+	recs := Advise(Profile{
+		AppID: "com.game",
+		Destinations: []Destination{
+			{Host: "cdn.game.com", FirstParty: true},
+		},
+	})
+	if recs[0].Pin {
+		t.Fatalf("low-sensitivity CDN pinned: %+v", recs[0])
+	}
+}
+
+func TestCrossPlatformInconsistencyWarnings(t *testing.T) {
+	// Recommended pin here, sibling contacts host unpinned.
+	recs := Advise(Profile{
+		AppID: "com.x", SensitiveCategory: true,
+		Destinations: []Destination{
+			{Host: "api.x.com", FirstParty: true, CarriesCredentials: true,
+				SiblingContacts: true, PinnedOnSibling: false},
+		},
+	})
+	warned := false
+	for _, w := range recs[0].Warnings {
+		if strings.Contains(w, "other platform") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("missing cross-platform warning: %v", recs[0].Warnings)
+	}
+
+	// No pin recommended here, but sibling pins.
+	recs = Advise(Profile{
+		AppID: "com.x",
+		Destinations: []Destination{
+			{Host: "cdn.x.com", FirstParty: true, PinnedOnSibling: true},
+		},
+	})
+	warned = false
+	for _, w := range recs[0].Warnings {
+		if strings.Contains(w, "other platform") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("missing reverse cross-platform warning: %v", recs[0].Warnings)
+	}
+}
+
+func TestAgainstCurrentPolicy(t *testing.T) {
+	recs := Advise(Profile{
+		AppID: "com.x",
+		Destinations: []Destination{
+			{Host: "cdn.x.com", FirstParty: true, PinnedHere: true}, // low sensitivity, pinned
+		},
+	})
+	found := false
+	for _, w := range recs[0].Warnings {
+		if strings.Contains(w, "against this advice") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing against-advice warning: %v", recs[0].Warnings)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := Advise(Profile{
+		AppID: "com.multi", SensitiveCategory: true,
+		Destinations: []Destination{
+			{Host: "api.multi.com", FirstParty: true, CarriesCredentials: true,
+				SiblingContacts: true},
+			{Host: "t.example.net"},
+			{Host: "cdn.multi.com", FirstParty: true, PinnedHere: true},
+		},
+	})
+	s := Summarize(recs)
+	// api.multi.com (credentials) and cdn.multi.com (sensitive category)
+	// both earn pins; the tracker does not.
+	if s.Destinations != 3 || s.RecommendPin != 2 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.Inconsistent == 0 || s.AgainstCurrent == 0 {
+		t.Fatalf("warning tallies: %+v", s)
+	}
+}
+
+func TestOutputSortedAndRendered(t *testing.T) {
+	recs := Advise(Profile{
+		AppID: "com.a",
+		Destinations: []Destination{
+			{Host: "z.example.com"}, {Host: "a.example.com"},
+		},
+	})
+	if recs[0].Host != "a.example.com" {
+		t.Fatalf("not sorted: %v", recs)
+	}
+	if !strings.Contains(recs[0].String(), "do not pin") {
+		t.Fatalf("render: %q", recs[0].String())
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if StrategyNone.String() != "do not pin" ||
+		!strings.Contains(StrategyCAPin.String(), "CA") ||
+		!strings.Contains(StrategySPKIWithBackup.String(), "SPKI") {
+		t.Fatal("strategy names wrong")
+	}
+}

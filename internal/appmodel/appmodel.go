@@ -1,0 +1,145 @@
+// Package appmodel defines the shared data model for simulated mobile
+// applications: platform/category metadata, the packaged artifact, and the
+// app's runtime behaviour plan (which destinations it contacts, when, with
+// which TLS stack, pins and payloads). The world generator produces App
+// values; internal/device executes their behaviour; the analysis pipelines
+// observe only the resulting artifacts and traffic.
+package appmodel
+
+import (
+	"pinscope/internal/apppkg"
+	"pinscope/internal/pii"
+	"pinscope/internal/pki"
+	"pinscope/internal/tlswire"
+)
+
+// Platform identifies the mobile OS.
+type Platform string
+
+const (
+	Android Platform = "android"
+	IOS     Platform = "ios"
+)
+
+// Platforms lists both platforms in canonical order.
+var Platforms = []Platform{Android, IOS}
+
+// TLSLib names the TLS implementation behind a connection. Instrumentation
+// hook coverage (§4.3) is a property of the library.
+type TLSLib string
+
+const (
+	// Android stacks.
+	LibOkHttp    TLSLib = "okhttp"
+	LibConscrypt TLSLib = "conscrypt" // platform default TrustManager
+	LibWebView   TLSLib = "android-webview"
+	// iOS stacks.
+	LibNSURLSession TLSLib = "nsurlsession"
+	LibTrustKit     TLSLib = "trustkit"
+	LibAFNetworking TLSLib = "afnetworking"
+	// Cross-platform stacks.
+	LibFlutterBoring TLSLib = "flutter-boringssl"
+	LibCustomNative  TLSLib = "custom-native" // bespoke, statically linked; unhookable
+)
+
+// PlannedConn is one TLS connection the app will open when run.
+type PlannedConn struct {
+	// Host is the destination; it doubles as SNI.
+	Host string
+	// At is the offset in seconds from app launch. The dynamic pipeline's
+	// capture window (§4.2.1's 15/30/60 s sweep) filters on it.
+	At float64
+	// Used marks connections that carry application data after the
+	// handshake. Apps open redundant connections they never use; those have
+	// Used=false and are a confounder the detector must survive.
+	Used bool
+	// Pins, when non-empty, are enforced on this connection.
+	Pins *pki.PinSet
+	// TrustAnchors, when non-nil, replaces the device trust store for this
+	// connection — apps with custom PKIs ship and trust their own CA
+	// (NSC <trust-anchors>, custom TrustManager / SecTrust policies).
+	TrustAnchors *pki.RootStore
+	// FailureMode is the wire signature on validation/pin failure.
+	FailureMode tlswire.FailureMode
+	// MaxVersion and Ciphers describe the client stack's offer.
+	MaxVersion tlswire.Version
+	Ciphers    []tlswire.CipherSuite
+	// Lib is the TLS implementation making this connection.
+	Lib TLSLib
+	// PIIKinds are embedded into the request payload for this connection.
+	PIIKinds []pii.Kind
+	// Path is the HTTP request path used when building the payload.
+	Path string
+	// FirstParty is ground truth for domain ownership. Analysis pipelines
+	// must NOT read it; they infer ownership via whois. It exists for
+	// generator bookkeeping and test assertions.
+	FirstParty bool
+}
+
+// GroundTruth records what the generator actually built into an app, for
+// detector-quality assertions and EXPERIMENTS.md comparison only. Pipelines
+// must never read it.
+type GroundTruth struct {
+	// PinsAtRuntime is true when at least one planned connection enforces
+	// pins.
+	PinsAtRuntime bool
+	// PinnedHosts are the destinations with enforced pins.
+	PinnedHosts []string
+	// EmbedsPinMaterial is true when the package carries certificates or
+	// pin hashes (whether or not they are enforced at runtime).
+	EmbedsPinMaterial bool
+	// UsesNSCPins is true when an Android NSC pin-set is declared.
+	UsesNSCPins bool
+	// Obfuscated marks apps whose pin material is hidden from static
+	// analysis (encoded at rest, reconstructed at run time).
+	Obfuscated bool
+}
+
+// App is one application on one platform.
+type App struct {
+	// ID is the package/bundle identifier (com.vendor.name).
+	ID string
+	// Name is the human-readable store name. Common apps share Name and
+	// Developer across platforms.
+	Name      string
+	Developer string
+	Platform  Platform
+	Category  string
+	// CrossKey links the Android and iOS builds of the same product; empty
+	// for single-platform apps.
+	CrossKey string
+
+	// Pkg is the store artifact; nil until materialized.
+	Pkg *apppkg.Package
+	// Conns is the behaviour plan executed by internal/device.
+	Conns []PlannedConn
+	// AssociatedDomains mirror the iOS entitlements; the OS contacts them
+	// on install (§4.5). Empty on Android.
+	AssociatedDomains []string
+
+	// Truth is generator bookkeeping; see GroundTruth.
+	Truth GroundTruth
+}
+
+// ContactedHosts returns the distinct hosts in the behaviour plan, in first
+// occurrence order.
+func (a *App) ContactedHosts() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range a.Conns {
+		if !seen[c.Host] {
+			seen[c.Host] = true
+			out = append(out, c.Host)
+		}
+	}
+	return out
+}
+
+// PinnedHostSet returns the ground-truth pinned hosts as a set (test helper).
+func (a *App) PinnedHostSet() map[string]bool {
+	s := make(map[string]bool, len(a.Truth.PinnedHosts))
+	for _, h := range a.Truth.PinnedHosts {
+		s[h] = true
+	}
+	return s
+}

@@ -1,0 +1,33 @@
+package appmodel
+
+import "testing"
+
+func TestContactedHosts(t *testing.T) {
+	a := &App{Conns: []PlannedConn{
+		{Host: "a.com"}, {Host: "b.com"}, {Host: "a.com"}, {Host: "c.com"},
+	}}
+	got := a.ContactedHosts()
+	want := []string{"a.com", "b.com", "c.com"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPinnedHostSet(t *testing.T) {
+	a := &App{Truth: GroundTruth{PinnedHosts: []string{"x.com", "y.com"}}}
+	s := a.PinnedHostSet()
+	if !s["x.com"] || !s["y.com"] || s["z.com"] {
+		t.Fatalf("set: %v", s)
+	}
+}
+
+func TestPlatformConstants(t *testing.T) {
+	if len(Platforms) != 2 || Platforms[0] != Android || Platforms[1] != IOS {
+		t.Fatalf("Platforms: %v", Platforms)
+	}
+}

@@ -1,0 +1,234 @@
+package apppkg
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackageBasics(t *testing.T) {
+	p := New("com.example.app")
+	p.Add("assets/a.txt", []byte("hello"))
+	p.AddExecutable("lib/libnative.so", []byte{0x7f, 'E', 'L', 'F'})
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if got := p.Get("assets/a.txt"); got == nil || string(got.Data) != "hello" {
+		t.Fatalf("Get = %v", got)
+	}
+	if p.Get("missing") != nil {
+		t.Fatal("missing path returned a file")
+	}
+	// Replacement keeps a single entry.
+	p.Add("assets/a.txt", []byte("world"))
+	if p.Len() != 2 || string(p.Get("assets/a.txt").Data) != "world" {
+		t.Fatal("replacement failed")
+	}
+	// Deterministic order.
+	files := p.Files()
+	if files[0].Path != "assets/a.txt" || files[1].Path != "lib/libnative.so" {
+		t.Fatalf("order: %v %v", files[0].Path, files[1].Path)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	p := New("com.example.app")
+	p.Add("f", []byte{1, 2, 3})
+	c := p.Clone()
+	c.Get("f").Data[0] = 9
+	if p.Get("f").Data[0] != 1 {
+		t.Fatal("clone shares backing data")
+	}
+}
+
+func TestIOSEncryptionRoundTrip(t *testing.T) {
+	p := New("com.example.ios")
+	plistData := BuildInfoPlist("com.example.ios", "Example")
+	p.Add("Payload/Example.app/Info.plist", plistData)
+	binData := []byte("MachO\x00\x00pin:sha256/AAAA secret strings inside binary")
+	p.AddExecutable("Payload/Example.app/Example", append([]byte{}, binData...))
+
+	p.EncryptIOS()
+	if !p.Encrypted {
+		t.Fatal("not marked encrypted")
+	}
+	// Executable content is ciphertext; plist is untouched.
+	if bytes.Equal(p.Get("Payload/Example.app/Example").Data, binData) {
+		t.Fatal("executable not encrypted")
+	}
+	if !bytes.Equal(p.Get("Payload/Example.app/Info.plist").Data, plistData) {
+		t.Fatal("plist was encrypted")
+	}
+	// Searching the encrypted binary must not find the pin string.
+	if bytes.Contains(p.Get("Payload/Example.app/Example").Data, []byte("sha256/")) {
+		t.Fatal("pin string visible through encryption")
+	}
+
+	// Idempotent.
+	p.EncryptIOS()
+	p.DecryptIOS()
+	if p.Encrypted {
+		t.Fatal("still marked encrypted")
+	}
+	if !bytes.Equal(p.Get("Payload/Example.app/Example").Data, binData) {
+		t.Fatal("decryption did not restore plaintext")
+	}
+	p.DecryptIOS() // no-op
+}
+
+func TestEncryptionKeyIsPerApp(t *testing.T) {
+	mk := func(id string) *Package {
+		p := New(id)
+		p.AddExecutable("bin", []byte("same plaintext content here"))
+		p.EncryptIOS()
+		return p
+	}
+	a, b := mk("com.a"), mk("com.b")
+	if bytes.Equal(a.Get("bin").Data, b.Get("bin").Data) {
+		t.Fatal("different apps share ciphertext (shared key)")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	data := BuildManifest("com.example.app", "Example", "@xml/network_security_config")
+	id, nsc, err := ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "com.example.app" || nsc != "@xml/network_security_config" {
+		t.Fatalf("parsed %q %q", id, nsc)
+	}
+	// Without NSC.
+	data = BuildManifest("com.example.app", "Example", "")
+	_, nsc, err = ParseManifest(data)
+	if err != nil || nsc != "" {
+		t.Fatalf("no-NSC parse: %q %v", nsc, err)
+	}
+	if _, _, err := ParseManifest([]byte("<garbage/>")); err == nil {
+		t.Fatal("garbage manifest accepted")
+	}
+}
+
+func TestNSCRoundTrip(t *testing.T) {
+	in := &NSC{Domains: []NSCDomain{
+		{
+			Domain:            "api.example.com",
+			IncludeSubdomains: true,
+			PinSetExpiration:  "2023-01-01",
+			Pins: []NSCPin{
+				{Digest: "SHA-256", Value: "r/mIkG3eEpVdm+u/ko/cwxzOMo1bk4TyHIlByibiA5E="},
+				{Digest: "SHA-256", Value: "WoiWRyIOVNa9ihaBciRSC7XHjliYS9VwUGOIud4PB18="},
+			},
+		},
+		{
+			Domain:         "cdn.example.com",
+			TrustAnchorSrc: "@raw/custom_ca",
+		},
+	}}
+	out, err := ParseNSC(BuildNSC(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Domains) != 2 {
+		t.Fatalf("%d domains", len(out.Domains))
+	}
+	d0 := out.Domains[0]
+	if d0.Domain != "api.example.com" || !d0.IncludeSubdomains {
+		t.Fatalf("domain 0: %+v", d0)
+	}
+	if len(d0.Pins) != 2 || d0.Pins[0].Digest != "SHA-256" || d0.Pins[0].Value != in.Domains[0].Pins[0].Value {
+		t.Fatalf("pins: %+v", d0.Pins)
+	}
+	if d0.PinSetExpiration != "2023-01-01" {
+		t.Fatalf("expiration: %q", d0.PinSetExpiration)
+	}
+	if !out.HasPins() {
+		t.Fatal("HasPins false")
+	}
+	if out.Domains[1].TrustAnchorSrc != "@raw/custom_ca" {
+		t.Fatalf("trust anchor: %+v", out.Domains[1])
+	}
+}
+
+func TestNSCOverridePinsMisconfig(t *testing.T) {
+	in := &NSC{Domains: []NSCDomain{{
+		Domain:       "example.com",
+		Pins:         []NSCPin{{Digest: "SHA-256", Value: "AAAA"}},
+		OverridePins: true,
+	}}}
+	out, err := ParseNSC(BuildNSC(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Domains[0].OverridePins {
+		t.Fatal("overridePins not preserved")
+	}
+}
+
+func TestNSCWithoutPins(t *testing.T) {
+	in := &NSC{Domains: []NSCDomain{{Domain: "plain.example.com"}}}
+	out, err := ParseNSC(BuildNSC(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.HasPins() {
+		t.Fatal("pinless NSC reports pins")
+	}
+}
+
+func TestParseNSCGarbage(t *testing.T) {
+	if _, err := ParseNSC([]byte("not xml at all <")); err == nil {
+		t.Fatal("garbage NSC accepted")
+	}
+}
+
+func TestEntitlementsRoundTrip(t *testing.T) {
+	data := BuildEntitlements("com.example.ios", []string{"example.com", "www.example.com"})
+	domains, err := ParseEntitlementsDomains(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) != 2 || domains[0] != "example.com" || domains[1] != "www.example.com" {
+		t.Fatalf("domains: %v", domains)
+	}
+	// No associated domains.
+	data = BuildEntitlements("com.example.ios", nil)
+	domains, err = ParseEntitlementsDomains(data)
+	if err != nil || len(domains) != 0 {
+		t.Fatalf("empty entitlements: %v %v", domains, err)
+	}
+}
+
+func TestEntitlementsIgnoresOtherArrays(t *testing.T) {
+	doc := []byte(`<?xml version="1.0"?>
+<plist version="1.0"><dict>
+  <key>keychain-access-groups</key>
+  <array><string>group.example</string></array>
+  <key>com.apple.developer.associated-domains</key>
+  <array><string>applinks:real.example.com</string></array>
+</dict></plist>`)
+	domains, err := ParseEntitlementsDomains(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains) != 1 || domains[0] != "real.example.com" {
+		t.Fatalf("domains: %v", domains)
+	}
+}
+
+func TestEncryptionInvolution(t *testing.T) {
+	f := func(id string, content []byte) bool {
+		if id == "" {
+			id = "x"
+		}
+		p := New(id)
+		orig := append([]byte{}, content...)
+		p.AddExecutable("bin", content)
+		p.EncryptIOS()
+		p.DecryptIOS()
+		return bytes.Equal(p.Get("bin").Data, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package apppkg_test
+
+import (
+	"fmt"
+
+	"pinscope/internal/apppkg"
+)
+
+// ExampleBuildNSC renders and re-parses an Android Network Security
+// Configuration with a pin-set — the §4.1.1 detection surface.
+func ExampleBuildNSC() {
+	doc := apppkg.BuildNSC(&apppkg.NSC{Domains: []apppkg.NSCDomain{{
+		Domain:            "api.example.com",
+		IncludeSubdomains: true,
+		Pins: []apppkg.NSCPin{
+			{Digest: "SHA-256", Value: "r/mIkG3eEpVdm+u/ko/cwxzOMo1bk4TyHIlByibiA5E="},
+		},
+	}}})
+	parsed, _ := apppkg.ParseNSC(doc)
+	fmt.Println(parsed.HasPins(), parsed.Domains[0].Domain)
+	// Output: true api.example.com
+}
+
+// ExamplePackage_EncryptIOS shows the store-encryption gate static analysis
+// must pass through (the Appendix A jailbreak requirement).
+func ExamplePackage_EncryptIOS() {
+	pkg := apppkg.New("com.example.app")
+	pkg.AddExecutable("Payload/App.app/App", []byte("sha256/secret-pin-material"))
+	pkg.EncryptIOS()
+	fmt.Println("readable while encrypted:",
+		string(pkg.Get("Payload/App.app/App").Data[:6]) == "sha256")
+	pkg.DecryptIOS()
+	fmt.Println("readable after decryption:",
+		string(pkg.Get("Payload/App.app/App").Data[:6]) == "sha256")
+	// Output:
+	// readable while encrypted: false
+	// readable after decryption: true
+}

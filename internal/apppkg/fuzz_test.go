@@ -1,0 +1,78 @@
+package apppkg
+
+import "testing"
+
+// FuzzParseNSC: arbitrary XML must never panic the parser, and whatever
+// parses must round-trip through the builder without loss of pins.
+func FuzzParseNSC(f *testing.F) {
+	f.Add(string(BuildNSC(&NSC{Domains: []NSCDomain{{
+		Domain: "a.example.com",
+		Pins:   []NSCPin{{Digest: "SHA-256", Value: "AAAA"}},
+	}}})))
+	f.Add("<network-security-config><domain-config></domain-config></network-security-config>")
+	f.Add("not xml")
+	f.Fuzz(func(t *testing.T, doc string) {
+		nsc, err := ParseNSC([]byte(doc))
+		if err != nil {
+			return
+		}
+		back, err := ParseNSC(BuildNSC(nsc))
+		if err != nil {
+			t.Fatalf("builder output unparseable: %v", err)
+		}
+		if back.HasPins() != nsc.HasPins() {
+			t.Fatal("pin-set presence changed across round trip")
+		}
+		if len(back.Domains) != len(nsc.Domains) {
+			t.Fatalf("domain count changed: %d vs %d", len(back.Domains), len(nsc.Domains))
+		}
+	})
+}
+
+// FuzzParseManifest must never panic.
+func FuzzParseManifest(f *testing.F) {
+	f.Add(string(BuildManifest("com.a.b", "A", "@xml/nsc")))
+	f.Add("<manifest package=\"x\"/>")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, doc string) {
+		ParseManifest([]byte(doc))
+	})
+}
+
+// FuzzParseEntitlements must never panic and never return empty hostnames.
+func FuzzParseEntitlements(f *testing.F) {
+	f.Add(string(BuildEntitlements("com.a", []string{"x.example.com"})))
+	f.Add("<plist><dict></dict></plist>")
+	f.Fuzz(func(t *testing.T, doc string) {
+		domains, _ := ParseEntitlementsDomains([]byte(doc))
+		for _, d := range domains {
+			if d == "" {
+				t.Fatal("empty associated domain returned")
+			}
+		}
+	})
+}
+
+// FuzzIOSCrypto: encrypt/decrypt is an involution for any content and app id.
+func FuzzIOSCrypto(f *testing.F) {
+	f.Add("com.a.b", []byte("binary content"))
+	f.Fuzz(func(t *testing.T, id string, content []byte) {
+		if id == "" {
+			id = "x"
+		}
+		orig := append([]byte(nil), content...)
+		p := New(id)
+		p.AddExecutable("bin", content)
+		p.EncryptIOS()
+		p.DecryptIOS()
+		got := p.Get("bin").Data
+		if len(got) != len(orig) {
+			t.Fatal("length changed")
+		}
+		for i := range got {
+			if got[i] != orig[i] {
+				t.Fatal("content changed")
+			}
+		}
+	})
+}

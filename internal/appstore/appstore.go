@@ -1,0 +1,342 @@
+// Package appstore simulates the two official mobile app stores and the
+// crawlers the paper used to assemble its datasets (§3): GPlayCLI-style
+// "Top Free" crawls for popular Android apps, iTunes-Search-API sampling
+// for popular iOS apps, random draws from full app-ID lists, and the
+// AlternativeTo cross-listing walk that yields the Common dataset.
+//
+// Store populations are generated deterministically with category mixes
+// calibrated to Table 1; population size is a scale knob (the real stores
+// hold ~1.3M listings, which would be pure memory ballast here).
+package appstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/detrand"
+)
+
+// Listing is one store entry (metadata only; packages are materialized
+// later, when an app enters a dataset).
+type Listing struct {
+	ID        string
+	Name      string
+	Developer string
+	Platform  appmodel.Platform
+	Category  string
+	// Rank is the store popularity rank, 1 = most popular.
+	Rank int
+	// CrossKey links listings of the same product across stores ("" when
+	// single-platform).
+	CrossKey string
+	Free     bool
+}
+
+// Store is one platform's app market.
+type Store struct {
+	Platform appmodel.Platform
+	listings []*Listing // index i holds rank i+1
+	byID     map[string]*Listing
+}
+
+// Listings returns all listings in rank order.
+func (s *Store) Listings() []*Listing { return s.listings }
+
+// Len returns the number of listings.
+func (s *Store) Len() int { return len(s.listings) }
+
+// ByID returns the listing with the given ID.
+func (s *Store) ByID(id string) *Listing { return s.byID[id] }
+
+// Top returns the n highest-ranked listings.
+func (s *Store) Top(n int) []*Listing {
+	if n > len(s.listings) {
+		n = len(s.listings)
+	}
+	return s.listings[:n]
+}
+
+// GenConfig parameterizes world store generation.
+type GenConfig struct {
+	Rng *detrand.Source
+	// AndroidSize and IOSSize are total listing counts per store.
+	AndroidSize, IOSSize int
+	// CrossProducts is the number of products listed on both stores.
+	CrossProducts int
+	// PopularCut is the rank boundary below which listings draw from the
+	// popular category mix (the head of the store looks different from the
+	// long tail, per Table 1).
+	PopularCut int
+}
+
+// nameParts for synthetic app naming. Combinations give ~10^6 distinct
+// names before numbering kicks in.
+var (
+	nameAdj  = []string{"Swift", "Smart", "Daily", "Super", "Pocket", "Magic", "Easy", "Pro", "Happy", "Tiny", "Mega", "Quick", "Bright", "Zen", "Prime", "Ultra", "Micro", "Star", "Cloud", "Hyper"}
+	nameNoun = []string{"Recipe", "Budget", "Fit", "Chat", "Photo", "Task", "Note", "Game", "Quiz", "Market", "Wallet", "Map", "Ride", "News", "Music", "Scan", "Craft", "Garden", "Puzzle", "Tracker", "Diary", "Coach", "Radar", "Board", "Deck"}
+	nameSuf  = []string{"", " Pro", " Lite", " Plus", " Go", " Now", " HD", " 2", " X", " Hub"}
+	devWords = []string{"Apps", "Labs", "Works", "Studio", "Soft", "Mobile", "Digital", "Interactive", "Media", "Systems"}
+)
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "app"
+	}
+	return b.String()
+}
+
+// product is generator-internal: one app product possibly listed on both
+// stores.
+type product struct {
+	name, developer, crossKey string
+	category                  map[appmodel.Platform]string
+}
+
+func newProduct(rng *detrand.Source, n int, mixSeg segment, cross bool) *product {
+	name := detrand.Pick(rng, nameAdj) + " " + detrand.Pick(rng, nameNoun) + detrand.Pick(rng, nameSuf)
+	if rng.Bool(0.35) {
+		name = fmt.Sprintf("%s %d", name, 2+rng.Intn(98))
+	}
+	dev := detrand.Pick(rng, nameNoun) + " " + detrand.Pick(rng, devWords)
+	p := &product{
+		name:      name,
+		developer: dev,
+		category:  make(map[appmodel.Platform]string),
+	}
+	if cross {
+		p.crossKey = fmt.Sprintf("x%06d", n)
+	}
+	for _, plat := range appmodel.Platforms {
+		mix := categoryMix(plat, mixSeg)
+		weights := make([]float64, len(mix))
+		for i, cw := range mix {
+			weights[i] = cw.Weight
+		}
+		p.category[plat] = mix[rng.WeightedIndex(weights)].Name
+	}
+	return p
+}
+
+func (p *product) listing(plat appmodel.Platform, seq int) *Listing {
+	id := fmt.Sprintf("com.%s.%s", slug(p.developer), slug(p.name))
+	if plat == appmodel.IOS {
+		id = fmt.Sprintf("id%09d", 280000000+seq)
+	}
+	return &Listing{
+		ID:        id,
+		Name:      p.name,
+		Developer: p.developer,
+		Platform:  plat,
+		Category:  p.category[plat],
+		CrossKey:  p.crossKey,
+		Free:      true,
+	}
+}
+
+// Generate builds both stores. Cross-listed products occupy correlated,
+// popularity-biased ranks in each store; the rest of each store is filled
+// with single-platform products whose category mix depends on their rank
+// segment.
+func Generate(cfg GenConfig) (android, ios *Store) {
+	rng := cfg.Rng
+	android = &Store{Platform: appmodel.Android, byID: make(map[string]*Listing)}
+	ios = &Store{Platform: appmodel.IOS, byID: make(map[string]*Listing)}
+
+	type slotted struct {
+		l    *Listing
+		rank float64
+	}
+	var aSlots, iSlots []slotted
+	seq := 0
+
+	// Cross-listed products: popularity-biased placement (AlternativeTo
+	// popularity correlates with, but does not equal, store rank).
+	for i := 0; i < cfg.CrossProducts; i++ {
+		p := newProduct(rng.ChildN("cross", i), i, segCommon, true)
+		seq++
+		// Bias toward the head: squared uniform concentrates low ranks.
+		f := rng.Float64()
+		base := f * f
+		aSlots = append(aSlots, slotted{p.listing(appmodel.Android, seq), base + rng.Float64()*0.1})
+		iSlots = append(iSlots, slotted{p.listing(appmodel.IOS, seq), base + rng.Float64()*0.1})
+	}
+
+	fill := func(plat appmodel.Platform, total int, slots *[]slotted, label string) {
+		for i := len(*slots); i < total; i++ {
+			// Rank fraction decides the category segment.
+			frac := rng.Float64()
+			seg := segRandom
+			if float64(cfg.PopularCut)/float64(total) > frac {
+				seg = segPopular
+			}
+			p := newProduct(rng.ChildN(label, i), i, seg, false)
+			seq++
+			*slots = append(*slots, slotted{p.listing(plat, seq), frac})
+		}
+	}
+	fill(appmodel.Android, cfg.AndroidSize, &aSlots, "a")
+	fill(appmodel.IOS, cfg.IOSSize, &iSlots, "i")
+
+	finish := func(st *Store, slots []slotted) {
+		sort.SliceStable(slots, func(i, j int) bool { return slots[i].rank < slots[j].rank })
+		for i, s := range slots {
+			s.l.Rank = i + 1
+			// Disambiguate ID collisions from name reuse.
+			for st.byID[s.l.ID] != nil {
+				s.l.ID += "x"
+			}
+			st.listings = append(st.listings, s.l)
+			st.byID[s.l.ID] = s.l
+		}
+	}
+	finish(android, aSlots)
+	finish(ios, iSlots)
+	return android, ios
+}
+
+// Dataset is one of the study's app sets.
+type Dataset struct {
+	Name     string // "Common", "Popular", "Random"
+	Platform appmodel.Platform
+	Listings []*Listing
+}
+
+// CategoryCounts tallies listings per category.
+func (d *Dataset) CategoryCounts() map[string]int {
+	out := make(map[string]int)
+	for _, l := range d.Listings {
+		out[l.Category]++
+	}
+	return out
+}
+
+// CrawlPopularAndroid reproduces the google-play-scraper methodology: crawl
+// the "Top Free" lists (≈12k listings), then sample n at random.
+func CrawlPopularAndroid(store *Store, rng *detrand.Source, n int) *Dataset {
+	pool := store.Top(12 * n)
+	picked := detrand.Sample(rng, pool, n)
+	return &Dataset{Name: "Popular", Platform: appmodel.Android, Listings: picked}
+}
+
+// CrawlPopularIOS reproduces the iTunes Search API methodology: for each of
+// the 19 generic category terms, take the top 100 results, then keep the n
+// most popular compatible free apps (the set "captures the notion of
+// popularity" — per-category quotas alone would flatten the category mix,
+// which Table 1 shows is not what the paper's set looks like).
+func CrawlPopularIOS(store *Store, rng *detrand.Source, n int) *Dataset {
+	seen := make(map[string]bool)
+	var pool []*Listing
+	for ci, cat := range ITunesSearchCategories {
+		termRng := rng.ChildN("term", ci)
+		count := 0
+		for _, l := range store.Listings() {
+			// Search terms are fuzzy: generic words also surface top games
+			// ("Quiz", "Puzzle", ...), which is why the paper's popular iOS
+			// set is a fifth games despite per-term result caps.
+			match := l.Category == cat ||
+				(l.Category == "Games" && cat != "Games" && termRng.Bool(0.12))
+			if !match || !l.Free {
+				continue
+			}
+			if !seen[l.ID] {
+				seen[l.ID] = true
+				pool = append(pool, l)
+			}
+			count++
+			if count == 100 { // API returns at most 100 results per call
+				break
+			}
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].Rank < pool[j].Rank })
+	if n < len(pool) {
+		// Small jitter at the boundary: device-compatibility filtering
+		// drops some entries, pulling a few lower-ranked apps in.
+		head := pool[:n]
+		tail := detrand.Sample(rng, pool[n:], n/20)
+		head = append(head[:n-len(tail)], tail...)
+		pool = head
+	}
+	return &Dataset{Name: "Popular", Platform: appmodel.IOS, Listings: pool}
+}
+
+// CrawlRandom samples n listings uniformly from the full ID list.
+func CrawlRandom(store *Store, rng *detrand.Source, n int) *Dataset {
+	picked := detrand.Sample(rng, store.Listings(), n)
+	return &Dataset{Name: "Random", Platform: store.Platform, Listings: picked}
+}
+
+// CrawlCommon reproduces the AlternativeTo walk: visit the top `pages`
+// product pages by popularity and keep products with links to both stores.
+// The two returned datasets are index-aligned (entry i is the same product).
+func CrawlCommon(android, ios *Store, pages int) (*Dataset, *Dataset) {
+	type prod struct {
+		a, i *Listing
+		pop  int
+	}
+	byKey := make(map[string]*prod)
+	for _, l := range android.Listings() {
+		if l.CrossKey != "" {
+			byKey[l.CrossKey] = &prod{a: l, pop: l.Rank}
+		}
+	}
+	for _, l := range ios.Listings() {
+		if l.CrossKey == "" {
+			continue
+		}
+		if p, ok := byKey[l.CrossKey]; ok {
+			p.i = l
+			if l.Rank < p.pop {
+				p.pop = l.Rank
+			}
+		}
+	}
+	var prods []*prod
+	for _, p := range byKey {
+		if p.a != nil && p.i != nil {
+			prods = append(prods, p)
+		}
+	}
+	// AlternativeTo popularity ordering ~ best store rank.
+	sort.Slice(prods, func(x, y int) bool {
+		if prods[x].pop != prods[y].pop {
+			return prods[x].pop < prods[y].pop
+		}
+		return prods[x].a.ID < prods[y].a.ID
+	})
+	if pages < len(prods) {
+		prods = prods[:pages]
+	}
+	da := &Dataset{Name: "Common", Platform: appmodel.Android}
+	di := &Dataset{Name: "Common", Platform: appmodel.IOS}
+	for _, p := range prods {
+		da.Listings = append(da.Listings, p.a)
+		di.Listings = append(di.Listings, p.i)
+	}
+	return da, di
+}
+
+// UniqueApps counts distinct listings across datasets of one platform,
+// reporting collisions the way the paper does (§3).
+func UniqueApps(datasets ...*Dataset) (unique, collisions int) {
+	seen := make(map[string]bool)
+	total := 0
+	for _, d := range datasets {
+		for _, l := range d.Listings {
+			total++
+			if !seen[l.ID] {
+				seen[l.ID] = true
+			}
+		}
+	}
+	return len(seen), total - len(seen)
+}

@@ -1,0 +1,260 @@
+package appstore
+
+import (
+	"testing"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/detrand"
+)
+
+func genStores(t *testing.T, seed int64) (*Store, *Store) {
+	t.Helper()
+	a, i := Generate(GenConfig{
+		Rng:           detrand.New(seed),
+		AndroidSize:   4000,
+		IOSSize:       3800,
+		CrossProducts: 700,
+		PopularCut:    800,
+	})
+	return a, i
+}
+
+func TestGenerateSizes(t *testing.T) {
+	a, i := genStores(t, 1)
+	if a.Len() != 4000 || i.Len() != 3800 {
+		t.Fatalf("sizes: %d %d", a.Len(), i.Len())
+	}
+}
+
+func TestRanksAreSequential(t *testing.T) {
+	a, _ := genStores(t, 2)
+	for idx, l := range a.Listings() {
+		if l.Rank != idx+1 {
+			t.Fatalf("listing %d has rank %d", idx, l.Rank)
+		}
+	}
+}
+
+func TestIDsUniqueAndResolvable(t *testing.T) {
+	a, i := genStores(t, 3)
+	for _, st := range []*Store{a, i} {
+		seen := map[string]bool{}
+		for _, l := range st.Listings() {
+			if seen[l.ID] {
+				t.Fatalf("duplicate ID %q", l.ID)
+			}
+			seen[l.ID] = true
+			if st.ByID(l.ID) != l {
+				t.Fatalf("ByID broken for %q", l.ID)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a1, _ := genStores(t, 4)
+	a2, _ := genStores(t, 4)
+	for idx := range a1.Listings() {
+		l1, l2 := a1.Listings()[idx], a2.Listings()[idx]
+		if l1.ID != l2.ID || l1.Category != l2.Category || l1.Rank != l2.Rank {
+			t.Fatalf("non-deterministic at %d: %+v vs %+v", idx, l1, l2)
+		}
+	}
+}
+
+func TestCrossProductsOnBothStores(t *testing.T) {
+	a, i := genStores(t, 5)
+	aCross := map[string]*Listing{}
+	for _, l := range a.Listings() {
+		if l.CrossKey != "" {
+			aCross[l.CrossKey] = l
+		}
+	}
+	n := 0
+	for _, l := range i.Listings() {
+		if l.CrossKey == "" {
+			continue
+		}
+		al, ok := aCross[l.CrossKey]
+		if !ok {
+			t.Fatalf("iOS cross product %q missing on Android", l.CrossKey)
+		}
+		if al.Name != l.Name || al.Developer != l.Developer {
+			t.Fatalf("cross product metadata mismatch: %+v vs %+v", al, l)
+		}
+		n++
+	}
+	if n != 700 {
+		t.Fatalf("%d cross products on iOS, want 700", n)
+	}
+}
+
+func TestHeadUsesPopularMix(t *testing.T) {
+	a, _ := Generate(GenConfig{
+		Rng:         detrand.New(6),
+		AndroidSize: 10000, IOSSize: 100, CrossProducts: 0, PopularCut: 2000,
+	})
+	games := 0
+	head := a.Top(2000)
+	for _, l := range head {
+		if l.Category == "Games" {
+			games++
+		}
+	}
+	// Popular mix has 36% games; the random tail 12%.
+	rate := float64(games) / float64(len(head))
+	if rate < 0.25 {
+		t.Fatalf("head games rate %.2f, expected popular-mix dominance", rate)
+	}
+	tailGames := 0
+	tail := a.Listings()[8000:]
+	for _, l := range tail {
+		if l.Category == "Games" {
+			tailGames++
+		}
+	}
+	tailRate := float64(tailGames) / float64(len(tail))
+	if tailRate >= rate {
+		t.Fatalf("tail games rate %.2f >= head %.2f", tailRate, rate)
+	}
+}
+
+func TestCrawlPopularAndroid(t *testing.T) {
+	a, _ := genStores(t, 7)
+	d := CrawlPopularAndroid(a, detrand.New(70), 300)
+	if len(d.Listings) != 300 || d.Name != "Popular" || d.Platform != appmodel.Android {
+		t.Fatalf("dataset: %s/%s n=%d", d.Name, d.Platform, len(d.Listings))
+	}
+	// All picks come from the top-12n pool.
+	for _, l := range d.Listings {
+		if l.Rank > 12*300 {
+			t.Fatalf("listing rank %d outside Top Free pool", l.Rank)
+		}
+	}
+}
+
+func TestCrawlPopularIOS(t *testing.T) {
+	_, i := genStores(t, 8)
+	d := CrawlPopularIOS(i, detrand.New(80), 300)
+	if len(d.Listings) != 300 {
+		t.Fatalf("n=%d", len(d.Listings))
+	}
+	seen := map[string]bool{}
+	for _, l := range d.Listings {
+		if seen[l.ID] {
+			t.Fatalf("duplicate in iOS popular: %s", l.ID)
+		}
+		seen[l.ID] = true
+	}
+}
+
+func TestCrawlRandomSpansTail(t *testing.T) {
+	a, _ := genStores(t, 9)
+	d := CrawlRandom(a, detrand.New(90), 500)
+	if len(d.Listings) != 500 {
+		t.Fatalf("n=%d", len(d.Listings))
+	}
+	tail := 0
+	for _, l := range d.Listings {
+		if l.Rank > a.Len()/2 {
+			tail++
+		}
+	}
+	if tail < 150 {
+		t.Fatalf("random sample has only %d tail apps", tail)
+	}
+}
+
+func TestCrawlCommonPairsAligned(t *testing.T) {
+	a, i := genStores(t, 10)
+	da, di := CrawlCommon(a, i, 575)
+	if len(da.Listings) != 575 || len(di.Listings) != 575 {
+		t.Fatalf("common sizes %d/%d", len(da.Listings), len(di.Listings))
+	}
+	for idx := range da.Listings {
+		if da.Listings[idx].CrossKey != di.Listings[idx].CrossKey {
+			t.Fatalf("misaligned pair at %d", idx)
+		}
+		if da.Listings[idx].Platform != appmodel.Android || di.Listings[idx].Platform != appmodel.IOS {
+			t.Fatal("platform mixup")
+		}
+	}
+}
+
+func TestCrawlCommonLimitedByAvailability(t *testing.T) {
+	a, i := Generate(GenConfig{
+		Rng: detrand.New(11), AndroidSize: 500, IOSSize: 500, CrossProducts: 50, PopularCut: 100,
+	})
+	da, _ := CrawlCommon(a, i, 575)
+	if len(da.Listings) != 50 {
+		t.Fatalf("%d common apps, want 50", len(da.Listings))
+	}
+}
+
+func TestUniqueApps(t *testing.T) {
+	a, i := genStores(t, 12)
+	da, _ := CrawlCommon(a, i, 575)
+	dp := CrawlPopularAndroid(a, detrand.New(120), 1000)
+	dr := CrawlRandom(a, detrand.New(121), 1000)
+	unique, collisions := UniqueApps(da, dp, dr)
+	if unique+collisions != 575+1000+1000 {
+		t.Fatalf("accounting broken: %d + %d", unique, collisions)
+	}
+	if unique < 2000 {
+		t.Fatalf("implausibly few unique apps: %d", unique)
+	}
+	_ = i
+}
+
+func TestCategoryCounts(t *testing.T) {
+	a, _ := genStores(t, 13)
+	d := CrawlRandom(a, detrand.New(130), 800)
+	counts := d.CategoryCounts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 800 {
+		t.Fatalf("category counts sum to %d", total)
+	}
+	if len(counts) < 15 {
+		t.Fatalf("only %d categories in random sample", len(counts))
+	}
+}
+
+func TestCrawlPopularIOSGamesShare(t *testing.T) {
+	// The iTunes-search emulation must keep the popular iOS set games-heavy
+	// (Table 1: ~21%) despite per-term result caps, via fuzzy term matches.
+	_, i := Generate(GenConfig{
+		Rng:         detrand.New(21),
+		AndroidSize: 1000, IOSSize: 20000, CrossProducts: 0, PopularCut: 2400,
+	})
+	d := CrawlPopularIOS(i, detrand.New(22), 1000)
+	games := 0
+	for _, l := range d.Listings {
+		if l.Category == "Games" {
+			games++
+		}
+	}
+	share := float64(games) / float64(len(d.Listings))
+	if share < 0.12 || share > 0.35 {
+		t.Fatalf("games share %.2f outside the popular-head band", share)
+	}
+}
+
+func TestCrawlPopularIOSPrefersHead(t *testing.T) {
+	_, i := Generate(GenConfig{
+		Rng:         detrand.New(23),
+		AndroidSize: 1000, IOSSize: 20000, CrossProducts: 0, PopularCut: 2400,
+	})
+	d := CrawlPopularIOS(i, detrand.New(24), 500)
+	head := 0
+	for _, l := range d.Listings {
+		if l.Rank <= 4000 {
+			head++
+		}
+	}
+	if head < 400 {
+		t.Fatalf("only %d/500 picks from the store head", head)
+	}
+}

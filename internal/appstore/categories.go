@@ -1,0 +1,118 @@
+package appstore
+
+import "pinscope/internal/appmodel"
+
+// Category distributions per platform and popularity segment, calibrated to
+// Table 1 of the paper. Percentages are weights; each list carries a tail of
+// less-common categories so datasets contain ~25-35 distinct categories,
+// matching the category ranks reported alongside Tables 4 and 5.
+
+// catWeight pairs a category with its sampling weight.
+type catWeight struct {
+	Name   string
+	Weight float64
+}
+
+var androidPopularMix = []catWeight{
+	{"Games", 36}, {"Weather", 2.4}, {"Finance", 2.3}, {"Shopping", 2.3},
+	{"Entertainment", 2.2}, {"Food & Drink", 2.2}, {"Social", 2.2},
+	{"Productivity", 2.1}, {"Photography", 2.1}, {"Music", 2.0},
+	{"Tools", 1.9}, {"Travel", 1.9}, {"Communication", 1.8}, {"Sports", 1.8},
+	{"Health", 1.7}, {"Education", 1.7}, {"Lifestyle", 1.6}, {"Business", 1.5},
+	{"Video Players", 1.5}, {"News", 1.4}, {"Books", 1.3}, {"Maps", 1.2},
+	{"Personalization", 1.2}, {"Dating", 1.0}, {"Automobile", 0.9},
+	{"House", 0.8}, {"Events", 0.7}, {"Parenting", 0.6}, {"Art", 0.6},
+	{"Comics", 0.5}, {"Beauty", 0.5}, {"Libraries", 0.4},
+}
+
+var androidRandomMix = []catWeight{
+	{"Education", 12}, {"Games", 12}, {"Tools", 6.5}, {"Music", 6.2},
+	{"Books", 6.0}, {"Business", 5.5}, {"Lifestyle", 5.2},
+	{"Entertainment", 4.5}, {"Travel", 4.2}, {"Personalization", 4.0},
+	{"Productivity", 3.5}, {"Health", 3.2}, {"Shopping", 2.8},
+	{"Food & Drink", 2.6}, {"Sports", 2.4}, {"Finance", 2.2},
+	{"Communication", 2.0}, {"Social", 1.9}, {"News", 1.8}, {"Photography", 1.7},
+	{"Maps", 1.5}, {"Weather", 1.2}, {"Video Players", 1.2}, {"Automobile", 1.0},
+	{"House", 0.9}, {"Dating", 0.8}, {"Events", 0.7}, {"Parenting", 0.6},
+	{"Art", 0.6}, {"Comics", 0.5}, {"Beauty", 0.5}, {"Libraries", 0.4},
+}
+
+var androidCommonMix = []catWeight{
+	{"Games", 18}, {"Productivity", 12}, {"Business", 7.2},
+	{"Communication", 6.4}, {"Finance", 6.0}, {"Education", 5.4},
+	{"Social", 5.0}, {"Health", 4.2}, {"Travel", 3.4}, {"Lifestyle", 3.2},
+	{"Tools", 3.0}, {"Music", 2.8}, {"Photography", 2.7}, {"Shopping", 2.5},
+	{"Entertainment", 2.4}, {"News", 2.2}, {"Food & Drink", 2.0},
+	{"Sports", 1.8}, {"Books", 1.6}, {"Maps", 1.4}, {"Weather", 1.2},
+	{"Video Players", 1.0}, {"Dating", 0.9}, {"Automobile", 0.8},
+	{"Events", 0.7}, {"Comics", 0.5}, {"Beauty", 0.4},
+}
+
+var iosPopularMix = []catWeight{
+	{"Games", 21}, {"Photo & Video", 11}, {"Social Networking", 6.4},
+	{"Education", 6.2}, {"Finance", 6.0}, {"Lifestyle", 5.2},
+	{"Entertainment", 4.4}, {"Utilities", 4.2}, {"Productivity", 4.0},
+	{"Weather", 3.8}, {"Shopping", 3.4}, {"Health & Fitness", 3.2},
+	{"Travel", 3.0}, {"Food & Drink", 2.8}, {"Music", 2.6}, {"Sports", 2.4},
+	{"News", 2.2}, {"Business", 2.0}, {"Books", 1.8}, {"Navigation", 1.4},
+	{"Medical", 1.2}, {"Reference", 1.0}, {"Magazines", 0.8}, {"Catalogs", 0.4},
+}
+
+var iosRandomMix = []catWeight{
+	{"Games", 15}, {"Business", 11}, {"Education", 11}, {"Food & Drink", 7.2},
+	{"Lifestyle", 7.0}, {"Utilities", 6.2}, {"Entertainment", 4.4},
+	{"Health & Fitness", 4.2}, {"Travel", 4.0}, {"Shopping", 3.4},
+	{"Productivity", 3.2}, {"Sports", 3.0}, {"Music", 2.8},
+	{"Photo & Video", 2.6}, {"Social Networking", 2.4}, {"Finance", 2.2},
+	{"News", 2.0}, {"Books", 1.8}, {"Medical", 1.6}, {"Navigation", 1.4},
+	{"Reference", 1.2}, {"Weather", 1.0}, {"Magazines", 0.8}, {"Catalogs", 0.4},
+}
+
+var iosCommonMix = []catWeight{
+	{"Games", 18}, {"Productivity", 14}, {"Business", 8.2},
+	{"Social Networking", 7.0}, {"Education", 6.2}, {"Finance", 6.0},
+	{"Utilities", 5.2}, {"Photo & Video", 4.4}, {"Health & Fitness", 3.4},
+	{"Lifestyle", 3.2}, {"Music", 3.0}, {"Travel", 2.8}, {"Shopping", 2.6},
+	{"Entertainment", 2.4}, {"News", 2.2}, {"Food & Drink", 2.0},
+	{"Sports", 1.8}, {"Books", 1.6}, {"Weather", 1.4}, {"Navigation", 1.2},
+	{"Medical", 1.0}, {"Reference", 0.8}, {"Magazines", 0.6},
+}
+
+// segment identifies which category mix applies to a listing.
+type segment int
+
+const (
+	segPopular segment = iota
+	segRandom
+	segCommon
+)
+
+func categoryMix(p appmodel.Platform, s segment) []catWeight {
+	if p == appmodel.Android {
+		switch s {
+		case segPopular:
+			return androidPopularMix
+		case segCommon:
+			return androidCommonMix
+		default:
+			return androidRandomMix
+		}
+	}
+	switch s {
+	case segPopular:
+		return iosPopularMix
+	case segCommon:
+		return iosCommonMix
+	default:
+		return iosRandomMix
+	}
+}
+
+// ITunesSearchCategories are the "19 generic category names" the paper used
+// as iTunes Search API terms to assemble the popular iOS set (§3).
+var ITunesSearchCategories = []string{
+	"Games", "Photo & Video", "Social Networking", "Education", "Finance",
+	"Lifestyle", "Entertainment", "Utilities", "Productivity", "Weather",
+	"Shopping", "Health & Fitness", "Travel", "Food & Drink", "Music",
+	"Sports", "News", "Business", "Books",
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"pinscope/internal/advisor"
+	"pinscope/internal/appmodel"
+	"pinscope/internal/dynamicanalysis"
+)
+
+// sensitiveCategories are the store categories whose data the study found
+// worth pinning for (Tables 4, 5 concentrate there).
+var sensitiveCategories = map[string]bool{
+	"Finance": true, "Social": true, "Social Networking": true,
+	"Dating": true, "Health": true, "Health & Fitness": true,
+	"Medical": true, "Shopping": true,
+}
+
+// Advice builds per-destination pinning recommendations for a studied app
+// from its measured results: contacted destinations and verdicts from the
+// dynamic analysis, ownership from whois attribution, sensitivity from the
+// store category and observed PII, and — for common apps — the sibling
+// platform's policy.
+func (s *Study) Advice(r *AppResult) []advisor.Recommendation {
+	var sibling *AppResult
+	for _, p := range s.Pairs {
+		if p.Android == r {
+			sibling = p.IOS
+		}
+		if p.IOS == r {
+			sibling = p.Android
+		}
+	}
+
+	prof := advisor.Profile{
+		AppID:             r.App.ID,
+		Android:           r.App.Platform == appmodel.Android,
+		SensitiveCategory: sensitiveCategories[r.App.Category],
+	}
+	pinned := map[string]bool{}
+	for _, d := range r.Dyn.PinnedDests() {
+		pinned[d] = true
+	}
+	var sibPinned, sibContacts map[string]bool
+	if sibling != nil {
+		sibPinned, sibContacts = map[string]bool{}, map[string]bool{}
+		for _, d := range sibling.Dyn.PinnedDests() {
+			sibPinned[d] = true
+		}
+		for _, d := range sibling.Dyn.ContactedDests() {
+			sibContacts[d] = true
+		}
+	}
+	for _, dest := range r.Dyn.ContactedDests() {
+		d := advisor.Destination{
+			Host:       dest,
+			FirstParty: dynamicanalysis.IsFirstParty(dest, r.App.Developer, r.App.Name, s.World.Whois),
+			PinnedHere: pinned[dest],
+			CarriesPII: len(r.DestPII[dest]) > 0,
+		}
+		if sibling != nil {
+			d.PinnedOnSibling = sibPinned[dest]
+			d.SiblingContacts = sibContacts[dest]
+		}
+		prof.Destinations = append(prof.Destinations, d)
+	}
+	return advisor.Advise(prof)
+}
+
+// AdviceByID resolves an app by ID+platform and returns its advice.
+func (s *Study) AdviceByID(platform appmodel.Platform, appID string) ([]advisor.Recommendation, error) {
+	r := s.results[string(platform)+"/"+appID]
+	if r == nil {
+		return nil, fmt.Errorf("core: no result for %s/%s", platform, appID)
+	}
+	return s.Advice(r), nil
+}

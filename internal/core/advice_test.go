@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"pinscope/internal/appmodel"
+)
+
+func TestAdviceForPinningApps(t *testing.T) {
+	s := expShared(t)
+	advised := 0
+	for _, ds := range s.World.DS.All() {
+		for _, r := range s.DatasetResults(ds) {
+			if !r.Pinned() {
+				continue
+			}
+			recs := s.Advice(r)
+			if len(recs) == 0 {
+				t.Fatalf("no advice for pinning app %s", r.App.ID)
+			}
+			advised++
+			for _, rec := range recs {
+				if rec.Host == "" {
+					t.Fatal("empty host in recommendation")
+				}
+				if rec.Pin && len(rec.Rationale) == 0 {
+					t.Fatalf("pin recommended without rationale: %+v", rec)
+				}
+			}
+			if advised > 20 {
+				return
+			}
+		}
+	}
+	if advised == 0 {
+		t.Fatal("no pinning apps advised")
+	}
+}
+
+func TestAdviceByID(t *testing.T) {
+	s := expShared(t)
+	var app *AppResult
+	for _, r := range s.results {
+		app = r
+		break
+	}
+	recs, err := s.AdviceByID(app.App.Platform, app.App.ID)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("AdviceByID: %v (%d recs)", err, len(recs))
+	}
+	if _, err := s.AdviceByID(appmodel.Android, "com.does.not.exist"); err == nil {
+		t.Fatal("unknown app resolved")
+	}
+}
+
+func TestAdviceCrossPlatformWarningsForInconsistentPairs(t *testing.T) {
+	// Common pairs with inconsistent pinning must surface cross-platform
+	// warnings for at least one destination.
+	s := expShared(t)
+	checked := 0
+	for _, p := range s.Pairs {
+		if p.Analysis.Class.String() != "inconsistent" {
+			continue
+		}
+		checked++
+		warned := false
+		for _, side := range []*AppResult{p.Android, p.IOS} {
+			for _, rec := range s.Advice(side) {
+				for _, w := range rec.Warnings {
+					if contains(w, "other platform") {
+						warned = true
+					}
+				}
+			}
+		}
+		if !warned {
+			t.Fatalf("inconsistent pair %s produced no cross-platform warning", p.Name)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no inconsistent pairs in this seed")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,751 @@
+package core
+
+// experiments.go computes every table and figure of the paper's evaluation
+// from per-app results. Each method corresponds to one experiment in the
+// DESIGN.md index; internal/report renders them.
+
+import (
+	"crypto/x509"
+	"sort"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/appstore"
+	"pinscope/internal/dynamicanalysis"
+	"pinscope/internal/pii"
+	"pinscope/internal/pki"
+	"pinscope/internal/staticanalysis"
+	"pinscope/internal/stats"
+)
+
+// DatasetCell identifies one dataset/platform combination.
+type DatasetCell struct {
+	Dataset  string // "Common", "Popular", "Random"
+	Platform appmodel.Platform
+}
+
+// datasetList returns (cell, dataset) pairs in report order.
+func (s *Study) datasetList() []struct {
+	Cell DatasetCell
+	DS   *appstore.Dataset
+} {
+	d := s.World.DS
+	return []struct {
+		Cell DatasetCell
+		DS   *appstore.Dataset
+	}{
+		{DatasetCell{"Common", appmodel.Android}, d.CommonAndroid},
+		{DatasetCell{"Common", appmodel.IOS}, d.CommonIOS},
+		{DatasetCell{"Popular", appmodel.Android}, d.PopularAndroid},
+		{DatasetCell{"Popular", appmodel.IOS}, d.PopularIOS},
+		{DatasetCell{"Random", appmodel.Android}, d.RandomAndroid},
+		{DatasetCell{"Random", appmodel.IOS}, d.RandomIOS},
+	}
+}
+
+// --- Table 1 ---------------------------------------------------------------
+
+// Table1Row is one dataset's category overview.
+type Table1Row struct {
+	Cell  DatasetCell
+	Total int
+	Top   []stats.KV // top categories by app count
+}
+
+// Table1 reproduces the dataset overview (top-10 categories per dataset).
+func (s *Study) Table1(topN int) []Table1Row {
+	var out []Table1Row
+	for _, e := range s.datasetList() {
+		c := stats.NewCounter()
+		for _, l := range e.DS.Listings {
+			c.Inc(l.Category)
+		}
+		out = append(out, Table1Row{Cell: e.Cell, Total: len(e.DS.Listings), Top: c.Top(topN)})
+	}
+	return out
+}
+
+// --- Table 3 (and the Table 2 NSC baseline) ---------------------------------
+
+// Table3Cell holds detection counts for one dataset/platform.
+type Table3Cell struct {
+	Cell DatasetCell
+	N    int
+	// Dynamic: apps with at least one pinned connection at run time.
+	Dynamic int
+	// StaticEmbedded: apps with embedded certificates or pin hashes.
+	StaticEmbedded int
+	// NSCPins: apps with an NSC pin-set (prior work's criterion; Android
+	// only — -1 marks not-applicable).
+	NSCPins int
+}
+
+// Table3 reproduces the prevalence-by-method table.
+func (s *Study) Table3() []Table3Cell {
+	var out []Table3Cell
+	for _, e := range s.datasetList() {
+		cell := Table3Cell{Cell: e.Cell, NSCPins: -1}
+		if e.Cell.Platform == appmodel.Android {
+			cell.NSCPins = 0
+		}
+		for _, r := range s.DatasetResults(e.DS) {
+			cell.N++
+			if r.Pinned() {
+				cell.Dynamic++
+			}
+			if r.Static != nil && r.Static.HasCertMaterial() {
+				cell.StaticEmbedded++
+			}
+			if e.Cell.Platform == appmodel.Android && r.Static != nil && r.Static.NSCHasPins {
+				cell.NSCPins++
+			}
+		}
+		out = append(out, cell)
+	}
+	return out
+}
+
+// --- Tables 4 & 5 ------------------------------------------------------------
+
+// CategoryRow is one category's pinning statistics across all datasets of a
+// platform.
+type CategoryRow struct {
+	Category string
+	// Rank is the category's popularity rank (by app count) among all
+	// categories of the platform's datasets.
+	Rank    int
+	Apps    int // unique apps in the category
+	Pinning int // of which pin
+	Pct     float64
+}
+
+// TableCategories reproduces Tables 4 (Android) and 5 (iOS): the top-N
+// categories by pinning rate across all datasets. minApps filters
+// single-app categories that would otherwise report 100%.
+func (s *Study) TableCategories(platform appmodel.Platform, topN, minApps int) []CategoryRow {
+	type agg struct{ apps, pins int }
+	perCat := map[string]*agg{}
+	seen := map[string]bool{}
+	for _, e := range s.datasetList() {
+		if e.Cell.Platform != platform {
+			continue
+		}
+		for _, r := range s.DatasetResults(e.DS) {
+			key := r.App.ID
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			a := perCat[r.App.Category]
+			if a == nil {
+				a = &agg{}
+				perCat[r.App.Category] = a
+			}
+			a.apps++
+			if r.Pinned() {
+				a.pins++
+			}
+		}
+	}
+	// Popularity ranks by app count.
+	type catCount struct {
+		cat  string
+		apps int
+	}
+	var counts []catCount
+	for c, a := range perCat {
+		counts = append(counts, catCount{c, a.apps})
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].apps != counts[j].apps {
+			return counts[i].apps > counts[j].apps
+		}
+		return counts[i].cat < counts[j].cat
+	})
+	rank := map[string]int{}
+	for i, c := range counts {
+		rank[c.cat] = i + 1
+	}
+
+	var rows []CategoryRow
+	for c, a := range perCat {
+		if a.pins == 0 || a.apps < minApps {
+			continue
+		}
+		rows = append(rows, CategoryRow{
+			Category: c, Rank: rank[c], Apps: a.apps, Pinning: a.pins,
+			Pct: stats.Percent(a.pins, a.apps),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Pct != rows[j].Pct {
+			return rows[i].Pct > rows[j].Pct
+		}
+		return rows[i].Category < rows[j].Category
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	return rows
+}
+
+// --- Figures 2, 3, 4 ----------------------------------------------------------
+
+// Figure2 summarizes common-dataset pinning splits.
+type Figure2 struct {
+	Pairs       int
+	PinsEither  int
+	PinsBoth    int
+	AndroidOnly int
+	IOSOnly     int
+	// Of PinsBoth:
+	Consistent    int
+	IdenticalSets int
+	Inconsistent  int
+	Inconclusive  int
+}
+
+// Figure2Data computes the §5.1 split.
+func (s *Study) Figure2Data() Figure2 {
+	var f Figure2
+	for _, p := range s.Pairs {
+		f.Pairs++
+		a := p.Analysis
+		switch a.Outcome {
+		case dynamicanalysis.PinsBoth:
+			f.PinsEither++
+			f.PinsBoth++
+			switch a.Class {
+			case dynamicanalysis.ClassConsistent:
+				f.Consistent++
+				if a.IdenticalSets {
+					f.IdenticalSets++
+				}
+			case dynamicanalysis.ClassInconsistent:
+				f.Inconsistent++
+			default:
+				f.Inconclusive++
+			}
+		case dynamicanalysis.PinsAndroidOnly:
+			f.PinsEither++
+			f.AndroidOnly++
+		case dynamicanalysis.PinsIOSOnly:
+			f.PinsEither++
+			f.IOSOnly++
+		}
+	}
+	return f
+}
+
+// HeatRow is a Figure 3/4 heatmap row.
+type HeatRow struct {
+	Name string
+	// Jaccard of the pinned sets (Figure 3 first column).
+	Jaccard float64
+	// PinnedAOnNotI / PinnedIOnNotA: fraction of one platform's pinned
+	// domains observed unpinned on the other.
+	PinnedAOnNotI float64
+	PinnedIOnNotA float64
+}
+
+// Figure3Data lists both-platform pinners with inconsistent pinning.
+func (s *Study) Figure3Data() []HeatRow {
+	var out []HeatRow
+	for _, p := range s.Pairs {
+		a := p.Analysis
+		if a.Outcome != dynamicanalysis.PinsBoth || a.Class != dynamicanalysis.ClassInconsistent {
+			continue
+		}
+		out = append(out, HeatRow{
+			Name: p.Name, Jaccard: a.JaccardPinned,
+			PinnedAOnNotI: a.PinnedAndroidSeenUnpinnedIOS,
+			PinnedIOnNotA: a.PinnedIOSSeenUnpinnedAndroid,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Figure4Data lists exclusive pinners' cross-platform observations,
+// separated by pinning platform, including the inconclusive ones (all-zero
+// rows in the paper's heatmap).
+func (s *Study) Figure4Data() (android, ios []HeatRow) {
+	for _, p := range s.Pairs {
+		a := p.Analysis
+		row := HeatRow{Name: p.Name,
+			PinnedAOnNotI: a.PinnedAndroidSeenUnpinnedIOS,
+			PinnedIOnNotA: a.PinnedIOSSeenUnpinnedAndroid,
+		}
+		switch a.Outcome {
+		case dynamicanalysis.PinsAndroidOnly:
+			android = append(android, row)
+		case dynamicanalysis.PinsIOSOnly:
+			ios = append(ios, row)
+		}
+	}
+	sort.Slice(android, func(i, j int) bool { return android[i].Name < android[j].Name })
+	sort.Slice(ios, func(i, j int) bool { return ios[i].Name < ios[j].Name })
+	return android, ios
+}
+
+// --- Figure 5 -------------------------------------------------------------------
+
+// Fig5Bar is one app's domain split: pinned/unpinned × first/third party.
+type Fig5Bar struct {
+	AppID                string
+	FPPinned, FPUnpinned int
+	TPPinned, TPUnpinned int
+}
+
+// Figure5Data computes the per-app pinned/not-pinned domain splits with
+// first/third-party attribution for Popular+Random pinners of a platform.
+func (s *Study) Figure5Data(platform appmodel.Platform) []Fig5Bar {
+	var out []Fig5Bar
+	seen := map[string]bool{}
+	for _, e := range s.datasetList() {
+		if e.Cell.Platform != platform || e.Cell.Dataset == "Common" {
+			continue
+		}
+		for _, r := range s.DatasetResults(e.DS) {
+			if seen[r.App.ID] || !r.Pinned() {
+				continue
+			}
+			seen[r.App.ID] = true
+			bar := Fig5Bar{AppID: r.App.ID}
+			pinned := stats.Set(r.Dyn.PinnedDests())
+			for _, d := range r.Dyn.ContactedDests() {
+				fp := dynamicanalysis.IsFirstParty(d, r.App.Developer, r.App.Name, s.World.Whois)
+				switch {
+				case pinned[d] && fp:
+					bar.FPPinned++
+				case pinned[d]:
+					bar.TPPinned++
+				case fp:
+					bar.FPUnpinned++
+				default:
+					bar.TPUnpinned++
+				}
+			}
+			out = append(out, bar)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AppID < out[j].AppID })
+	return out
+}
+
+// Figure5Summary aggregates the claims made around Figure 5.
+type Figure5Summary struct {
+	Apps int
+	// PinsAllFP / HasUnpinnedFP: apps contacting first parties that pin
+	// all vs leave some unpinned.
+	PinsAllFP, HasUnpinnedFP int
+	// PinsAllContacted: apps pinning every destination they contact.
+	PinsAllContacted int
+	// PinnedDestsFP / PinnedDestsTP: destination-level attribution.
+	PinnedDestsFP, PinnedDestsTP int
+}
+
+// Figure5Stats summarizes a platform's Figure 5 bars.
+func (s *Study) Figure5Stats(platform appmodel.Platform) Figure5Summary {
+	var f Figure5Summary
+	for _, b := range s.Figure5Data(platform) {
+		f.Apps++
+		if b.FPPinned > 0 && b.FPUnpinned == 0 {
+			f.PinsAllFP++
+		}
+		if b.FPUnpinned > 0 {
+			f.HasUnpinnedFP++
+		}
+		if b.FPUnpinned == 0 && b.TPUnpinned == 0 {
+			f.PinsAllContacted++
+		}
+		f.PinnedDestsFP += b.FPPinned
+		f.PinnedDestsTP += b.TPPinned
+	}
+	return f
+}
+
+// --- Table 6 and §5.3 ------------------------------------------------------------
+
+// Table6Row classifies pinned destinations' PKI for one platform.
+type Table6Row struct {
+	Platform    appmodel.Platform
+	DefaultPKI  int
+	CustomPKI   int
+	SelfSigned  int
+	Unavailable int
+}
+
+// Table6 classifies each platform's pinned destinations.
+func (s *Study) Table6() []Table6Row {
+	rows := map[appmodel.Platform]*Table6Row{
+		appmodel.Android: {Platform: appmodel.Android},
+		appmodel.IOS:     {Platform: appmodel.IOS},
+	}
+	for _, plat := range appmodel.Platforms {
+		dests := s.pinnedDestsByPlatform(plat)
+		for _, d := range dests {
+			p := s.Probes[d]
+			if p == nil {
+				continue
+			}
+			switch {
+			case p.Unavailable:
+				rows[plat].Unavailable++
+			case p.DefaultPKI:
+				rows[plat].DefaultPKI++
+			case p.SelfSigned:
+				rows[plat].SelfSigned++
+			default:
+				rows[plat].CustomPKI++
+			}
+		}
+	}
+	return []Table6Row{*rows[appmodel.Android], *rows[appmodel.IOS]}
+}
+
+// pinnedDestsByPlatform returns the unique pinned destinations of a
+// platform, sorted.
+func (s *Study) pinnedDestsByPlatform(plat appmodel.Platform) []string {
+	set := map[string]bool{}
+	for _, r := range s.results {
+		if r.App.Platform != plat {
+			continue
+		}
+		for _, d := range r.Dyn.PinnedDests() {
+			set[d] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PinTargetStats is the §5.3.2 CA-vs-leaf analysis over certificates that
+// appear both statically (in app packages) and dynamically (in chains
+// served at the app's pinned destinations), matched by common name.
+type PinTargetStats struct {
+	MatchedCerts int
+	CACerts      int
+	LeafCerts    int
+	AppsMatched  int
+	PinningApps  int
+}
+
+// PinTargets computes the CA/leaf split.
+func (s *Study) PinTargets() PinTargetStats {
+	var out PinTargetStats
+	for _, r := range s.results {
+		if !r.Pinned() || r.Static == nil {
+			continue
+		}
+		out.PinningApps++
+		// Names served at this app's pinned destinations.
+		servedNames := map[string]bool{}
+		servedCA := map[string]bool{}
+		for _, d := range r.Dyn.PinnedDests() {
+			p := s.Probes[d]
+			if p == nil || p.Chain == nil {
+				continue
+			}
+			for i, c := range p.Chain {
+				servedNames[c.Subject.CommonName] = true
+				if i > 0 || c.IsCA {
+					servedCA[c.Subject.CommonName] = true
+				}
+			}
+		}
+		matched := false
+		seenCN := map[string]bool{}
+		for _, fc := range r.Static.Certs {
+			cn := fc.Cert.Subject.CommonName
+			if !servedNames[cn] || seenCN[cn] {
+				continue
+			}
+			seenCN[cn] = true
+			matched = true
+			out.MatchedCerts++
+			if servedCA[cn] {
+				out.CACerts++
+			} else {
+				out.LeafCerts++
+			}
+		}
+		// Pins resolved through CT count too (the paper's §4.1.3 path).
+		resolved, _ := staticanalysis.ResolvePins(r.Static, s.World.CT)
+		for _, certs := range resolved {
+			for _, c := range certs {
+				cn := c.Subject.CommonName
+				if !servedNames[cn] || seenCN[cn] {
+					continue
+				}
+				seenCN[cn] = true
+				matched = true
+				out.MatchedCerts++
+				if servedCA[cn] {
+					out.CACerts++
+				} else {
+					out.LeafCerts++
+				}
+			}
+		}
+		if matched {
+			out.AppsMatched++
+		}
+	}
+	return out
+}
+
+// RotationStats is the §5.3.3 analysis: leaf-pinned destinations whose
+// servers rotated certificates during the study while connections stayed
+// pinned (evidence of SPKI pinning / key reuse).
+type RotationStats struct {
+	// LeafPinnedDests: pinned destinations whose embedded material matches
+	// the served leaf's subject.
+	LeafPinnedDests int
+	// ServedNewLeaf: of those, destinations serving a different certificate
+	// than the embedded one (renewed server-side) yet still pinned.
+	ServedNewLeaf int
+	// KeyReused: rotated leaves whose SubjectPublicKeyInfo matches the
+	// embedded certificate — the mechanism that keeps pins alive.
+	KeyReused int
+}
+
+// Rotations computes the leaf-rotation statistics. Candidate "shipped"
+// leaf certificates come from raw certs embedded in packages and from SPKI
+// pins resolved through the CT log (§4.1.3) — the log retains the
+// pre-renewal certificate, so a served leaf that differs from a logged
+// sibling with the same key is direct evidence of key-reusing rotation.
+func (s *Study) Rotations() RotationStats {
+	var out RotationStats
+	seen := map[string]bool{}
+	for _, r := range s.results {
+		if !r.Pinned() || r.Static == nil {
+			continue
+		}
+		var resolved map[string][]*x509.Certificate
+		for _, d := range r.Dyn.PinnedDests() {
+			if seen[d] {
+				continue
+			}
+			p := s.Probes[d]
+			if p == nil || p.Chain == nil {
+				continue
+			}
+			leaf := p.Chain.Leaf()
+
+			var candidates []*x509.Certificate
+			for _, fc := range r.Static.Certs {
+				candidates = append(candidates, fc.Cert)
+			}
+			if resolved == nil {
+				resolved, _ = staticanalysis.ResolvePins(r.Static, s.World.CT)
+			}
+			for _, certs := range resolved {
+				candidates = append(candidates, certs...)
+			}
+
+			for _, cand := range candidates {
+				if cand.IsCA || cand.Subject.CommonName != leaf.Subject.CommonName {
+					continue
+				}
+				seen[d] = true
+				out.LeafPinnedDests++
+				if !cand.Equal(leaf) {
+					out.ServedNewLeaf++
+					if pki.NewPin(cand, pki.SHA256).Matches(leaf) {
+						out.KeyReused++
+					}
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ExpiredAccepted counts pinned destinations whose served chain contains a
+// certificate expired at study time (§5.3.4 — the paper, and we, find
+// none: pinning apps still run full validation).
+func (s *Study) ExpiredAccepted() int {
+	n := 0
+	for _, p := range s.Probes {
+		if p.Chain == nil {
+			continue
+		}
+		for _, c := range p.Chain {
+			if pki.StudyEpoch.After(c.NotAfter) || pki.StudyEpoch.Before(c.NotBefore) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// --- Table 7 -----------------------------------------------------------------
+
+// Table7 attributes embedded certificate material to third-party
+// frameworks. minApps mirrors the paper's >5-apps review threshold, scaled.
+func (s *Study) Table7(platform appmodel.Platform, topN, minApps int) []staticanalysis.AttributedFramework {
+	var reports []*staticanalysis.Report
+	for _, r := range s.results {
+		if r.App.Platform == platform && r.Static != nil {
+			reports = append(reports, r.Static)
+		}
+	}
+	fw := staticanalysis.AttributeFrameworks(reports, platform, minApps)
+	if topN > 0 && len(fw) > topN {
+		fw = fw[:topN]
+	}
+	return fw
+}
+
+// --- Table 8 -----------------------------------------------------------------
+
+// Table8Cell is one dataset/platform weak-cipher measurement.
+type Table8Cell struct {
+	Cell DatasetCell
+	// OverallApps/OverallWeak: apps with >=1 connection offering weak
+	// suites, over all apps.
+	OverallApps, OverallWeak int
+	// PinningApps/PinnedWeak: pinning apps with >=1 PINNED connection
+	// offering weak suites.
+	PinningApps, PinnedWeak int
+}
+
+// Table8 computes weak-cipher prevalence overall vs in pinned connections.
+func (s *Study) Table8() []Table8Cell {
+	var out []Table8Cell
+	for _, e := range s.datasetList() {
+		cell := Table8Cell{Cell: e.Cell}
+		for _, r := range s.DatasetResults(e.DS) {
+			cell.OverallApps++
+			if r.WeakAnyConn {
+				cell.OverallWeak++
+			}
+			if r.Pinned() {
+				cell.PinningApps++
+				if r.WeakPinnedConn {
+					cell.PinnedWeak++
+				}
+			}
+		}
+		out = append(out, cell)
+	}
+	return out
+}
+
+// --- Table 9 -----------------------------------------------------------------
+
+// Table9Row is one PII kind's prevalence comparison on one platform.
+type Table9Row struct {
+	Platform appmodel.Platform
+	Kind     pii.Kind
+	// Destination-level prevalence among observed (decrypted) traffic.
+	PinnedWith, PinnedTotal       int
+	NonPinnedWith, NonPinnedTotal int
+	PctPinned, PctNonPinned       float64
+	ChiSq, PValue                 float64
+	Significant                   bool
+}
+
+// Table9 compares PII prevalence in pinned vs non-pinned destinations of
+// pinning apps, with chi-square significance (p < 0.05).
+func (s *Study) Table9() []Table9Row {
+	var out []Table9Row
+	for _, plat := range appmodel.Platforms {
+		type bucket struct{ with, total int }
+		pinned := map[pii.Kind]*bucket{}
+		nonPinned := map[pii.Kind]*bucket{}
+		for _, k := range pii.AllKinds {
+			pinned[k] = &bucket{}
+			nonPinned[k] = &bucket{}
+		}
+		for _, r := range s.results {
+			if r.App.Platform != plat || !r.Pinned() || r.ObservedDests == nil {
+				continue
+			}
+			pinnedSet := stats.Set(r.Dyn.PinnedDests())
+			for d := range r.ObservedDests {
+				target := nonPinned
+				if pinnedSet[d] {
+					target = pinned
+				}
+				for _, k := range pii.AllKinds {
+					target[k].total++
+					if r.DestPII[d][k] {
+						target[k].with++
+					}
+				}
+			}
+		}
+		for _, k := range pii.AllKinds {
+			p, n := pinned[k], nonPinned[k]
+			chi, pv := stats.ChiSquare2x2(
+				float64(p.with), float64(p.total-p.with),
+				float64(n.with), float64(n.total-n.with))
+			// The chi-square approximation needs adequate expected counts
+			// (the classic >=5 rule); sparse rows never earn a star.
+			total := float64(p.total + n.total)
+			sig := pv < 0.05
+			if total > 0 {
+				withRate := float64(p.with+n.with) / total
+				for _, exp := range []float64{
+					float64(p.total) * withRate, float64(p.total) * (1 - withRate),
+					float64(n.total) * withRate, float64(n.total) * (1 - withRate),
+				} {
+					if exp < 5 {
+						sig = false
+					}
+				}
+			}
+			out = append(out, Table9Row{
+				Platform: plat, Kind: k,
+				PinnedWith: p.with, PinnedTotal: p.total,
+				NonPinnedWith: n.with, NonPinnedTotal: n.total,
+				PctPinned:    stats.Percent(p.with, p.total),
+				PctNonPinned: stats.Percent(n.with, n.total),
+				ChiSq:        chi, PValue: pv, Significant: sig,
+			})
+		}
+	}
+	return out
+}
+
+// --- §4.3 circumvention -------------------------------------------------------
+
+// CircumventionStats summarizes hook success per platform.
+type CircumventionStats struct {
+	Platform     appmodel.Platform
+	Dests        int // unique pinned destinations attempted
+	Circumvented int
+	Pct          float64
+}
+
+// Circumvention computes the §4.3 destination rates.
+func (s *Study) Circumvention() []CircumventionStats {
+	var out []CircumventionStats
+	for _, plat := range appmodel.Platforms {
+		agg := map[string]bool{}
+		for _, r := range s.results {
+			if r.App.Platform != plat {
+				continue
+			}
+			for d, ok := range r.CircumventedDests {
+				agg[d] = agg[d] || ok
+			}
+		}
+		cs := CircumventionStats{Platform: plat, Dests: len(agg)}
+		for _, ok := range agg {
+			if ok {
+				cs.Circumvented++
+			}
+		}
+		cs.Pct = stats.Percent(cs.Circumvented, cs.Dests)
+		out = append(out, cs)
+	}
+	return out
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/pii"
+)
+
+var (
+	expOnce  sync.Once
+	expStudy *Study
+	expErr   error
+)
+
+// expShared builds one study shared by every aggregation-shape test.
+func expShared(t *testing.T) *Study {
+	t.Helper()
+	expOnce.Do(func() {
+		expStudy, expErr = Run(TestConfig(777))
+	})
+	if expErr != nil {
+		t.Fatal(expErr)
+	}
+	return expStudy
+}
+
+func TestTable1Shapes(t *testing.T) {
+	s := expShared(t)
+	rows := s.Table1(10)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total == 0 || len(r.Top) == 0 {
+			t.Fatalf("empty row %+v", r.Cell)
+		}
+		sum := 0
+		for _, kv := range r.Top {
+			sum += kv.Count
+		}
+		if sum > r.Total {
+			t.Fatalf("top categories exceed total: %+v", r)
+		}
+	}
+}
+
+func TestTable3Invariants(t *testing.T) {
+	s := expShared(t)
+	for _, c := range s.Table3() {
+		if c.Dynamic > c.N || c.StaticEmbedded > c.N {
+			t.Fatalf("counts exceed N: %+v", c)
+		}
+		if c.Cell.Platform == appmodel.IOS && c.NSCPins != -1 {
+			t.Fatalf("NSC reported for iOS: %+v", c)
+		}
+		if c.Cell.Platform == appmodel.Android && c.NSCPins < 0 {
+			t.Fatalf("NSC missing for Android: %+v", c)
+		}
+		// Static potential pinning exceeds dynamic confirmation (§5).
+		if c.StaticEmbedded < c.Dynamic/2 {
+			t.Fatalf("static implausibly below dynamic: %+v", c)
+		}
+		if c.NSCPins > 0 && c.NSCPins > c.StaticEmbedded {
+			t.Fatalf("NSC-only exceeds full static: %+v", c)
+		}
+	}
+}
+
+func TestCategoryTableInvariants(t *testing.T) {
+	s := expShared(t)
+	for _, plat := range appmodel.Platforms {
+		rows := s.TableCategories(plat, 10, 2)
+		prev := 101.0
+		for i, r := range rows {
+			if r.Pct > prev {
+				t.Fatalf("not sorted by pct: %+v", rows)
+			}
+			prev = r.Pct
+			if r.Pinning > r.Apps || r.Pct < 0 || r.Pct > 100 {
+				t.Fatalf("bad row %+v", r)
+			}
+			// At paper scale Games never appears at all; mini-scale noise
+			// can push a lone pinning game into the tail, but never the top.
+			if r.Category == "Games" && i < 3 {
+				t.Fatalf("Games ranked #%d in the pinning-category table", i+1)
+			}
+		}
+	}
+}
+
+func TestFigure5TotalsMatchVerdicts(t *testing.T) {
+	s := expShared(t)
+	for _, plat := range appmodel.Platforms {
+		bars := s.Figure5Data(plat)
+		stats := s.Figure5Stats(plat)
+		if stats.Apps != len(bars) {
+			t.Fatalf("stats apps %d vs %d bars", stats.Apps, len(bars))
+		}
+		fp, tp := 0, 0
+		for _, b := range bars {
+			fp += b.FPPinned
+			tp += b.TPPinned
+			if b.FPPinned+b.TPPinned == 0 {
+				t.Fatalf("pinning app %s with zero pinned destinations in Figure 5", b.AppID)
+			}
+		}
+		if fp != stats.PinnedDestsFP || tp != stats.PinnedDestsTP {
+			t.Fatalf("stats totals mismatch: %d/%d vs %d/%d", fp, tp, stats.PinnedDestsFP, stats.PinnedDestsTP)
+		}
+		// The paper's core claim: third-party pinned destinations dominate.
+		// (Strict dominance holds at paper scale; mini worlds allow a tie.)
+		if tp < fp {
+			t.Fatalf("%s: third-party pinned (%d) should dominate first-party (%d)", plat, tp, fp)
+		}
+	}
+}
+
+func TestTable6AccountsForAllPinnedDests(t *testing.T) {
+	s := expShared(t)
+	for _, row := range s.Table6() {
+		total := row.DefaultPKI + row.CustomPKI + row.SelfSigned + row.Unavailable
+		want := len(s.pinnedDestsByPlatform(row.Platform))
+		if total != want {
+			t.Fatalf("%s: table 6 accounts for %d of %d pinned destinations",
+				row.Platform, total, want)
+		}
+		if row.DefaultPKI <= row.CustomPKI+row.SelfSigned {
+			t.Fatalf("%s: default PKI does not dominate: %+v", row.Platform, row)
+		}
+	}
+}
+
+func TestPinTargetsShape(t *testing.T) {
+	s := expShared(t)
+	pt := s.PinTargets()
+	if pt.PinningApps == 0 {
+		t.Fatal("no pinning apps")
+	}
+	if pt.CACerts+pt.LeafCerts != pt.MatchedCerts {
+		t.Fatalf("CA+leaf != matched: %+v", pt)
+	}
+	if pt.MatchedCerts > 0 && pt.CACerts <= pt.LeafCerts {
+		t.Fatalf("CA pins should dominate (§5.3.2): %+v", pt)
+	}
+	if pt.AppsMatched > pt.PinningApps {
+		t.Fatalf("matched apps exceed pinning apps: %+v", pt)
+	}
+}
+
+func TestRotationsShape(t *testing.T) {
+	s := expShared(t)
+	rot := s.Rotations()
+	if rot.ServedNewLeaf > rot.LeafPinnedDests {
+		t.Fatalf("rotated exceeds leaf-pinned: %+v", rot)
+	}
+	if rot.KeyReused > rot.ServedNewLeaf {
+		t.Fatalf("key-reused exceeds rotated: %+v", rot)
+	}
+	// Every rotation in our world reuses the key (pins keep working), so
+	// whenever rotation is observed, key reuse must equal it.
+	if rot.ServedNewLeaf != rot.KeyReused {
+		t.Fatalf("rotation without key reuse observed: %+v", rot)
+	}
+}
+
+func TestExpiredAcceptedIsZero(t *testing.T) {
+	if n := expShared(t).ExpiredAccepted(); n != 0 {
+		t.Fatalf("%d pinned destinations served expired-yet-accepted certs", n)
+	}
+}
+
+func TestTable7OrderedAndAttributed(t *testing.T) {
+	s := expShared(t)
+	for _, plat := range appmodel.Platforms {
+		fw := s.Table7(plat, 5, 2)
+		if len(fw) == 0 {
+			t.Fatalf("%s: no frameworks attributed", plat)
+		}
+		prev := 1 << 30
+		for _, f := range fw {
+			if f.Apps > prev {
+				t.Fatalf("%s: not sorted: %+v", plat, fw)
+			}
+			prev = f.Apps
+			if f.SDK.Name == "" || !f.SDK.CertCarrier {
+				t.Fatalf("%s: attributed non-carrier: %+v", plat, f)
+			}
+		}
+	}
+}
+
+func TestTable8Bounds(t *testing.T) {
+	s := expShared(t)
+	for _, c := range s.Table8() {
+		if c.OverallWeak > c.OverallApps || c.PinnedWeak > c.PinningApps {
+			t.Fatalf("bounds: %+v", c)
+		}
+	}
+}
+
+func TestTable9Structure(t *testing.T) {
+	s := expShared(t)
+	rows := s.Table9()
+	if len(rows) != 2*len(pii.AllKinds) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.PinnedWith > r.PinnedTotal || r.NonPinnedWith > r.NonPinnedTotal {
+			t.Fatalf("bounds: %+v", r)
+		}
+		if r.PValue < 0 || r.PValue > 1 {
+			t.Fatalf("p-value: %+v", r)
+		}
+		if r.Significant && r.PValue >= 0.05 {
+			t.Fatalf("significance flag wrong: %+v", r)
+		}
+	}
+}
+
+func TestCircumventionBounds(t *testing.T) {
+	s := expShared(t)
+	for _, c := range s.Circumvention() {
+		if c.Circumvented > c.Dests {
+			t.Fatalf("bounds: %+v", c)
+		}
+		if c.Dests > 0 && (c.Pct <= 0 || c.Pct >= 100) {
+			t.Fatalf("rate should be partial (some stacks resist): %+v", c)
+		}
+	}
+}
+
+func TestMisconfigsShape(t *testing.T) {
+	s := expShared(t)
+	m := s.Misconfigs()
+	if m.AndroidApps == 0 {
+		t.Fatal("no Android apps")
+	}
+	if m.NSCPinApps > m.NSCApps || m.NSCApps > m.AndroidApps {
+		t.Fatalf("NSC accounting: %+v", m)
+	}
+	if m.Misconfigured > m.NSCApps {
+		t.Fatalf("misconfigs exceed NSC apps: %+v", m)
+	}
+}
+
+func TestInteractionExperimentSmallChange(t *testing.T) {
+	s := expShared(t)
+	r := s.InteractionExperiment(80)
+	if r.Apps != 80 {
+		t.Fatalf("apps %d", r.Apps)
+	}
+	if r.AvgDomainsInteractive < r.AvgDomainsLaunchOnly {
+		t.Fatal("interaction reduced domains")
+	}
+	if r.RelativeChange > 0.15 {
+		t.Fatalf("relative change %.3f too large (paper: no significant change)", r.RelativeChange)
+	}
+}
+
+func TestSleepSweepMonotone(t *testing.T) {
+	s := expShared(t)
+	points, err := SleepSweep(s.World, 3, []float64{15, 30, 60}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	if !(points[0].AvgHandshakes <= points[1].AvgHandshakes &&
+		points[1].AvgHandshakes <= points[2].AvgHandshakes) {
+		t.Fatalf("handshakes not monotone: %+v", points)
+	}
+	// Diminishing returns: the 30→60 gain is smaller than 15→30.
+	if points[2].AvgHandshakes-points[1].AvgHandshakes >
+		points[1].AvgHandshakes-points[0].AvgHandshakes {
+		t.Fatalf("no diminishing returns: %+v", points)
+	}
+}
+
+func TestAblationsDamageTheRightThing(t *testing.T) {
+	s := expShared(t)
+	rows, err := RunAblations(s.World, 3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationResult{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// The naive detector, blind to the baseline, must produce false
+	// positives (server failures, redundant conns, OS traffic).
+	if byName["naive-detector"].FalsePositives == 0 {
+		t.Fatal("naive detector produced no false positives")
+	}
+	// Ignoring the TLS 1.3 disguise must miss pinners (their MITM alerts
+	// masquerade as application data).
+	if byName["no-tls13-heuristic"].Missed == 0 {
+		t.Fatal("legacy classifier missed nobody")
+	}
+	// The full methodology on the same sample: no false positives.
+	for _, r := range rows {
+		if r.Apps != 60 {
+			t.Fatalf("sample size: %+v", r)
+		}
+	}
+}
+
+func TestTable2IncludesMeasuredRows(t *testing.T) {
+	s := expShared(t)
+	rows := s.Table2()
+	lit, measured := 0, 0
+	for _, r := range rows {
+		if r.Measured {
+			measured++
+			if r.Prevalence < 0 || r.Prevalence > 100 {
+				t.Fatalf("measured prevalence: %+v", r)
+			}
+		} else {
+			lit++
+		}
+	}
+	if lit != 6 || measured != 3 {
+		t.Fatalf("lit=%d measured=%d", lit, measured)
+	}
+}
+
+func TestDeterministicStudyResults(t *testing.T) {
+	// Two studies from the same seed produce identical headline tables.
+	if testing.Short() {
+		t.Skip("second study build is slow")
+	}
+	s1 := expShared(t)
+	s2, err := Run(TestConfig(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3a, t3b := s1.Table3(), s2.Table3()
+	for i := range t3a {
+		if t3a[i] != t3b[i] {
+			t.Fatalf("Table3 differs at %d: %+v vs %+v", i, t3a[i], t3b[i])
+		}
+	}
+	f2a, f2b := s1.Figure2Data(), s2.Figure2Data()
+	if f2a != f2b {
+		t.Fatalf("Figure2 differs: %+v vs %+v", f2a, f2b)
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	s := expShared(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Meta.Seed != s.Cfg.Params.Seed {
+		t.Fatalf("meta seed %d", ds.Meta.Seed)
+	}
+	if len(ds.Apps) == 0 || len(ds.Destinations) == 0 {
+		t.Fatalf("empty export: %d apps, %d dests", len(ds.Apps), len(ds.Destinations))
+	}
+	// Export agrees with Table 3 on dynamic pinning counts.
+	counts := map[string]int{}
+	for _, a := range ds.Apps {
+		if a.PinsDynamic {
+			for _, dsName := range a.Datasets {
+				counts[dsName+"/"+a.Platform]++
+			}
+		}
+		if a.PinsDynamic && len(a.PinnedDomains) == 0 {
+			t.Fatalf("app %s pins without domains in export", a.ID)
+		}
+		if len(a.Datasets) == 0 {
+			t.Fatalf("app %s in no dataset", a.ID)
+		}
+	}
+	for _, c := range s.Table3() {
+		key := c.Cell.Dataset + "/" + string(c.Cell.Platform)
+		if counts[key] != c.Dynamic {
+			t.Fatalf("export disagrees with Table 3 at %s: %d vs %d", key, counts[key], c.Dynamic)
+		}
+	}
+	// Destination classifications are mutually exclusive.
+	for _, d := range ds.Destinations {
+		n := 0
+		for _, b := range []bool{d.DefaultPKI, d.CustomPKI, d.SelfSigned, d.Unavailable} {
+			if b {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("destination %s has %d classifications", d.Host, n)
+		}
+	}
+}
+
+func TestQualitySoundness(t *testing.T) {
+	q := expShared(t).Quality()
+	if q.FalsePositives != 0 {
+		t.Fatalf("detector produced %d false positives", q.FalsePositives)
+	}
+	if q.Recall < 0.85 {
+		t.Fatalf("recall %.3f below bar (fn=%d)", q.Recall, q.FalseNegatives)
+	}
+	if q.Precision != 1 {
+		t.Fatalf("precision %.3f", q.Precision)
+	}
+}

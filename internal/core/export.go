@@ -1,0 +1,164 @@
+package core
+
+// export.go serializes a study into the shareable dataset the paper
+// releases alongside its code (github.com/NEU-SNS/app-tls-pinning): per-app
+// detection verdicts, pinned destinations with their infrastructure
+// classification, and the study metadata needed to reproduce the run.
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"pinscope/internal/pii"
+)
+
+// ExportedDataset is the JSON shape of a released study.
+type ExportedDataset struct {
+	// Meta reproduces the run: the seed and sizes regenerate the world.
+	Meta struct {
+		Seed        int64   `json:"seed"`
+		CommonSize  int     `json:"common_size"`
+		PopularSize int     `json:"popular_size"`
+		RandomSize  int     `json:"random_size"`
+		Window      float64 `json:"capture_window_s"`
+	} `json:"meta"`
+
+	Apps         []ExportedApp   `json:"apps"`
+	Destinations []ExportedProbe `json:"pinned_destinations"`
+}
+
+// ExportedApp is one app's verdicts.
+type ExportedApp struct {
+	ID        string   `json:"id"`
+	Name      string   `json:"name"`
+	Developer string   `json:"developer"`
+	Platform  string   `json:"platform"`
+	Category  string   `json:"category"`
+	Datasets  []string `json:"datasets"`
+
+	PinsDynamic    bool     `json:"pins_dynamic"`
+	PinnedDomains  []string `json:"pinned_domains,omitempty"`
+	StaticMaterial bool     `json:"static_cert_material"`
+	NSCPinSet      bool     `json:"nsc_pin_set"`
+	StaticCerts    int      `json:"static_certs"`
+	StaticPins     int      `json:"static_pins"`
+
+	WeakCipherAny    bool `json:"weak_cipher_any_conn"`
+	WeakCipherPinned bool `json:"weak_cipher_pinned_conn"`
+
+	CircumventedDomains []string `json:"circumvented_domains,omitempty"`
+	PIIKindsObserved    []string `json:"pii_kinds_observed,omitempty"`
+}
+
+// ExportedProbe is one pinned destination's classification (Table 6 data).
+type ExportedProbe struct {
+	Host        string `json:"host"`
+	DefaultPKI  bool   `json:"default_pki"`
+	CustomPKI   bool   `json:"custom_pki"`
+	SelfSigned  bool   `json:"self_signed"`
+	Unavailable bool   `json:"unavailable"`
+	LeafCN      string `json:"leaf_cn,omitempty"`
+	ChainLen    int    `json:"chain_len,omitempty"`
+}
+
+// Export builds the dataset structure.
+func (s *Study) Export() *ExportedDataset {
+	out := &ExportedDataset{}
+	out.Meta.Seed = s.Cfg.Params.Seed
+	out.Meta.CommonSize = s.Cfg.Params.CommonSize
+	out.Meta.PopularSize = s.Cfg.Params.PopularSize
+	out.Meta.RandomSize = s.Cfg.Params.RandomSize
+	out.Meta.Window = s.Cfg.Window
+
+	// Dataset membership per app.
+	membership := map[string][]string{}
+	for _, e := range s.datasetList() {
+		for _, l := range e.DS.Listings {
+			key := string(l.Platform) + "/" + l.ID
+			membership[key] = append(membership[key], e.Cell.Dataset)
+		}
+	}
+
+	keys := make([]string, 0, len(s.results))
+	for k := range s.results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r := s.results[k]
+		ea := ExportedApp{
+			ID:        r.App.ID,
+			Name:      r.App.Name,
+			Developer: r.App.Developer,
+			Platform:  string(r.App.Platform),
+			Category:  r.App.Category,
+			Datasets:  membership[k],
+
+			PinsDynamic:      r.Pinned(),
+			PinnedDomains:    r.Dyn.PinnedDests(),
+			WeakCipherAny:    r.WeakAnyConn,
+			WeakCipherPinned: r.WeakPinnedConn,
+		}
+		if r.Static != nil {
+			ea.StaticMaterial = r.Static.HasCertMaterial()
+			ea.NSCPinSet = r.Static.NSCHasPins
+			ea.StaticCerts = len(r.Static.Certs)
+			ea.StaticPins = len(r.Static.Pins)
+		}
+		for d, ok := range r.CircumventedDests {
+			if ok {
+				ea.CircumventedDomains = append(ea.CircumventedDomains, d)
+			}
+		}
+		sort.Strings(ea.CircumventedDomains)
+		kinds := map[pii.Kind]bool{}
+		for _, m := range r.DestPII {
+			for kind := range m {
+				kinds[kind] = true
+			}
+		}
+		for _, kind := range pii.AllKinds {
+			if kinds[kind] {
+				ea.PIIKindsObserved = append(ea.PIIKindsObserved, string(kind))
+			}
+		}
+		out.Apps = append(out.Apps, ea)
+	}
+
+	dests := make([]string, 0, len(s.Probes))
+	for d := range s.Probes {
+		dests = append(dests, d)
+	}
+	sort.Strings(dests)
+	for _, d := range dests {
+		p := s.Probes[d]
+		ep := ExportedProbe{
+			Host:       p.Dest,
+			DefaultPKI: p.DefaultPKI, CustomPKI: p.CustomPKI,
+			SelfSigned: p.SelfSigned, Unavailable: p.Unavailable,
+		}
+		if p.Chain != nil {
+			ep.LeafCN = p.Chain.Leaf().Subject.CommonName
+			ep.ChainLen = len(p.Chain)
+		}
+		out.Destinations = append(out.Destinations, ep)
+	}
+	return out
+}
+
+// WriteJSON writes the dataset as indented JSON.
+func (s *Study) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Export())
+}
+
+// LoadDataset parses a previously exported dataset.
+func LoadDataset(r io.Reader) (*ExportedDataset, error) {
+	var ds ExportedDataset
+	if err := json.NewDecoder(r).Decode(&ds); err != nil {
+		return nil, err
+	}
+	return &ds, nil
+}

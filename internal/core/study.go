@@ -1,0 +1,431 @@
+// Package core orchestrates the full study: it generates the world, runs
+// static analysis over every app package, drives the dynamic differential
+// experiments on emulated devices (baseline run, MITM run, and the iOS
+// Common re-run of §4.5), circumvents pinning with instrumentation hooks
+// for the PII analysis, and probes pinned destinations for the certificate
+// analyses. The aggregate tables and figures are computed on top of the
+// per-app results by the report layer.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/appstore"
+	"pinscope/internal/detrand"
+	"pinscope/internal/device"
+	"pinscope/internal/dynamicanalysis"
+	"pinscope/internal/frida"
+	"pinscope/internal/mitmproxy"
+	"pinscope/internal/pii"
+	"pinscope/internal/pki"
+	"pinscope/internal/staticanalysis"
+	"pinscope/internal/worldgen"
+)
+
+// Config parameterizes a study run.
+type Config struct {
+	Params worldgen.Params
+	// Window is the per-app capture window in seconds (paper: 30).
+	Window float64
+	// Workers caps parallel app processing; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig is the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{Params: worldgen.DefaultParams(), Window: 30}
+}
+
+// TestConfig is a miniature configuration for tests and examples.
+func TestConfig(seed int64) Config {
+	return Config{Params: worldgen.TestParams(seed), Window: 30}
+}
+
+// AppResult is everything the study learned about one app.
+type AppResult struct {
+	App *appmodel.App
+
+	// Static pipeline output (§4.1). StaticErr records decryption or
+	// packaging obstacles.
+	Static    *staticanalysis.Report
+	StaticErr error
+
+	// Dyn is the differential dynamic verdict (§4.2).
+	Dyn *dynamicanalysis.Result
+
+	// Weak-cipher observations from the baseline capture (Table 8).
+	WeakAnyConn    bool
+	WeakPinnedConn bool
+
+	// CircumventedDests maps each pinned destination to whether the
+	// instrumentation hooks exposed its plaintext (§4.3).
+	CircumventedDests map[string]bool
+
+	// DestPII is the PII observed per destination in the hooked MITM run
+	// (§4.4); only populated for pinning apps.
+	DestPII map[string]map[pii.Kind]bool
+	// ObservedDests are the destinations whose plaintext was observable in
+	// the hooked run (Table 9's denominators).
+	ObservedDests map[string]bool
+}
+
+// Pinned is a convenience accessor.
+func (r *AppResult) Pinned() bool { return r.Dyn != nil && r.Dyn.Pins() }
+
+// DestProbe is the infrastructure classification of one pinned destination
+// (Table 6).
+type DestProbe struct {
+	Dest        string
+	Chain       pki.Chain
+	DefaultPKI  bool
+	SelfSigned  bool
+	CustomPKI   bool
+	Unavailable bool
+}
+
+// PairResult is a common app's cross-platform comparison.
+type PairResult struct {
+	Name     string
+	Android  *AppResult
+	IOS      *AppResult
+	Analysis *dynamicanalysis.PairAnalysis
+}
+
+// Study is a completed run.
+type Study struct {
+	Cfg   Config
+	World *worldgen.World
+
+	mu      sync.Mutex
+	results map[string]*AppResult
+
+	Pairs  []*PairResult
+	Probes map[string]*DestProbe
+}
+
+// Result returns the result for an app (nil if the app was not studied).
+func (s *Study) Result(a *appmodel.App) *AppResult {
+	return s.results[string(a.Platform)+"/"+a.ID]
+}
+
+// ResultForListing resolves a dataset listing to its result.
+func (s *Study) ResultForListing(l *appstore.Listing) *AppResult {
+	return s.results[string(l.Platform)+"/"+l.ID]
+}
+
+// DatasetResults returns the results of a dataset in listing order.
+func (s *Study) DatasetResults(ds *appstore.Dataset) []*AppResult {
+	out := make([]*AppResult, 0, len(ds.Listings))
+	for _, l := range ds.Listings {
+		if r := s.ResultForListing(l); r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Run executes the complete study.
+func Run(cfg Config) (*Study, error) {
+	if cfg.Window == 0 {
+		cfg.Window = 30
+	}
+	w, err := worldgen.Build(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return RunOnWorld(cfg, w)
+}
+
+// RunOnWorld executes the study against an existing world (lets callers
+// reuse one world across experiments).
+func RunOnWorld(cfg Config, w *worldgen.World) (*Study, error) {
+	s := &Study{Cfg: cfg, World: w, results: make(map[string]*AppResult)}
+
+	// Unique app-tier work list: collisions are analyzed once, common
+	// pairs are marked for the iOS §4.5 re-run.
+	type workItem struct {
+		app    *appmodel.App
+		common bool
+	}
+	var work []workItem
+	seen := map[string]bool{}
+	add := func(ds *appstore.Dataset, common bool) {
+		for _, l := range ds.Listings {
+			key := string(l.Platform) + "/" + l.ID
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			work = append(work, workItem{app: w.App(l), common: common})
+		}
+	}
+	add(w.DS.CommonAndroid, true)
+	add(w.DS.CommonIOS, true)
+	add(w.DS.PopularAndroid, false)
+	add(w.DS.PopularIOS, false)
+	add(w.DS.RandomAndroid, false)
+	add(w.DS.RandomIOS, false)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	// Buffered to the full work list so the feeder below never blocks,
+	// even if every worker exits early on an error.
+	jobs := make(chan workItem, len(work))
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lab, err := newLab(cfg, w)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for item := range jobs {
+				res, err := lab.studyApp(item.app, item.common)
+				if err != nil {
+					errs <- fmt.Errorf("core: app %s: %w", item.app.ID, err)
+					return
+				}
+				s.mu.Lock()
+				s.results[string(item.app.Platform)+"/"+item.app.ID] = res
+				s.mu.Unlock()
+			}
+		}()
+	}
+	for _, item := range work {
+		jobs <- item
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	s.buildPairs()
+	if err := s.probePinnedDests(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// lab is one worker's private measurement bench: its own networks, proxy
+// and devices (the real study serialized everything through two phones;
+// the per-app experiments are independent, so they parallelize cleanly).
+type lab struct {
+	cfg   Config
+	world *worldgen.World
+
+	proxy *mitmproxy.Proxy
+	// Devices per platform: a clean one for baseline runs and one with the
+	// proxy CA installed on an intercepted network.
+	plain map[appmodel.Platform]*device.Device
+	mitm  map[appmodel.Platform]*device.Device
+	hooks map[appmodel.Platform]*frida.Session
+}
+
+func newLab(cfg Config, w *worldgen.World) (*lab, error) {
+	l := &lab{
+		cfg: cfg, world: w,
+		plain: map[appmodel.Platform]*device.Device{},
+		mitm:  map[appmodel.Platform]*device.Device{},
+		hooks: map[appmodel.Platform]*frida.Session{},
+	}
+	proxy, err := mitmproxy.NewWithCA(detrand.New(cfg.Params.Seed).Child("study-proxy"))
+	if err != nil {
+		return nil, err
+	}
+	l.proxy = proxy
+
+	baseStores := map[appmodel.Platform]*pki.RootStore{
+		appmodel.Android: w.Eco.OEM, // Pixel 3 factory image, OEM store
+		appmodel.IOS:     w.Eco.IOS,
+	}
+	for _, plat := range appmodel.Platforms {
+		// Device randomness is platform-keyed, not worker-keyed, so every
+		// worker sees the identical device (profile and payload stream).
+		devRng := func() *detrand.Source {
+			return detrand.New(cfg.Params.Seed).Child("device/" + string(plat))
+		}
+		netPlain := w.NewNetwork(true)
+		l.plain[plat] = device.New(plat, netPlain, baseStores[plat], devRng())
+
+		netMITM := w.NewNetwork(true)
+		netMITM.SetInterceptor(proxy)
+		dm := device.New(plat, netMITM, baseStores[plat], devRng())
+		dm.InstallCA(proxy.CACert())
+		l.mitm[plat] = dm
+
+		hooks, err := frida.Attach(plat, true)
+		if err != nil {
+			return nil, err
+		}
+		l.hooks[plat] = hooks
+	}
+	return l, nil
+}
+
+// studyApp runs the full per-app pipeline.
+func (l *lab) studyApp(app *appmodel.App, common bool) (*AppResult, error) {
+	res := &AppResult{App: app}
+	plat := app.Platform
+
+	// --- static (§4.1): decrypt iOS packages on the jailbroken device.
+	if err := l.mitm[plat].DecryptApp(app); err != nil {
+		res.StaticErr = err
+	} else {
+		rep, err := staticanalysis.Analyze(app)
+		if err != nil {
+			res.StaticErr = err
+		} else {
+			res.Static = rep
+		}
+	}
+
+	// --- dynamic (§4.2): baseline + MITM runs.
+	opts := device.RunOptions{Window: l.cfg.Window}
+	capA := l.plain[plat].Run(app, opts)
+	capB := l.mitm[plat].Run(app, opts)
+
+	detOpts := dynamicanalysis.Options{}
+	if plat == appmodel.IOS {
+		detOpts.ExcludeDomains = append(detOpts.ExcludeDomains, device.AppleBackgroundDomains...)
+		if res.Static != nil {
+			detOpts.ExcludeDomains = append(detOpts.ExcludeDomains, res.Static.AssociatedDomains...)
+		}
+	}
+	res.Dyn = dynamicanalysis.Detect(app.ID, capA, capB, detOpts)
+
+	// --- iOS Common re-run (§4.5): pinning verdicts from a delayed launch
+	// that lets associated-domain verification finish before capture, so
+	// the associated-domain exclusion (and the false negatives it causes)
+	// is no longer needed.
+	if common && plat == appmodel.IOS {
+		rOpts := device.RunOptions{Window: l.cfg.Window, LaunchDelay: 120}
+		capA2 := l.plain[plat].Run(app, rOpts)
+		capB2 := l.mitm[plat].Run(app, rOpts)
+		rerunOpts := dynamicanalysis.Options{ExcludeDomains: device.AppleBackgroundDomains}
+		res.Dyn = dynamicanalysis.Detect(app.ID, capA2, capB2, rerunOpts)
+		capA = capA2 // weak-cipher observations follow the final verdicts
+	}
+
+	// --- weak-cipher observations from the baseline capture (Table 8).
+	pinnedSet := map[string]bool{}
+	for _, d := range res.Dyn.PinnedDests() {
+		pinnedSet[d] = true
+	}
+	for dest, sum := range dynamicanalysis.SummarizeCapture(capA) {
+		if sum.WeakCipherOffered {
+			res.WeakAnyConn = true
+			if pinnedSet[dest] {
+				res.WeakPinnedConn = true
+			}
+		}
+	}
+
+	// --- circumvention + PII (§4.3, §4.4): hooked MITM run for pinners.
+	if res.Dyn.Pins() {
+		l.proxy.ResetLogs()
+		l.mitm[plat].Run(app, device.RunOptions{Window: l.cfg.Window, Hooks: l.hooks[plat]})
+		res.CircumventedDests = map[string]bool{}
+		res.DestPII = map[string]map[pii.Kind]bool{}
+		res.ObservedDests = map[string]bool{}
+		scanner := pii.NewScanner(l.mitm[plat].Profile)
+		for _, lg := range l.proxy.Logs() {
+			if pinnedSet[lg.Dest()] {
+				if lg.ClientOK {
+					res.CircumventedDests[lg.Dest()] = true
+				} else if _, ok := res.CircumventedDests[lg.Dest()]; !ok {
+					res.CircumventedDests[lg.Dest()] = false
+				}
+			}
+			if len(lg.Payloads) == 0 {
+				continue
+			}
+			res.ObservedDests[lg.Dest()] = true
+			found := scanner.ScanAll(lg.Payloads)
+			if len(found) == 0 {
+				continue
+			}
+			m := res.DestPII[lg.Dest()]
+			if m == nil {
+				m = map[pii.Kind]bool{}
+				res.DestPII[lg.Dest()] = m
+			}
+			for k := range found {
+				m[k] = true
+			}
+		}
+	}
+	return res, nil
+}
+
+// buildPairs attaches results and consistency analysis to common pairs.
+func (s *Study) buildPairs() {
+	for _, p := range s.World.CommonPairs {
+		ra := s.Result(p.Android)
+		ri := s.Result(p.IOS)
+		if ra == nil || ri == nil {
+			continue
+		}
+		s.Pairs = append(s.Pairs, &PairResult{
+			Name:     p.Name,
+			Android:  ra,
+			IOS:      ri,
+			Analysis: dynamicanalysis.AnalyzePair(p.Name, ra.Dyn, ri.Dyn),
+		})
+	}
+}
+
+// probePinnedDests fetches served chains at every pinned destination and
+// classifies their PKI (Table 6). Flaky hosts are offline by probe time.
+func (s *Study) probePinnedDests() error {
+	dests := map[string]bool{}
+	for _, r := range s.results {
+		for _, d := range r.Dyn.PinnedDests() {
+			dests[d] = true
+		}
+	}
+	sorted := make([]string, 0, len(dests))
+	for d := range dests {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	probeNet := s.World.NewNetwork(false) // flaky hosts are gone
+	prober := device.New(appmodel.Android, probeNet, s.World.Eco.OEM,
+		detrand.New(s.Cfg.Params.Seed).Child("prober"))
+
+	s.Probes = make(map[string]*DestProbe, len(sorted))
+	for _, dest := range sorted {
+		p := &DestProbe{Dest: dest}
+		chain, err := prober.ProbeChain(dest)
+		if err != nil {
+			p.Unavailable = true
+		} else {
+			p.Chain = chain
+			switch {
+			case s.World.Eco.IsDefaultPKI(chain, dest):
+				p.DefaultPKI = true
+			case len(chain) == 1:
+				p.SelfSigned = true
+			default:
+				p.CustomPKI = true
+			}
+		}
+		s.Probes[dest] = p
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"pinscope/internal/appmodel"
+)
+
+func runMini(t *testing.T, seed int64) *Study {
+	t.Helper()
+	s, err := Run(TestConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStudyEndToEnd(t *testing.T) {
+	s := runMini(t, 1)
+
+	// Every dataset listing has a result.
+	for _, ds := range s.World.DS.All() {
+		for _, l := range ds.Listings {
+			if s.ResultForListing(l) == nil {
+				t.Fatalf("no result for %s/%s", l.Platform, l.ID)
+			}
+		}
+	}
+
+	// Detector quality vs ground truth: dynamic detection must recover
+	// runtime pinning with high precision and recall. Recall losses come
+	// only from pinned connections that went unused in the baseline run
+	// (the paper's partial-observation limitation).
+	var tp, fp, fn int
+	seen := map[string]bool{}
+	for _, ds := range s.World.DS.All() {
+		for _, r := range s.DatasetResults(ds) {
+			key := string(r.App.Platform) + "/" + r.App.ID
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			truth := r.App.Truth.PinsAtRuntime
+			got := r.Pinned()
+			switch {
+			case got && truth:
+				tp++
+			case got && !truth:
+				fp++
+			case !got && truth:
+				fn++
+			}
+		}
+	}
+	if tp == 0 {
+		t.Fatal("detector found no pinning at all")
+	}
+	if fp > 0 {
+		t.Fatalf("false positives: %d (differential design must not produce these)", fp)
+	}
+	recall := float64(tp) / float64(tp+fn)
+	if recall < 0.7 {
+		t.Fatalf("recall %.2f too low (tp=%d fn=%d)", recall, tp, fn)
+	}
+	t.Logf("detector: tp=%d fp=%d fn=%d recall=%.2f", tp, fp, fn, recall)
+}
+
+func TestPinnedDestsAreTrulyPinned(t *testing.T) {
+	s := runMini(t, 2)
+	for _, ds := range s.World.DS.All() {
+		for _, r := range s.DatasetResults(ds) {
+			truthPinned := r.App.PinnedHostSet()
+			for _, d := range r.Dyn.PinnedDests() {
+				if !truthPinned[d] {
+					t.Fatalf("app %s: destination %s detected pinned but is not", r.App.ID, d)
+				}
+			}
+		}
+	}
+}
+
+func TestStaticResultsPresent(t *testing.T) {
+	s := runMini(t, 3)
+	static, total := 0, 0
+	for _, ds := range s.World.DS.All() {
+		for _, r := range s.DatasetResults(ds) {
+			total++
+			if r.StaticErr != nil {
+				t.Fatalf("static analysis failed for %s: %v", r.App.ID, r.StaticErr)
+			}
+			if r.Static.HasCertMaterial() {
+				static++
+			}
+		}
+	}
+	if static == 0 {
+		t.Fatal("static pipeline found nothing")
+	}
+	t.Logf("static material in %d/%d results", static, total)
+}
+
+func TestPairsBuilt(t *testing.T) {
+	s := runMini(t, 4)
+	if len(s.Pairs) != len(s.World.CommonPairs) {
+		t.Fatalf("%d pairs, want %d", len(s.Pairs), len(s.World.CommonPairs))
+	}
+	outcomes := map[string]int{}
+	for _, p := range s.Pairs {
+		outcomes[p.Analysis.Outcome.String()]++
+	}
+	if outcomes["neither"] == 0 {
+		t.Fatalf("pair outcomes implausible: %v", outcomes)
+	}
+	t.Logf("pair outcomes: %v", outcomes)
+}
+
+func TestProbesClassifyPKI(t *testing.T) {
+	s := runMini(t, 5)
+	if len(s.Probes) == 0 {
+		t.Fatal("no pinned destinations probed")
+	}
+	def, custom, selfs, unavail := 0, 0, 0, 0
+	for _, p := range s.Probes {
+		switch {
+		case p.DefaultPKI:
+			def++
+		case p.SelfSigned:
+			selfs++
+		case p.CustomPKI:
+			custom++
+		case p.Unavailable:
+			unavail++
+		}
+	}
+	if def == 0 {
+		t.Fatal("no default-PKI pinned destinations")
+	}
+	// Default PKI must dominate (Table 6).
+	if def < (custom+selfs)*3 {
+		t.Fatalf("default PKI (%d) does not dominate custom (%d) + self-signed (%d)", def, custom, selfs)
+	}
+	t.Logf("probes: default=%d custom=%d self=%d unavailable=%d", def, custom, selfs, unavail)
+}
+
+func TestCircumventionAndPII(t *testing.T) {
+	s := runMini(t, 6)
+	circOK, circFail, piiDests := 0, 0, 0
+	for _, ds := range s.World.DS.All() {
+		for _, r := range s.DatasetResults(ds) {
+			if !r.Pinned() {
+				continue
+			}
+			for _, ok := range r.CircumventedDests {
+				if ok {
+					circOK++
+				} else {
+					circFail++
+				}
+			}
+			piiDests += len(r.DestPII)
+		}
+	}
+	if circOK == 0 {
+		t.Fatal("no pinned destination was circumvented")
+	}
+	if circFail == 0 {
+		t.Fatal("every pinned destination was circumvented — custom stacks should resist")
+	}
+	if piiDests == 0 {
+		t.Fatal("no PII observed in hooked runs")
+	}
+	t.Logf("circumvented=%d resisted=%d piiDests=%d", circOK, circFail, piiDests)
+}
+
+func TestIOSBackgroundNotMisdetected(t *testing.T) {
+	// No Apple service domain may ever appear as a pinned destination.
+	s := runMini(t, 7)
+	for _, ds := range s.World.DS.All() {
+		for _, r := range s.DatasetResults(ds) {
+			for _, d := range r.Dyn.PinnedDests() {
+				for _, apple := range []string{"icloud.com", "apple.com", "mzstatic.com"} {
+					if d == apple {
+						t.Fatalf("app %s: OS domain %s detected as pinned", r.App.ID, d)
+					}
+				}
+			}
+			_ = r
+		}
+	}
+	_ = appmodel.IOS
+}

@@ -1,0 +1,86 @@
+// Package ctlog is the study's stand-in for the crt.sh certificate search
+// over Certificate Transparency logs. The static-analysis pipeline uses it
+// to resolve SPKI pin hashes found in app code back to certificates
+// (§4.1.3): given a pin, it returns every logged certificate whose
+// SubjectPublicKeyInfo hashes to that value.
+//
+// Like the real CT ecosystem the log has partial coverage: only
+// certificates explicitly submitted (in our world: certificates issued by
+// public CAs for real destinations) are indexed. Pins referring to custom
+// or never-deployed certificates resolve to nothing — which is why the
+// paper could associate certificates with only ~50% of unique pins.
+package ctlog
+
+import (
+	"crypto/x509"
+	"sync"
+
+	"pinscope/internal/pki"
+)
+
+// Log is an in-memory CT index. It is safe for concurrent use.
+type Log struct {
+	mu sync.RWMutex
+	// bySPKI maps canonical pin keys (alg:hexdigest) to certificates.
+	bySPKI map[string][]*x509.Certificate
+	// byName maps subject common names to certificates, which supports the
+	// static↔dynamic certificate matching of §5.3.2.
+	byName map[string][]*x509.Certificate
+	total  int
+}
+
+// New returns an empty log.
+func New() *Log {
+	return &Log{
+		bySPKI: make(map[string][]*x509.Certificate),
+		byName: make(map[string][]*x509.Certificate),
+	}
+}
+
+// Submit indexes cert under both its SHA-256 and SHA-1 SPKI digests, as
+// crt.sh does. Duplicate submissions are ignored.
+func (l *Log) Submit(cert *x509.Certificate) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k256 := pki.NewPin(cert, pki.SHA256).Key()
+	for _, existing := range l.bySPKI[k256] {
+		if existing.Equal(cert) {
+			return
+		}
+	}
+	k1 := pki.NewPin(cert, pki.SHA1).Key()
+	l.bySPKI[k256] = append(l.bySPKI[k256], cert)
+	l.bySPKI[k1] = append(l.bySPKI[k1], cert)
+	cn := cert.Subject.CommonName
+	l.byName[cn] = append(l.byName[cn], cert)
+	l.total++
+}
+
+// SubmitChain indexes every certificate in the chain.
+func (l *Log) SubmitChain(chain pki.Chain) {
+	for _, c := range chain {
+		l.Submit(c)
+	}
+}
+
+// Lookup returns the certificates whose SPKI digest matches the pin, or nil
+// if the pin is unknown to the log.
+func (l *Log) Lookup(p pki.Pin) []*x509.Certificate {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.bySPKI[p.Key()]
+}
+
+// LookupByName returns certificates whose subject common name equals cn.
+func (l *Log) LookupByName(cn string) []*x509.Certificate {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.byName[cn]
+}
+
+// Size returns the number of distinct certificates indexed.
+func (l *Log) Size() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.total
+}

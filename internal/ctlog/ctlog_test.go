@@ -1,0 +1,120 @@
+package ctlog
+
+import (
+	"sync"
+	"testing"
+
+	"pinscope/internal/detrand"
+	"pinscope/internal/pki"
+)
+
+func buildChain(t *testing.T, seed int64, host string) pki.Chain {
+	t.Helper()
+	rng := detrand.New(seed)
+	root, err := pki.NewRootCA(rng, "CT Root "+host, "CT", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := root.IssueLeaf(rng, host, pki.LeafOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pki.Chain{leaf.Cert, root.Cert}
+}
+
+func TestSubmitAndLookup(t *testing.T) {
+	l := New()
+	chain := buildChain(t, 1, "a.example.com")
+	l.SubmitChain(chain)
+
+	if l.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", l.Size())
+	}
+	for _, alg := range []pki.HashAlg{pki.SHA256, pki.SHA1} {
+		got := l.Lookup(pki.NewPin(chain.Leaf(), alg))
+		if len(got) != 1 || !got[0].Equal(chain.Leaf()) {
+			t.Fatalf("Lookup by %v failed: %v", alg, got)
+		}
+	}
+}
+
+func TestUnknownPinResolvesToNothing(t *testing.T) {
+	l := New()
+	l.SubmitChain(buildChain(t, 2, "b.example.com"))
+	foreign := buildChain(t, 3, "c.example.com")
+	if got := l.Lookup(pki.NewPin(foreign.Leaf(), pki.SHA256)); got != nil {
+		t.Fatalf("unknown pin resolved: %v", got)
+	}
+}
+
+func TestDuplicateSubmissionIgnored(t *testing.T) {
+	l := New()
+	chain := buildChain(t, 4, "d.example.com")
+	l.Submit(chain.Leaf())
+	l.Submit(chain.Leaf())
+	if l.Size() != 1 {
+		t.Fatalf("Size = %d after duplicate submit", l.Size())
+	}
+	if got := l.Lookup(pki.NewPin(chain.Leaf(), pki.SHA256)); len(got) != 1 {
+		t.Fatalf("duplicate indexed: %d entries", len(got))
+	}
+}
+
+func TestLookupByName(t *testing.T) {
+	l := New()
+	chain := buildChain(t, 5, "e.example.com")
+	l.SubmitChain(chain)
+	if got := l.LookupByName("e.example.com"); len(got) != 1 {
+		t.Fatalf("LookupByName = %v", got)
+	}
+	if got := l.LookupByName("missing.example.com"); got != nil {
+		t.Fatalf("missing name resolved: %v", got)
+	}
+}
+
+func TestSharedKeyAcrossCerts(t *testing.T) {
+	// Two certificates sharing a key (rotation with key reuse) must both be
+	// returned for the shared pin.
+	rng := detrand.New(6)
+	root, err := pki.NewRootCA(rng, "R", "R", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf1, err := root.IssueLeaf(rng, "rot.example.com", pki.LeafOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf2, err := root.ReissueLeaf(rng, leaf1, pki.LeafOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New()
+	l.Submit(leaf1.Cert)
+	l.Submit(leaf2.Cert)
+	got := l.Lookup(pki.NewPin(leaf1.Cert, pki.SHA256))
+	if len(got) != 2 {
+		t.Fatalf("shared-key pin resolved to %d certs, want 2", len(got))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	l := New()
+	chains := make([]pki.Chain, 8)
+	for i := range chains {
+		chains[i] = buildChain(t, int64(100+i), "conc.example.com")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l.SubmitChain(chains[i])
+			l.Lookup(pki.NewPin(chains[i].Leaf(), pki.SHA256))
+			l.LookupByName("conc.example.com")
+		}(i)
+	}
+	wg.Wait()
+	if l.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", l.Size())
+	}
+}

@@ -1,0 +1,221 @@
+// Package detrand provides deterministic, hierarchically derivable
+// randomness for the pinscope simulation.
+//
+// Every random decision in the generated world flows through a *Source
+// derived from a single root seed, so a world is reproducible bit-for-bit
+// across runs and platforms. Sources form a tree: Child("apps").Child("42")
+// always yields the same stream regardless of what other parts of the
+// program consumed. The derivation function is SHA-256 over the parent seed
+// and the child label, so streams for distinct labels are independent.
+//
+// A Source is not safe for concurrent use; derive one child per goroutine.
+package detrand
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"strconv"
+)
+
+// Source is a deterministic pseudo-random stream with hierarchical
+// derivation. The generator is SHA-256 in counter mode over a 32-byte seed,
+// which is more than adequate statistically and keeps derivation and
+// generation in one primitive.
+type Source struct {
+	seed [32]byte
+	ctr  uint64
+	buf  [32]byte
+	off  int
+}
+
+// New returns the root Source for the given seed.
+func New(seed int64) *Source {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(seed))
+	s := &Source{seed: sha256.Sum256(b[:])}
+	s.off = len(s.buf) // force refill on first use
+	return s
+}
+
+// Child derives an independent Source labeled by name. Deriving the same
+// name twice yields identical streams; distinct names yield independent
+// streams.
+func (s *Source) Child(name string) *Source {
+	h := sha256.New()
+	h.Write(s.seed[:])
+	h.Write([]byte{0x1f}) // domain separator between seed and label
+	h.Write([]byte(name))
+	c := &Source{}
+	copy(c.seed[:], h.Sum(nil))
+	c.off = len(c.buf)
+	return c
+}
+
+// ChildN derives a child labeled by an integer, for per-index streams.
+func (s *Source) ChildN(name string, n int) *Source {
+	return s.Child(name + "#" + strconv.Itoa(n))
+}
+
+func (s *Source) refill() {
+	var b [40]byte
+	copy(b[:32], s.seed[:])
+	binary.BigEndian.PutUint64(b[32:], s.ctr)
+	s.ctr++
+	s.buf = sha256.Sum256(b[:])
+	s.off = 0
+}
+
+// Read fills p with deterministic pseudo-random bytes. It never fails; the
+// error is always nil so a Source can serve as an io.Reader for
+// deterministic key generation.
+func (s *Source) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if s.off == len(s.buf) {
+			s.refill()
+		}
+		c := copy(p, s.buf[s.off:])
+		s.off += c
+		p = p[c:]
+	}
+	return n, nil
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Source) Uint64() uint64 {
+	var b [8]byte
+	s.Read(b[:])
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("detrand: Intn with non-positive n")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := uint64(n)
+	limit := math.MaxUint64 - math.MaxUint64%max
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Int63 returns a non-negative 63-bit value.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Pick returns a uniformly chosen element of items. It panics on an empty
+// slice.
+func Pick[T any](s *Source, items []T) T {
+	return items[s.Intn(len(items))]
+}
+
+// Shuffle permutes items in place (Fisher–Yates).
+func Shuffle[T any](s *Source, items []T) {
+	for i := len(items) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		items[i], items[j] = items[j], items[i]
+	}
+}
+
+// Sample returns k distinct elements drawn without replacement. If k exceeds
+// len(items) the whole (shuffled) slice is returned. The input is not
+// modified.
+func Sample[T any](s *Source, items []T, k int) []T {
+	cp := make([]T, len(items))
+	copy(cp, items)
+	Shuffle(s, cp)
+	if k > len(cp) {
+		k = len(cp)
+	}
+	return cp[:k]
+}
+
+// WeightedIndex picks an index with probability proportional to weights[i].
+// Zero-weight entries are never chosen. It panics if the total weight is not
+// positive.
+func (s *Source) WeightedIndex(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("detrand: WeightedIndex with non-positive total weight")
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	// Floating-point slack: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("unreachable")
+}
+
+// Poisson returns a Poisson-distributed count with mean lambda, using
+// Knuth's method (adequate for the small lambdas used in the simulation).
+func (s *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// NormInt returns a roughly normal integer centered on mean with the given
+// spread, clamped to [min, max]. Used for human-scale quantities (domains
+// contacted, connections opened).
+func (s *Source) NormInt(mean, spread float64, min, max int) int {
+	// Sum of three uniforms approximates a normal well enough here.
+	u := s.Float64() + s.Float64() + s.Float64() // mean 1.5, var 0.25
+	v := mean + (u-1.5)*2*spread
+	n := int(math.Round(v))
+	if n < min {
+		n = min
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}

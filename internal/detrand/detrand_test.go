@@ -1,0 +1,287 @@
+package detrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestChildIndependence(t *testing.T) {
+	root := New(7)
+	// Consuming from one child must not perturb a sibling.
+	c1 := root.Child("a")
+	want := make([]uint64, 10)
+	for i := range want {
+		want[i] = c1.Uint64()
+	}
+
+	root2 := New(7)
+	other := root2.Child("b")
+	for i := 0; i < 1000; i++ {
+		other.Uint64()
+	}
+	c1b := root2.Child("a")
+	for i := range want {
+		if got := c1b.Uint64(); got != want[i] {
+			t.Fatalf("child stream not independent at %d: got %d want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestChildLabelsDistinct(t *testing.T) {
+	root := New(3)
+	if root.Child("x").Uint64() == root.Child("y").Uint64() {
+		t.Fatal("distinct labels produced identical first values")
+	}
+	if root.ChildN("x", 1).Uint64() == root.ChildN("x", 2).Uint64() {
+		t.Fatal("distinct indices produced identical first values")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	s := New(13)
+	const n = 100000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		sum += f
+		buckets[int(f*10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %v too far from 0.5", mean)
+	}
+	for i, c := range buckets {
+		if math.Abs(float64(c)-n/10) > n/10*0.1 {
+			t.Fatalf("bucket %d has %d samples, expected ~%d", i, c, n/10)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolRate(t *testing.T) {
+	s := New(19)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate %v", rate)
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	s := New(23)
+	w := []float64{0, 1, 3, 0, 6}
+	counts := make([]int, len(w))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.WeightedIndex(w)]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Fatalf("zero-weight index chosen: %v", counts)
+	}
+	// Expect roughly 10% / 30% / 60%.
+	if math.Abs(float64(counts[1])/n-0.1) > 0.02 {
+		t.Fatalf("index 1 rate %v", float64(counts[1])/n)
+	}
+	if math.Abs(float64(counts[4])/n-0.6) > 0.02 {
+		t.Fatalf("index 4 rate %v", float64(counts[4])/n)
+	}
+}
+
+func TestWeightedIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero total weight")
+		}
+	}()
+	New(1).WeightedIndex([]float64{0, 0})
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		s := New(seed)
+		items := make([]int, int(n))
+		for i := range items {
+			items[i] = i
+		}
+		Shuffle(s, items)
+		seen := make(map[int]bool, len(items))
+		for _, v := range items {
+			if v < 0 || v >= len(items) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == len(items)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	s := New(29)
+	items := []string{"a", "b", "c", "d", "e"}
+	got := Sample(s, items, 3)
+	if len(got) != 3 {
+		t.Fatalf("Sample returned %d items", len(got))
+	}
+	seen := map[string]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate %q in sample", v)
+		}
+		seen[v] = true
+	}
+	// Oversized k returns everything.
+	if got := Sample(s, items, 10); len(got) != 5 {
+		t.Fatalf("oversized Sample returned %d items", len(got))
+	}
+	// Input not modified.
+	if items[0] != "a" || items[4] != "e" {
+		t.Fatal("Sample modified its input")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(31)
+	const n = 50000
+	var sum int
+	for i := 0; i < n; i++ {
+		sum += s.Poisson(3.5)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-3.5) > 0.1 {
+		t.Fatalf("Poisson(3.5) sample mean %v", mean)
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Fatal("Poisson of non-positive lambda should be 0")
+	}
+}
+
+func TestNormIntClamps(t *testing.T) {
+	s := New(37)
+	for i := 0; i < 10000; i++ {
+		v := s.NormInt(5, 3, 2, 8)
+		if v < 2 || v > 8 {
+			t.Fatalf("NormInt out of clamp range: %d", v)
+		}
+	}
+}
+
+func TestReadAlwaysSucceeds(t *testing.T) {
+	s := New(41)
+	sizes := []int{0, 1, 31, 32, 33, 100, 4096}
+	for _, n := range sizes {
+		buf := make([]byte, n)
+		got, err := s.Read(buf)
+		if err != nil || got != n {
+			t.Fatalf("Read(%d) = %d, %v", n, got, err)
+		}
+	}
+}
+
+func TestReadStreamMatchesChunking(t *testing.T) {
+	// Reading 64 bytes at once equals reading 64 bytes in odd chunks.
+	a := New(43)
+	whole := make([]byte, 64)
+	a.Read(whole)
+
+	b := New(43)
+	parts := make([]byte, 0, 64)
+	for _, n := range []int{1, 7, 13, 32, 11} {
+		chunk := make([]byte, n)
+		b.Read(chunk)
+		parts = append(parts, chunk...)
+	}
+	for i := range whole {
+		if whole[i] != parts[i] {
+			t.Fatalf("stream mismatch at byte %d", i)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	s := New(47)
+	items := []int{10, 20, 30}
+	counts := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		counts[Pick(s, items)]++
+	}
+	for _, v := range items {
+		if counts[v] < 800 {
+			t.Fatalf("Pick heavily skewed: %v", counts)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package device models the study's test phones (a Pixel 3 on Android 11
+// and a Checkra1n-jailbroken iPhone X on iOS 13.6) and the automation
+// framework driving them (§4.2.1): install an app, run it for a capture
+// window while recording its traffic, uninstall, repeat.
+//
+// The device executes an app's behaviour plan over the emulated network.
+// Two trust stores exist, as on real phones: the store apps consult (where
+// the mitmproxy CA gets installed for MITM experiments) and the store OS
+// services consult, which never trusts user-added CAs — the root cause of
+// the iOS associated-domains traffic looking pinned (§4.5).
+package device
+
+import (
+	"fmt"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/detrand"
+	"pinscope/internal/frida"
+	"pinscope/internal/netem"
+	"pinscope/internal/pii"
+	"pinscope/internal/pki"
+	"pinscope/internal/tlswire"
+)
+
+// AppleBackgroundDomains are contacted by iOS itself throughout every test,
+// regardless of the app under test (§4.5). The analysis pipeline excludes
+// them by name, as the paper did.
+var AppleBackgroundDomains = []string{"icloud.com", "apple.com", "mzstatic.com"}
+
+// Device is one test phone.
+type Device struct {
+	Platform   appmodel.Platform
+	Net        *netem.Network
+	Jailbroken bool
+
+	// Profile is the device identity whose PII may appear in traffic.
+	Profile *pii.Profile
+
+	userStore   *pki.RootStore // consulted by apps
+	systemStore *pki.RootStore // consulted by OS services; no user CAs
+	rng         *detrand.Source
+}
+
+// New creates a device whose app store trust anchors come from base.
+func New(platform appmodel.Platform, net *netem.Network, base *pki.RootStore, rng *detrand.Source) *Device {
+	jail := platform == appmodel.IOS // the study iPhone is jailbroken
+	return &Device{
+		Platform:    platform,
+		Net:         net,
+		Jailbroken:  jail,
+		Profile:     pii.NewProfile(rng.Child("profile")),
+		userStore:   base.Clone(string(platform) + "-user"),
+		systemStore: base.Clone(string(platform) + "-system"),
+		rng:         rng,
+	}
+}
+
+// InstallCA adds a certificate to the store apps consult (the study phones
+// were modified/configured to trust the mitmproxy CA). OS services remain
+// unaffected.
+func (d *Device) InstallCA(cert *pki.Authority) {
+	d.userStore.Add(cert.Cert)
+}
+
+// UserStore exposes the app-visible trust store (read-only use).
+func (d *Device) UserStore() *pki.RootStore { return d.userStore }
+
+// DecryptApp returns the decrypted package of an iOS app, as Flexdecrypt or
+// Frida-iOS-Dump would. It fails off-jailbreak, which is what limited the
+// paper's iOS dataset size (Appendix A).
+func (d *Device) DecryptApp(app *appmodel.App) error {
+	if app.Pkg == nil || !app.Pkg.Encrypted {
+		return nil
+	}
+	if !d.Jailbroken {
+		return fmt.Errorf("device: cannot decrypt %s without a jailbreak", app.ID)
+	}
+	app.Pkg.DecryptIOS()
+	return nil
+}
+
+// RunOptions parameterize one app run.
+type RunOptions struct {
+	// Window is the capture duration in seconds after launch (the paper
+	// settled on 30 s after sweeping 15/30/60, §4.2.1).
+	Window float64
+	// LaunchDelay is the idle time between install and launch. The Common
+	// re-run uses 120 s so iOS associated-domain verification finishes
+	// before capture (§4.5).
+	LaunchDelay float64
+	// Hooks, when non-nil, is an attached instrumentation session that
+	// disables validation for covered TLS libraries.
+	Hooks *frida.Session
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Window == 0 {
+		o.Window = 30
+	}
+	return o
+}
+
+// osAssocWindow is how long after install the iOS associated-domains
+// verification keeps generating traffic.
+const osAssocWindow = 60.0
+
+// Run installs the app, launches it, captures traffic for the window, and
+// uninstalls. The returned capture contains everything the monitoring point
+// saw: app traffic inside the window plus any OS traffic overlapping it.
+func (d *Device) Run(app *appmodel.App, opts RunOptions) *netem.Capture {
+	opts = opts.withDefaults()
+	cap := netem.NewCapture()
+	runRng := d.rng.Child("run/" + app.ID)
+
+	// OS background traffic first (it is concurrent in reality; ordering
+	// within the capture does not matter to the analyses).
+	if d.Platform == appmodel.IOS {
+		d.runIOSBackground(app, opts, cap, runRng.Child("os"))
+	}
+
+	for i, pc := range app.Conns {
+		if pc.At > opts.Window {
+			continue // connection would occur after capture/uninstall
+		}
+		d.runConn(app, pc, opts, cap, runRng.ChildN("conn", i))
+	}
+	d.Net.WaitIdle()
+	return cap
+}
+
+// runIOSBackground emits the OS-initiated traffic of §4.5: Apple service
+// domains spanning the whole test, and associated-domain verification
+// triggered by the install (which precedes launch by LaunchDelay).
+func (d *Device) runIOSBackground(app *appmodel.App, opts RunOptions, cap *netem.Capture, rng *detrand.Source) {
+	osClient := func(host string, at float64) {
+		tr, err := d.Net.Dial(host, netem.DialOpts{At: at, Capture: cap})
+		if err != nil {
+			return
+		}
+		defer tr.Close(tlswire.CloseFIN)
+		conn, err := tlswire.Client(tr, &tlswire.ClientConfig{
+			ServerName: host,
+			RootStore:  d.systemStore, // user CAs are NOT trusted here
+			PinFailure: tlswire.FailAlertClose,
+		})
+		if err != nil {
+			return
+		}
+		conn.Send([]byte("GET /.well-known/apple-app-site-association HTTP/1.1\r\nhost: " + host + "\r\n\r\n"))
+		conn.Recv()
+		conn.Close()
+	}
+
+	// Apple service domains: present in every capture window.
+	for i, host := range AppleBackgroundDomains {
+		osClient(host, float64(2+4*i))
+	}
+
+	// Associated-domain verification happens within osAssocWindow of the
+	// install. With a long enough LaunchDelay it completes before capture.
+	if opts.LaunchDelay >= osAssocWindow {
+		return
+	}
+	for _, host := range app.AssociatedDomains {
+		at := rng.Float64() * osAssocWindow
+		if at < opts.LaunchDelay { // finished before capture started
+			continue
+		}
+		if at-opts.LaunchDelay > opts.Window { // after capture ended
+			continue
+		}
+		osClient(host, at-opts.LaunchDelay)
+	}
+}
+
+// runConn executes one planned connection.
+func (d *Device) runConn(app *appmodel.App, pc appmodel.PlannedConn, opts RunOptions, cap *netem.Capture, rng *detrand.Source) {
+	tr, err := d.Net.Dial(pc.Host, netem.DialOpts{At: pc.At, Capture: cap})
+	if err != nil {
+		return
+	}
+	// App teardown closes whatever is still open; Close is idempotent.
+	defer tr.Close(tlswire.CloseFIN)
+
+	hooked := opts.Hooks.Covers(pc.Lib)
+	store := d.userStore
+	if pc.TrustAnchors != nil {
+		store = pc.TrustAnchors
+	}
+	cfg := &tlswire.ClientConfig{
+		ServerName:   pc.Host,
+		MaxVersion:   pc.MaxVersion,
+		CipherSuites: pc.Ciphers,
+		RootStore:    store,
+		Pins:         pc.Pins,
+		PinFailure:   pc.FailureMode,
+		SkipVerify:   hooked,
+		SkipPinning:  hooked,
+	}
+	conn, err := tlswire.Client(tr, cfg)
+	if err != nil {
+		return // failure signature already on the wire
+	}
+	if !pc.Used {
+		// Redundant connection: established, never used, closed by the
+		// deferred teardown.
+		return
+	}
+	payload := pii.BuildPayload(rng, pc.Host, pc.Path, d.Profile, pc.PIIKinds)
+	if err := conn.Send(payload); err != nil {
+		return
+	}
+	conn.Recv()
+	conn.Close()
+}
+
+// ProbeChain fetches the certificate chain served at host, bypassing any
+// interceptor — the study's equivalent of an `openssl s_client` probe used
+// for the PKI classification of pinned destinations (§5.3.1).
+func (d *Device) ProbeChain(host string) (pki.Chain, error) {
+	tr, err := d.Net.DialDirect(host)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close(tlswire.CloseFIN)
+	conn, err := tlswire.Client(tr, &tlswire.ClientConfig{
+		ServerName: host,
+		SkipVerify: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return conn.PeerChain, nil
+}

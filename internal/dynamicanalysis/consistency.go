@@ -1,0 +1,129 @@
+package dynamicanalysis
+
+import (
+	"pinscope/internal/stats"
+)
+
+// PairOutcome says on which platforms a common app pins.
+type PairOutcome int
+
+const (
+	PinsNeither PairOutcome = iota
+	PinsBoth
+	PinsAndroidOnly
+	PinsIOSOnly
+)
+
+func (o PairOutcome) String() string {
+	switch o {
+	case PinsBoth:
+		return "both"
+	case PinsAndroidOnly:
+		return "android-only"
+	case PinsIOSOnly:
+		return "ios-only"
+	}
+	return "neither"
+}
+
+// ConsistencyClass is the paper's §5.1 classification.
+type ConsistencyClass int
+
+const (
+	// ClassConsistent: at least one common pinned domain and no domain
+	// pinned on one platform while unpinned on the other.
+	ClassConsistent ConsistencyClass = iota
+	// ClassInconsistent: some domain is pinned on one platform and
+	// demonstrably not pinned on the other.
+	ClassInconsistent
+	// ClassInconclusive: the pinned domains of one platform were never
+	// observed on the other, so no comparison is possible.
+	ClassInconclusive
+)
+
+func (c ConsistencyClass) String() string {
+	switch c {
+	case ClassConsistent:
+		return "consistent"
+	case ClassInconsistent:
+		return "inconsistent"
+	}
+	return "inconclusive"
+}
+
+// PairAnalysis compares the Android and iOS dynamic results of one common
+// app (Figures 2–4).
+type PairAnalysis struct {
+	Name    string
+	Outcome PairOutcome
+	Class   ConsistencyClass
+
+	// JaccardPinned is the similarity of the two pinned-domain sets
+	// (meaningful when pinning on both platforms).
+	JaccardPinned float64
+	// IdenticalSets marks equal pinned sets on both platforms.
+	IdenticalSets bool
+	// PinnedAndroidSeenUnpinnedIOS is the fraction of Android-pinned
+	// domains observed NOT pinned on iOS (a Figure 3/4 heatmap cell), and
+	// vice versa.
+	PinnedAndroidSeenUnpinnedIOS float64
+	PinnedIOSSeenUnpinnedAndroid float64
+}
+
+// AnalyzePair classifies one common app from its per-platform results.
+func AnalyzePair(name string, android, ios *Result) *PairAnalysis {
+	pa := &PairAnalysis{Name: name}
+	pinA := stats.Set(android.PinnedDests())
+	pinI := stats.Set(ios.PinnedDests())
+	notA := stats.Set(android.NotPinnedDests())
+	notI := stats.Set(ios.NotPinnedDests())
+
+	switch {
+	case len(pinA) > 0 && len(pinI) > 0:
+		pa.Outcome = PinsBoth
+	case len(pinA) > 0:
+		pa.Outcome = PinsAndroidOnly
+	case len(pinI) > 0:
+		pa.Outcome = PinsIOSOnly
+	default:
+		pa.Outcome = PinsNeither
+		pa.Class = ClassInconclusive
+		return pa
+	}
+
+	pa.JaccardPinned = stats.Jaccard(pinA, pinI)
+	pa.IdenticalSets = len(pinA) > 0 && pa.JaccardPinned == 1
+	pa.PinnedAndroidSeenUnpinnedIOS = stats.Overlap(pinA, notI)
+	pa.PinnedIOSSeenUnpinnedAndroid = stats.Overlap(pinI, notA)
+
+	inconsistent := pa.PinnedAndroidSeenUnpinnedIOS > 0 || pa.PinnedIOSSeenUnpinnedAndroid > 0
+	switch pa.Outcome {
+	case PinsBoth:
+		sharePinned := false
+		for d := range pinA {
+			if pinI[d] {
+				sharePinned = true
+				break
+			}
+		}
+		switch {
+		case inconsistent:
+			pa.Class = ClassInconsistent
+		case sharePinned:
+			pa.Class = ClassConsistent
+		default:
+			// Pins on both, but the pinned sets never meet — the other
+			// platform never contacted those domains at all.
+			pa.Class = ClassInconclusive
+		}
+	default:
+		// Exclusive pinners can only be inconsistent (pinned here, seen
+		// unpinned there) or inconclusive (never seen there).
+		if inconsistent {
+			pa.Class = ClassInconsistent
+		} else {
+			pa.Class = ClassInconclusive
+		}
+	}
+	return pa
+}

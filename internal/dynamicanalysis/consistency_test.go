@@ -1,0 +1,102 @@
+package dynamicanalysis
+
+import "testing"
+
+// mkResult builds a Result with the given pinned and not-pinned (used under
+// MITM) destinations.
+func mkResult(pinned, notPinned []string) *Result {
+	r := &Result{AppID: "t", Verdicts: map[string]*DestVerdict{}}
+	for _, d := range pinned {
+		r.Verdicts[d] = &DestVerdict{Dest: d, Pinned: true, UsedNoMITM: true}
+	}
+	for _, d := range notPinned {
+		r.Verdicts[d] = &DestVerdict{Dest: d, UsedNoMITM: true, UsedMITM: true}
+	}
+	return r
+}
+
+func TestPairConsistentIdentical(t *testing.T) {
+	a := mkResult([]string{"api.x.com", "cdn.x.com"}, []string{"t.net"})
+	i := mkResult([]string{"api.x.com", "cdn.x.com"}, []string{"t.net"})
+	pa := AnalyzePair("X", a, i)
+	if pa.Outcome != PinsBoth || pa.Class != ClassConsistent {
+		t.Fatalf("%v %v", pa.Outcome, pa.Class)
+	}
+	if !pa.IdenticalSets || pa.JaccardPinned != 1 {
+		t.Fatalf("identical sets: %+v", pa)
+	}
+}
+
+func TestPairConsistentSubset(t *testing.T) {
+	// Overlapping pinned sets, with the extra Android domain never observed
+	// on iOS: consistent (no contradiction).
+	a := mkResult([]string{"api.x.com", "extra.x.com"}, nil)
+	i := mkResult([]string{"api.x.com"}, nil)
+	pa := AnalyzePair("X", a, i)
+	if pa.Class != ClassConsistent {
+		t.Fatalf("class %v", pa.Class)
+	}
+	if pa.IdenticalSets {
+		t.Fatal("subset reported identical")
+	}
+	if pa.JaccardPinned != 0.5 {
+		t.Fatalf("jaccard %v", pa.JaccardPinned)
+	}
+}
+
+func TestPairInconsistentBoth(t *testing.T) {
+	// Both pin, but a domain pinned on Android is demonstrably unpinned on
+	// iOS.
+	a := mkResult([]string{"api.x.com", "shared.x.com"}, nil)
+	i := mkResult([]string{"shared.x.com"}, []string{"api.x.com"})
+	pa := AnalyzePair("X", a, i)
+	if pa.Outcome != PinsBoth || pa.Class != ClassInconsistent {
+		t.Fatalf("%v %v", pa.Outcome, pa.Class)
+	}
+	if pa.PinnedAndroidSeenUnpinnedIOS != 0.5 {
+		t.Fatalf("heatmap cell: %v", pa.PinnedAndroidSeenUnpinnedIOS)
+	}
+	if pa.PinnedIOSSeenUnpinnedAndroid != 0 {
+		t.Fatalf("reverse cell: %v", pa.PinnedIOSSeenUnpinnedAndroid)
+	}
+}
+
+func TestPairInconclusiveBoth(t *testing.T) {
+	// Both pin but on disjoint domains never seen on the other platform.
+	a := mkResult([]string{"android-api.x.com"}, nil)
+	i := mkResult([]string{"ios-api.x.com"}, nil)
+	pa := AnalyzePair("X", a, i)
+	if pa.Outcome != PinsBoth || pa.Class != ClassInconclusive {
+		t.Fatalf("%v %v", pa.Outcome, pa.Class)
+	}
+}
+
+func TestExclusiveAndroidInconsistent(t *testing.T) {
+	a := mkResult([]string{"api.x.com"}, nil)
+	i := mkResult(nil, []string{"api.x.com"})
+	pa := AnalyzePair("X", a, i)
+	if pa.Outcome != PinsAndroidOnly || pa.Class != ClassInconsistent {
+		t.Fatalf("%v %v", pa.Outcome, pa.Class)
+	}
+	if pa.PinnedAndroidSeenUnpinnedIOS != 1 {
+		t.Fatalf("cell %v", pa.PinnedAndroidSeenUnpinnedIOS)
+	}
+}
+
+func TestExclusiveIOSInconclusive(t *testing.T) {
+	a := mkResult(nil, []string{"other.net"})
+	i := mkResult([]string{"ios-only.x.com"}, nil)
+	pa := AnalyzePair("X", a, i)
+	if pa.Outcome != PinsIOSOnly || pa.Class != ClassInconclusive {
+		t.Fatalf("%v %v", pa.Outcome, pa.Class)
+	}
+}
+
+func TestPairNeither(t *testing.T) {
+	a := mkResult(nil, []string{"a.net"})
+	i := mkResult(nil, []string{"a.net"})
+	pa := AnalyzePair("X", a, i)
+	if pa.Outcome != PinsNeither {
+		t.Fatalf("outcome %v", pa.Outcome)
+	}
+}

@@ -1,0 +1,306 @@
+// Package dynamicanalysis implements the study's run-time pinning detector
+// (§4.2): classify every captured TLS connection as used or failed with the
+// version-specific heuristics of §4.2.2, then compare the non-MITM and MITM
+// captures of an app differentially — a destination whose connections carry
+// data without interception but always fail under interception is pinned.
+//
+// The package consumes only passive observations (netem flow summaries);
+// nothing here reads app ground truth. It is the half of the paper's core
+// contribution that complements internal/staticanalysis.
+package dynamicanalysis
+
+import (
+	"sort"
+	"strings"
+
+	"pinscope/internal/netem"
+	"pinscope/internal/tlswire"
+	"pinscope/internal/whois"
+)
+
+// ConnStatus classifies one connection.
+type ConnStatus int
+
+const (
+	// StatusUsed: application data was transmitted (per the §4.2.2
+	// heuristics).
+	StatusUsed ConnStatus = iota
+	// StatusFailed: the connection went unused and the client tore it down
+	// (TLS alert, TCP RST, or FIN).
+	StatusFailed
+	// StatusInconclusive: unused but never observed closing (e.g. capture
+	// window ended first).
+	StatusInconclusive
+)
+
+func (s ConnStatus) String() string {
+	switch s {
+	case StatusUsed:
+		return "used"
+	case StatusFailed:
+		return "failed"
+	}
+	return "inconclusive"
+}
+
+// ClassifyFlow applies the used/failed heuristics to one captured flow.
+//
+// TLS <= 1.2: any application_data record means the connection was used —
+// handshake records are distinguishable on the wire.
+//
+// TLS 1.3: every encrypted record is disguised as application_data, so the
+// client's record sequence is examined: more than two records, or a second
+// record that is not exactly the size of an encrypted alert, indicates real
+// application data (the first is always the client Finished on successful
+// connections).
+func ClassifyFlow(f *netem.Flow) ConnStatus {
+	version := f.NegotiatedVersion()
+	used := false
+	switch {
+	case version == 0:
+		// Handshake never completed far enough to negotiate.
+		used = false
+	case version <= tlswire.TLS12:
+		for _, r := range f.Records() {
+			if r.WireType == tlswire.RecAppData {
+				used = true
+				break
+			}
+		}
+	default: // TLS 1.3
+		var clientApp []int
+		for _, r := range f.Records() {
+			if r.FromClient && r.WireType == tlswire.RecAppData {
+				clientApp = append(clientApp, r.Length)
+			}
+		}
+		switch {
+		case len(clientApp) > 2:
+			used = true
+		case len(clientApp) == 2 && clientApp[1] != tlswire.EncryptedAlertWireLen:
+			used = true
+		}
+	}
+	if used {
+		return StatusUsed
+	}
+	clientClose, _ := f.CloseFlags()
+	if clientClose != tlswire.CloseNone {
+		return StatusFailed
+	}
+	return StatusInconclusive
+}
+
+// flowDest returns the destination key for grouping: SNI when present
+// (>99% of study traffic), else the dialed host.
+func flowDest(f *netem.Flow) string {
+	if sni := f.SNI(); sni != "" {
+		return sni
+	}
+	return f.Dst
+}
+
+// DestSummary aggregates one destination's connections within one capture.
+type DestSummary struct {
+	Dest         string
+	Used         int
+	Failed       int
+	Inconclusive int
+	// WeakCipherOffered is set when any ClientHello to this destination
+	// advertised a weak suite (Table 8's per-connection criterion).
+	WeakCipherOffered bool
+	// Versions seen in ServerHellos.
+	Versions map[tlswire.Version]bool
+	// SawClientAlert is set when a plaintext client alert was captured.
+	SawClientAlert bool
+}
+
+// SummarizeCapture groups a capture's flows by destination.
+func SummarizeCapture(cap *netem.Capture) map[string]*DestSummary {
+	out := make(map[string]*DestSummary)
+	for _, f := range cap.Flows() {
+		dest := flowDest(f)
+		ds := out[dest]
+		if ds == nil {
+			ds = &DestSummary{Dest: dest, Versions: make(map[tlswire.Version]bool)}
+			out[dest] = ds
+		}
+		switch ClassifyFlow(f) {
+		case StatusUsed:
+			ds.Used++
+		case StatusFailed:
+			ds.Failed++
+		default:
+			ds.Inconclusive++
+		}
+		if h := f.ClientHello(); h != nil {
+			for _, c := range h.CipherSuites {
+				if c.IsWeak() {
+					ds.WeakCipherOffered = true
+				}
+			}
+		}
+		if v := f.NegotiatedVersion(); v != 0 {
+			ds.Versions[v] = true
+		}
+		for _, r := range f.Records() {
+			if r.FromClient && r.HasAlert && r.Alert != tlswire.AlertCloseNotify {
+				ds.SawClientAlert = true
+			}
+		}
+	}
+	return out
+}
+
+// DestVerdict is the per-destination outcome of the differential analysis.
+type DestVerdict struct {
+	Dest string
+	// Pinned: used without MITM, always failed with MITM.
+	Pinned bool
+	// UsedNoMITM / UsedMITM report data transmission in each setting.
+	UsedNoMITM bool
+	UsedMITM   bool
+	// Excluded destinations (OS background traffic) are reported for
+	// transparency but never counted.
+	Excluded bool
+	// WeakCipherOffered comes from the non-MITM run's ClientHellos.
+	WeakCipherOffered bool
+}
+
+// Result is the dynamic verdict for one app run pair.
+type Result struct {
+	AppID    string
+	Verdicts map[string]*DestVerdict
+}
+
+// Pins reports whether any destination was detected as pinned.
+func (r *Result) Pins() bool {
+	for _, v := range r.Verdicts {
+		if v.Pinned {
+			return true
+		}
+	}
+	return false
+}
+
+// PinnedDests returns the pinned destinations, sorted.
+func (r *Result) PinnedDests() []string {
+	var out []string
+	for _, v := range r.Verdicts {
+		if v.Pinned {
+			out = append(out, v.Dest)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NotPinnedDests returns destinations that demonstrably carried data under
+// MITM (the "not pinned" sets of §5.1), sorted.
+func (r *Result) NotPinnedDests() []string {
+	var out []string
+	for _, v := range r.Verdicts {
+		if !v.Pinned && !v.Excluded && v.UsedMITM {
+			out = append(out, v.Dest)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ContactedDests returns every non-excluded destination observed, sorted.
+func (r *Result) ContactedDests() []string {
+	var out []string
+	for _, v := range r.Verdicts {
+		if !v.Excluded {
+			out = append(out, v.Dest)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Options configure the differential detector.
+type Options struct {
+	// ExcludeDomains are OS-attributed destinations (Apple service domains
+	// plus the app's associated domains from its entitlements, §4.5).
+	// Matching is exact or by-suffix on label boundaries.
+	ExcludeDomains []string
+}
+
+func excluded(dest string, patterns []string) bool {
+	for _, p := range patterns {
+		if dest == p || strings.HasSuffix(dest, "."+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Detect runs the differential analysis over an app's two captures.
+func Detect(appID string, noMITM, mitm *netem.Capture, opts Options) *Result {
+	base := SummarizeCapture(noMITM)
+	inter := SummarizeCapture(mitm)
+	res := &Result{AppID: appID, Verdicts: make(map[string]*DestVerdict)}
+
+	all := make(map[string]bool)
+	for d := range base {
+		all[d] = true
+	}
+	for d := range inter {
+		all[d] = true
+	}
+	for dest := range all {
+		v := &DestVerdict{Dest: dest, Excluded: excluded(dest, opts.ExcludeDomains)}
+		if b := base[dest]; b != nil {
+			v.UsedNoMITM = b.Used > 0
+			v.WeakCipherOffered = b.WeakCipherOffered
+		}
+		if m := inter[dest]; m != nil {
+			v.UsedMITM = m.Used > 0
+		}
+		// Pinned: data flowed without interception; the destination was
+		// attempted under interception and every attempt failed.
+		if !v.Excluded && v.UsedNoMITM {
+			if m := inter[dest]; m != nil && m.Used == 0 && m.Failed > 0 {
+				v.Pinned = true
+			}
+		}
+		res.Verdicts[dest] = v
+	}
+	return res
+}
+
+// IsFirstParty attributes a destination to the app's own organization using
+// whois data and name similarity, the way the paper combined "whois data,
+// certificate subject names, etc." (§5.2). It returns false (third party)
+// when no signal matches.
+func IsFirstParty(dest, developer, appName string, reg *whois.Registry) bool {
+	if reg != nil {
+		if org, ok := reg.Lookup(dest); ok {
+			if strings.EqualFold(org, developer) {
+				return true
+			}
+			// Registered to an unrelated org: decisively third-party.
+			return false
+		}
+	}
+	// Whois unavailable (privacy-protected): fall back to name tokens.
+	slugify := func(s string) string {
+		var b strings.Builder
+		for _, r := range strings.ToLower(s) {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	d := slugify(dest)
+	if n := slugify(appName); len(n) >= 5 && strings.Contains(d, n) {
+		return true
+	}
+	if dv := slugify(developer); len(dv) >= 5 && strings.Contains(d, dv) {
+		return true
+	}
+	return false
+}

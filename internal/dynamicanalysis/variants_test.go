@@ -1,0 +1,128 @@
+package dynamicanalysis
+
+import (
+	"testing"
+
+	"pinscope/internal/netem"
+	"pinscope/internal/pki"
+	"pinscope/internal/tlswire"
+)
+
+// TestNaiveDetectorFalsePositives: the non-differential detector must flag
+// destinations whose connections go unused under MITM for reasons other
+// than pinning — here a redundant connection that never carries data in
+// either setting (one of the §4.2.2 confounders).
+func TestNaiveDetectorFalsePositives(t *testing.T) {
+	h := newHarness(t, "idle.example.com")
+	scripts := []script{{host: "idle.example.com", used: false}}
+	capB := h.run(true, scripts)
+
+	naive := DetectNaive("app", capB, Options{})
+	if !naive.Pins() {
+		t.Fatal("naive detector did not flag the unused (non-pinned) destination")
+	}
+	// The differential detector, seeing no data in the baseline either,
+	// does not.
+	capA := h.run(false, scripts)
+	full := Detect("app", capA, capB, Options{})
+	if full.Pins() {
+		t.Fatal("differential detector flagged a redundant connection")
+	}
+}
+
+// TestLegacyClassifierMissesTLS13Pinning: treating TLS 1.3 records like
+// TLS 1.2 makes the disguised encrypted alert look like application data,
+// so the MITM run appears "used" and the pinning goes undetected.
+func TestLegacyClassifierMissesTLS13Pinning(t *testing.T) {
+	h := newHarness(t, "pinned.example.com")
+	scripts := []script{{
+		host: "pinned.example.com",
+		pins: caPin(h, "pinned.example.com"),
+		mode: tlswire.FailAlertClose,
+		maxV: tlswire.TLS13,
+		used: true, payload: "GET /",
+	}}
+	capA := h.run(false, scripts)
+	capB := h.run(true, scripts)
+
+	proper := Detect("app", capA, capB, Options{})
+	if !proper.Pins() {
+		t.Fatal("proper detector missed TLS 1.3 pinning")
+	}
+	legacy := DetectWith("app", capA, capB, Options{}, ClassifyFlowLegacy)
+	if legacy.Pins() {
+		t.Fatal("legacy classifier should have been fooled by the disguised alert")
+	}
+}
+
+// TestLegacyClassifierFineOnTLS12: on TLS <= 1.2 both classifiers agree.
+func TestLegacyClassifierFineOnTLS12(t *testing.T) {
+	h := newHarness(t, "pinned.example.com")
+	scripts := []script{{
+		host: "pinned.example.com",
+		pins: caPin(h, "pinned.example.com"),
+		mode: tlswire.FailAlertClose,
+		maxV: tlswire.TLS12,
+		used: true, payload: "GET /",
+	}}
+	capA := h.run(false, scripts)
+	capB := h.run(true, scripts)
+	if !DetectWith("app", capA, capB, Options{}, ClassifyFlowLegacy).Pins() {
+		t.Fatal("legacy classifier missed TLS 1.2 pinning")
+	}
+}
+
+// TestDetectWithMatchesDetect: the default classifier plugged into
+// DetectWith must reproduce Detect exactly.
+func TestDetectWithMatchesDetect(t *testing.T) {
+	h := newHarness(t, "pinned.example.com", "open.example.com")
+	scripts := []script{
+		{host: "pinned.example.com", pins: caPin(h, "pinned.example.com"), used: true, payload: "x"},
+		{host: "open.example.com", used: true, payload: "y"},
+	}
+	capA := h.run(false, scripts)
+	capB := h.run(true, scripts)
+	a := Detect("app", capA, capB, Options{})
+	b := DetectWith("app", capA, capB, Options{}, ClassifyFlow)
+	if len(a.Verdicts) != len(b.Verdicts) {
+		t.Fatalf("verdict counts differ: %d vs %d", len(a.Verdicts), len(b.Verdicts))
+	}
+	for d, va := range a.Verdicts {
+		vb := b.Verdicts[d]
+		if vb == nil || va.Pinned != vb.Pinned || va.UsedNoMITM != vb.UsedNoMITM {
+			t.Fatalf("verdicts differ at %s: %+v vs %+v", d, va, vb)
+		}
+	}
+}
+
+// TestSummarizeCaptureWithCustomClassifier sanity-checks the pluggable
+// summarizer.
+func TestSummarizeCaptureWithCustomClassifier(t *testing.T) {
+	h := newHarness(t, "x.example.com")
+	cap := h.run(false, []script{{host: "x.example.com", used: true, payload: "z"}})
+	everythingFails := func(*netem.Flow) ConnStatus { return StatusFailed }
+	sum := SummarizeCaptureWith(cap, everythingFails)
+	ds := sum["x.example.com"]
+	if ds == nil || ds.Failed == 0 || ds.Used != 0 {
+		t.Fatalf("custom classifier ignored: %+v", ds)
+	}
+}
+
+// TestOSFingerprintIndistinguishable reproduces the §4.5 observation that
+// motivated name-based exclusion: OS verification traffic and app traffic
+// ride the same TLS stack, so their ClientHello fingerprints collide.
+func TestOSFingerprintIndistinguishable(t *testing.T) {
+	stack := func(sni string) *tlswire.HelloInfo {
+		return &tlswire.HelloInfo{
+			SNI: sni, MaxVersion: tlswire.TLS13,
+			CipherSuites: tlswire.ModernSuites, ALPN: []string{"h2"},
+		}
+	}
+	osHello := stack("assoc.example.com")    // OS associated-domain check
+	appHello := stack("api.app.example.com") // app traffic, same platform stack
+	if osHello.Fingerprint() != appHello.Fingerprint() {
+		t.Fatal("fingerprints differ — the paper's exclusion-by-name would have been unnecessary")
+	}
+}
+
+var _ = pki.SHA256 // keep the import used if helpers change

@@ -1,0 +1,77 @@
+// Package frida models the binary-instrumentation step of the study
+// (§4.3): hooking an app's TLS libraries at run time to disable certificate
+// validation and pin enforcement, so that pinned connections become
+// interceptable and their plaintext observable.
+//
+// Hook coverage is a property of the TLS implementation, not the app:
+// popular stacks (OkHttp, Conscrypt, NSURLSession, TrustKit, AFNetworking)
+// have well-known validation entry points to patch, while statically linked
+// custom stacks do not — which is why the paper could only circumvent
+// pinning for ≈51.5% of pinned destinations on Android and ≈66% on iOS.
+package frida
+
+import (
+	"errors"
+
+	"pinscope/internal/appmodel"
+)
+
+// hookRegistry lists the TLS libraries each platform's scripts can patch.
+var hookRegistry = map[appmodel.Platform]map[appmodel.TLSLib]bool{
+	appmodel.Android: {
+		appmodel.LibOkHttp:    true,
+		appmodel.LibConscrypt: true,
+		appmodel.LibWebView:   true,
+		// Flutter's statically linked BoringSSL and bespoke native stacks
+		// have no stable symbols to hook.
+		appmodel.LibFlutterBoring: false,
+		appmodel.LibCustomNative:  false,
+	},
+	appmodel.IOS: {
+		appmodel.LibNSURLSession:  true,
+		appmodel.LibTrustKit:      true,
+		appmodel.LibAFNetworking:  true,
+		appmodel.LibFlutterBoring: false,
+		appmodel.LibCustomNative:  false,
+	},
+}
+
+// ErrNotJailbroken is returned when attaching to an iOS device that cannot
+// run the frida server.
+var ErrNotJailbroken = errors.New("frida: iOS instrumentation requires a jailbroken device")
+
+// Session is an attached instrumentation session for one app run.
+type Session struct {
+	platform appmodel.Platform
+}
+
+// Attach starts instrumentation on a device of the given platform.
+// jailbroken reports the device state; it gates iOS (Android test devices
+// run with adb root, no jailbreak concept applies).
+func Attach(platform appmodel.Platform, jailbroken bool) (*Session, error) {
+	if platform == appmodel.IOS && !jailbroken {
+		return nil, ErrNotJailbroken
+	}
+	return &Session{platform: platform}, nil
+}
+
+// Covers reports whether the session's hooks disable certificate validation
+// for connections made through lib.
+func (s *Session) Covers(lib appmodel.TLSLib) bool {
+	if s == nil {
+		return false
+	}
+	return hookRegistry[s.platform][lib]
+}
+
+// HookableLibs returns the libraries the platform scripts cover, for
+// reporting.
+func HookableLibs(p appmodel.Platform) []appmodel.TLSLib {
+	var out []appmodel.TLSLib
+	for lib, ok := range hookRegistry[p] {
+		if ok {
+			out = append(out, lib)
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package frida
+
+import (
+	"errors"
+	"testing"
+
+	"pinscope/internal/appmodel"
+)
+
+func TestAttachIOSRequiresJailbreak(t *testing.T) {
+	if _, err := Attach(appmodel.IOS, false); !errors.Is(err, ErrNotJailbroken) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Attach(appmodel.IOS, true); err != nil {
+		t.Fatalf("jailbroken attach failed: %v", err)
+	}
+	if _, err := Attach(appmodel.Android, false); err != nil {
+		t.Fatalf("android attach failed: %v", err)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	a, _ := Attach(appmodel.Android, false)
+	if !a.Covers(appmodel.LibOkHttp) || !a.Covers(appmodel.LibConscrypt) {
+		t.Fatal("popular Android stacks not covered")
+	}
+	if a.Covers(appmodel.LibCustomNative) || a.Covers(appmodel.LibFlutterBoring) {
+		t.Fatal("custom stacks reported hookable")
+	}
+	if a.Covers(appmodel.LibNSURLSession) {
+		t.Fatal("iOS stack covered by Android session")
+	}
+
+	i, _ := Attach(appmodel.IOS, true)
+	if !i.Covers(appmodel.LibNSURLSession) || !i.Covers(appmodel.LibTrustKit) {
+		t.Fatal("popular iOS stacks not covered")
+	}
+	if i.Covers(appmodel.LibCustomNative) {
+		t.Fatal("custom native reported hookable on iOS")
+	}
+}
+
+func TestNilSessionCoversNothing(t *testing.T) {
+	var s *Session
+	if s.Covers(appmodel.LibOkHttp) {
+		t.Fatal("nil session covers a lib")
+	}
+}
+
+func TestHookableLibs(t *testing.T) {
+	for _, p := range appmodel.Platforms {
+		libs := HookableLibs(p)
+		if len(libs) != 3 {
+			t.Fatalf("%s: %d hookable libs", p, len(libs))
+		}
+	}
+}

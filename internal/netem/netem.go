@@ -1,0 +1,368 @@
+// Package netem provides the in-memory network substrate for the study: an
+// emulated WiFi segment where test devices dial destination hosts, every
+// record crossing the client's access link is captured (the paper's
+// tcpdump-at-the-hotspot vantage point), and an interceptor — the MITM
+// proxy — can be inserted in front of every connection.
+//
+// Transports are turn-based record pipes. A passive capture stores only
+// tlswire.Summary views of records, never endpoint-private content, so the
+// analysis pipeline genuinely cannot cheat by peeking at plaintext.
+package netem
+
+import (
+	"fmt"
+	"sync"
+
+	"pinscope/internal/pki"
+	"pinscope/internal/tlswire"
+)
+
+// Flow is one captured TCP/TLS connection as seen from the monitoring
+// point: destination, timing, the observable record sequence, and how each
+// side closed.
+type Flow struct {
+	mu sync.Mutex
+
+	// Dst is the hostname the client dialed (the capture's flow key; in
+	// practice derived from DNS+SNI, and >99% of study traffic had SNI).
+	Dst string
+	// At is the logical time (seconds since app launch) of the dial.
+	At float64
+
+	records     []tlswire.Summary
+	clientClose tlswire.CloseFlag
+	serverClose tlswire.CloseFlag
+}
+
+// Records returns a snapshot of the captured record summaries.
+func (f *Flow) Records() []tlswire.Summary {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]tlswire.Summary, len(f.records))
+	copy(out, f.records)
+	return out
+}
+
+// SNI returns the server name from the captured ClientHello, or "".
+func (f *Flow) SNI() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.records {
+		if r.Hello != nil {
+			return r.Hello.SNI
+		}
+	}
+	return ""
+}
+
+// ClientHello returns the captured ClientHello, or nil.
+func (f *Flow) ClientHello() *tlswire.HelloInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.records {
+		if r.Hello != nil {
+			return r.Hello
+		}
+	}
+	return nil
+}
+
+// NegotiatedVersion returns the version from the captured ServerHello, or 0.
+func (f *Flow) NegotiatedVersion() tlswire.Version {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.records {
+		if r.SHello != nil {
+			return r.SHello.Version
+		}
+	}
+	return 0
+}
+
+// ObservedChain returns the certificate chain if it crossed the wire in
+// cleartext (TLS <= 1.2 only), else nil.
+func (f *Flow) ObservedChain() pki.Chain {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.records {
+		if len(r.Certs) > 0 {
+			return r.Certs
+		}
+	}
+	return nil
+}
+
+// CloseFlags returns how the client and server sides ended.
+func (f *Flow) CloseFlags() (client, server tlswire.CloseFlag) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.clientClose, f.serverClose
+}
+
+func (f *Flow) addRecord(fromClient bool, r tlswire.Record) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.records = append(f.records, r.Summarize(fromClient))
+}
+
+func (f *Flow) addClose(fromClient bool, flag tlswire.CloseFlag) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fromClient {
+		if f.clientClose == tlswire.CloseNone {
+			f.clientClose = flag
+		}
+	} else {
+		if f.serverClose == tlswire.CloseNone {
+			f.serverClose = flag
+		}
+	}
+}
+
+// Capture accumulates the flows of one experiment run.
+type Capture struct {
+	mu    sync.Mutex
+	flows []*Flow
+}
+
+// NewCapture returns an empty capture.
+func NewCapture() *Capture { return &Capture{} }
+
+// Flows returns the captured flows in dial order.
+func (c *Capture) Flows() []*Flow {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Flow, len(c.flows))
+	copy(out, c.flows)
+	return out
+}
+
+func (c *Capture) newFlow(dst string, at float64) *Flow {
+	f := &Flow{Dst: dst, At: at}
+	if c != nil {
+		c.mu.Lock()
+		c.flows = append(c.flows, f)
+		c.mu.Unlock()
+	}
+	return f
+}
+
+// Handler serves one inbound connection.
+type Handler func(t tlswire.Transport)
+
+// Interceptor sits in front of every intercepted dial; the MITM proxy
+// implements it. It must eventually close clientSide.
+type Interceptor interface {
+	HandleConn(clientSide tlswire.Transport, dstHost string, net *Network)
+}
+
+// Network is the emulated network segment.
+type Network struct {
+	mu          sync.Mutex
+	servers     map[string]Handler
+	interceptor Interceptor
+	wg          sync.WaitGroup
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{servers: make(map[string]Handler)}
+}
+
+// Listen registers the handler for host, replacing any previous one.
+func (n *Network) Listen(host string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.servers[host] = h
+}
+
+// SetInterceptor installs (or with nil removes) the interception proxy for
+// subsequent Dials.
+func (n *Network) SetInterceptor(i Interceptor) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.interceptor = i
+}
+
+// HasHost reports whether host is served.
+func (n *Network) HasHost(host string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.servers[host]
+	return ok
+}
+
+// DialOpts parameterize a dial.
+type DialOpts struct {
+	// At is the logical dial time in seconds since app launch.
+	At float64
+	// Capture, when non-nil, records the client-side leg of this
+	// connection.
+	Capture *Capture
+}
+
+// Dial opens a connection to host, routed through the interceptor if one
+// is installed. The returned transport is the client side; the caller must
+// Close it (closing is idempotent, so deferring a FIN is always safe).
+func (n *Network) Dial(host string, opts DialOpts) (tlswire.Transport, error) {
+	n.mu.Lock()
+	interceptor := n.interceptor
+	handler, ok := n.servers[host]
+	n.mu.Unlock()
+
+	if interceptor == nil && !ok {
+		return nil, fmt.Errorf("netem: no route to host %q", host)
+	}
+
+	var flow *Flow
+	if opts.Capture != nil {
+		flow = opts.Capture.newFlow(host, opts.At)
+	}
+	client, server := newPipePair(flow)
+
+	n.wg.Add(1)
+	if interceptor != nil {
+		go func() {
+			defer n.wg.Done()
+			interceptor.HandleConn(server, host, n)
+		}()
+	} else {
+		go func() {
+			defer n.wg.Done()
+			defer server.Close(tlswire.CloseFIN)
+			handler(server)
+		}()
+	}
+	return client, nil
+}
+
+// DialDirect bypasses the interceptor — the proxy uses it for its upstream
+// leg (which the monitoring point does not capture).
+func (n *Network) DialDirect(host string) (tlswire.Transport, error) {
+	n.mu.Lock()
+	handler, ok := n.servers[host]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netem: no route to host %q", host)
+	}
+	client, server := newPipePair(nil)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer server.Close(tlswire.CloseFIN)
+		handler(server)
+	}()
+	return client, nil
+}
+
+// WaitIdle blocks until every spawned handler and interceptor goroutine has
+// returned. Callers must close all client transports first.
+func (n *Network) WaitIdle() { n.wg.Wait() }
+
+// --- record pipes ---------------------------------------------------------
+
+const pipeBuf = 128
+
+type pipe struct {
+	fromClient bool
+	out        chan tlswire.Record
+	in         chan tlswire.Record
+
+	localDone chan struct{}
+	peerDone  chan struct{}
+
+	mu        sync.Mutex
+	localFlag tlswire.CloseFlag
+	peer      *pipe
+	flow      *Flow
+}
+
+// newPipePair returns the client and server ends of a connection, tapped
+// into flow (which may be nil for uncaptured legs).
+func newPipePair(flow *Flow) (client, server *pipe) {
+	c2s := make(chan tlswire.Record, pipeBuf)
+	s2c := make(chan tlswire.Record, pipeBuf)
+	client = &pipe{
+		fromClient: true,
+		out:        c2s, in: s2c,
+		localDone: make(chan struct{}),
+		flow:      flow,
+	}
+	server = &pipe{
+		fromClient: false,
+		out:        s2c, in: c2s,
+		localDone: make(chan struct{}),
+		flow:      flow,
+	}
+	client.peerDone = server.localDone
+	server.peerDone = client.localDone
+	client.peer = server
+	server.peer = client
+	return client, server
+}
+
+func (p *pipe) Send(r tlswire.Record) error {
+	select {
+	case <-p.localDone:
+		return &tlswire.PeerClosedError{Flag: p.localFlagLocked()}
+	case <-p.peerDone:
+		return &tlswire.PeerClosedError{Flag: p.peer.localFlagLocked()}
+	default:
+	}
+	if p.flow != nil {
+		p.flow.addRecord(p.fromClient, r)
+	}
+	select {
+	case p.out <- r:
+		return nil
+	case <-p.peerDone:
+		return &tlswire.PeerClosedError{Flag: p.peer.localFlagLocked()}
+	}
+}
+
+func (p *pipe) Recv() (tlswire.Record, error) {
+	select {
+	case r := <-p.in:
+		return r, nil
+	default:
+	}
+	select {
+	case r := <-p.in:
+		return r, nil
+	case <-p.peerDone:
+		// Final drain: the peer may have sent before closing.
+		select {
+		case r := <-p.in:
+			return r, nil
+		default:
+			return tlswire.Record{}, &tlswire.PeerClosedError{Flag: p.peer.localFlagLocked()}
+		}
+	case <-p.localDone:
+		return tlswire.Record{}, &tlswire.PeerClosedError{Flag: p.localFlagLocked()}
+	}
+}
+
+func (p *pipe) Close(flag tlswire.CloseFlag) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case <-p.localDone:
+		return nil // idempotent
+	default:
+	}
+	p.localFlag = flag
+	if p.flow != nil {
+		p.flow.addClose(p.fromClient, flag)
+	}
+	close(p.localDone)
+	return nil
+}
+
+func (p *pipe) localFlagLocked() tlswire.CloseFlag {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.localFlag
+}

@@ -1,0 +1,217 @@
+package netem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pinscope/internal/tlswire"
+)
+
+func TestPipeSendRecv(t *testing.T) {
+	c, s := newPipePair(nil)
+	want := tlswire.Record{WireType: tlswire.RecHandshake, Length: 42}
+	if err := c.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WireType != want.WireType || got.Length != want.Length {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestPipeDrainAfterPeerClose(t *testing.T) {
+	c, s := newPipePair(nil)
+	c.Send(tlswire.Record{Length: 1})
+	c.Send(tlswire.Record{Length: 2})
+	c.Close(tlswire.CloseFIN)
+
+	r1, err := s.Recv()
+	if err != nil || r1.Length != 1 {
+		t.Fatalf("first drain: %v %v", r1, err)
+	}
+	r2, err := s.Recv()
+	if err != nil || r2.Length != 2 {
+		t.Fatalf("second drain: %v %v", r2, err)
+	}
+	_, err = s.Recv()
+	var pe *tlswire.PeerClosedError
+	if !errors.As(err, &pe) || pe.Flag != tlswire.CloseFIN {
+		t.Fatalf("after drain: %v", err)
+	}
+	if !errors.Is(err, tlswire.ErrPeerClosed) {
+		t.Fatal("errors.Is(ErrPeerClosed) false")
+	}
+}
+
+func TestPipeSendAfterPeerRST(t *testing.T) {
+	c, s := newPipePair(nil)
+	s.Close(tlswire.CloseRST)
+	err := c.Send(tlswire.Record{Length: 9})
+	var pe *tlswire.PeerClosedError
+	if !errors.As(err, &pe) || pe.Flag != tlswire.CloseRST {
+		t.Fatalf("send to reset peer: %v", err)
+	}
+}
+
+func TestPipeCloseIdempotent(t *testing.T) {
+	c, _ := newPipePair(nil)
+	if err := c.Close(tlswire.CloseRST); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(tlswire.CloseFIN); err != nil {
+		t.Fatal(err)
+	}
+	// First flag wins.
+	if got := c.localFlagLocked(); got != tlswire.CloseRST {
+		t.Fatalf("flag after double close: %s", got)
+	}
+}
+
+func TestPipeRecvUnblocksOnLocalClose(t *testing.T) {
+	c, _ := newPipePair(nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv()
+		done <- err
+	}()
+	c.Close(tlswire.CloseFIN)
+	if err := <-done; err == nil {
+		t.Fatal("Recv returned nil after local close")
+	}
+}
+
+func TestFlowCapturesSummariesNotSecrets(t *testing.T) {
+	cap := NewCapture()
+	fl := cap.newFlow("h.example.com", 1.5)
+	c, _ := newPipePair(fl)
+	hello := &tlswire.HelloInfo{SNI: "h.example.com", MaxVersion: tlswire.TLS13}
+	c.Send(tlswire.Record{WireType: tlswire.RecHandshake, Length: 100, Hello: hello})
+	c.Close(tlswire.CloseFIN)
+
+	if fl.Dst != "h.example.com" || fl.At != 1.5 {
+		t.Fatalf("flow metadata: %+v", fl)
+	}
+	if fl.SNI() != "h.example.com" {
+		t.Fatalf("SNI %q", fl.SNI())
+	}
+	recs := fl.Records()
+	if len(recs) != 1 || !recs[0].FromClient {
+		t.Fatalf("records: %+v", recs)
+	}
+	cf, _ := fl.CloseFlags()
+	if cf != tlswire.CloseFIN {
+		t.Fatalf("client close %s", cf)
+	}
+}
+
+func TestNetworkListenAndDial(t *testing.T) {
+	n := New()
+	served := make(chan tlswire.Record, 1)
+	n.Listen("svc.example.com", func(tr tlswire.Transport) {
+		r, err := tr.Recv()
+		if err == nil {
+			served <- r
+		}
+	})
+	cap := NewCapture()
+	tr, err := n.Dial("svc.example.com", DialOpts{At: 2, Capture: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Send(tlswire.Record{Length: 7})
+	tr.Close(tlswire.CloseFIN)
+	n.WaitIdle()
+	if r := <-served; r.Length != 7 {
+		t.Fatalf("server saw %+v", r)
+	}
+	if len(cap.Flows()) != 1 {
+		t.Fatalf("%d flows", len(cap.Flows()))
+	}
+}
+
+type recordingInterceptor struct {
+	mu    sync.Mutex
+	hosts []string
+}
+
+func (ri *recordingInterceptor) HandleConn(cs tlswire.Transport, dst string, n *Network) {
+	ri.mu.Lock()
+	ri.hosts = append(ri.hosts, dst)
+	ri.mu.Unlock()
+	cs.Close(tlswire.CloseRST)
+}
+
+func TestInterceptorReceivesAllDials(t *testing.T) {
+	n := New()
+	ri := &recordingInterceptor{}
+	n.SetInterceptor(ri)
+	// Even unknown hosts route to the interceptor (it owns the routing).
+	tr, err := n.Dial("anything.example.com", DialOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close(tlswire.CloseFIN)
+	n.WaitIdle()
+	if len(ri.hosts) != 1 || ri.hosts[0] != "anything.example.com" {
+		t.Fatalf("interceptor hosts: %v", ri.hosts)
+	}
+}
+
+func TestDialDirectBypassesInterceptor(t *testing.T) {
+	n := New()
+	ri := &recordingInterceptor{}
+	n.SetInterceptor(ri)
+	hit := make(chan bool, 1)
+	n.Listen("direct.example.com", func(tr tlswire.Transport) { hit <- true })
+	tr, err := n.DialDirect("direct.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close(tlswire.CloseFIN)
+	n.WaitIdle()
+	if !<-hit {
+		t.Fatal("direct handler not invoked")
+	}
+	if len(ri.hosts) != 0 {
+		t.Fatal("interceptor saw a direct dial")
+	}
+}
+
+func TestCaptureNilSafe(t *testing.T) {
+	var c *Capture
+	if c.Flows() != nil {
+		t.Fatal("nil capture returned flows")
+	}
+}
+
+func TestPipeOrderedDeliveryProperty(t *testing.T) {
+	// Every record sent before a close arrives, in order.
+	f := func(lengths []uint8) bool {
+		if len(lengths) > 64 {
+			lengths = lengths[:64]
+		}
+		c, s := newPipePair(nil)
+		for i, l := range lengths {
+			if err := c.Send(tlswire.Record{Length: int(l) + i<<8}); err != nil {
+				return false
+			}
+		}
+		c.Close(tlswire.CloseFIN)
+		for i, l := range lengths {
+			r, err := s.Recv()
+			if err != nil || r.Length != int(l)+i<<8 {
+				return false
+			}
+		}
+		_, err := s.Recv()
+		return err != nil // drained, then closed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

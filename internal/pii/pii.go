@@ -1,0 +1,217 @@
+// Package pii synthesizes and detects personally identifiable information
+// in application payloads. The study (§4.4, Table 9) compares PII
+// prevalence in pinned vs non-pinned traffic after circumventing pinning:
+// payloads are generated with realistic identifier shapes by the world
+// generator, and the scanner re-detects them with pattern matching — the
+// same ReCon-style inference the paper relies on, with the same property
+// that detection is approximate, not ground-truth lookup.
+package pii
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"pinscope/internal/detrand"
+)
+
+// Kind enumerates the identifier types the study searches for (§4.4).
+type Kind string
+
+const (
+	IMEI   Kind = "imei"
+	AdID   Kind = "ad_id"
+	MAC    Kind = "wifi_mac"
+	Email  Kind = "email"
+	State  Kind = "state"
+	City   Kind = "city"
+	GeoLat Kind = "latitude" // latitude/longitude are detected as a pair
+)
+
+// AllKinds lists every detectable kind in report order.
+var AllKinds = []Kind{IMEI, AdID, MAC, Email, State, City, GeoLat}
+
+// Profile is the device identity whose identifiers may leak. One profile is
+// generated per test device.
+type Profile struct {
+	IMEI  string
+	AdID  string
+	MAC   string
+	Email string
+	State string
+	City  string
+	Lat   string
+	Lon   string
+}
+
+var usStates = []string{
+	"Massachusetts", "California", "Virginia", "Texas", "Washington",
+	"NewYork", "Illinois", "Oregon", "Colorado", "Georgia",
+}
+
+var usCities = []string{
+	"Boston", "Sunnyvale", "Blacksburg", "Austin", "Seattle",
+	"Brooklyn", "Chicago", "Portland", "Denver", "Atlanta",
+}
+
+// NewProfile generates a deterministic device identity.
+func NewProfile(rng *detrand.Source) *Profile {
+	digits := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "%d", rng.Intn(10))
+		}
+		return b.String()
+	}
+	hexs := func(n int) string {
+		const h = "0123456789abcdef"
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(h[rng.Intn(16)])
+		}
+		return b.String()
+	}
+	i := rng.Intn(len(usStates))
+	return &Profile{
+		IMEI: "35" + digits(13),
+		AdID: fmt.Sprintf("%s-%s-%s-%s-%s", hexs(8), hexs(4), hexs(4), hexs(4), hexs(12)),
+		MAC: fmt.Sprintf("%s:%s:%s:%s:%s:%s",
+			hexs(2), hexs(2), hexs(2), hexs(2), hexs(2), hexs(2)),
+		Email: fmt.Sprintf("tester%s@example-mail.com", digits(4)),
+		State: usStates[i],
+		City:  usCities[i],
+		Lat:   fmt.Sprintf("%d.%s", 24+rng.Intn(24), digits(4)),
+		Lon:   fmt.Sprintf("-%d.%s", 70+rng.Intn(50), digits(4)),
+	}
+}
+
+// Value returns the profile's value for a kind (GeoLat returns the lat;
+// payload builders emit lat and lon together).
+func (p *Profile) Value(k Kind) string {
+	switch k {
+	case IMEI:
+		return p.IMEI
+	case AdID:
+		return p.AdID
+	case MAC:
+		return p.MAC
+	case Email:
+		return p.Email
+	case State:
+		return p.State
+	case City:
+		return p.City
+	case GeoLat:
+		return p.Lat
+	}
+	return ""
+}
+
+// payloadKeys maps kinds to the request parameter names trackers commonly
+// use; the generator picks one per emission so scanners cannot rely on a
+// single spelling.
+var payloadKeys = map[Kind][]string{
+	IMEI:   {"imei", "device_id", "did"},
+	AdID:   {"adid", "idfa", "advertising_id", "gaid"},
+	MAC:    {"mac", "wifi_mac", "hw_addr"},
+	Email:  {"email", "user_email", "login"},
+	State:  {"state", "region"},
+	City:   {"city", "locality"},
+	GeoLat: {"lat", "latitude"},
+}
+
+var lonKeys = []string{"lon", "lng", "longitude"}
+
+// BuildPayload renders an HTTP-ish request for host carrying the given PII
+// kinds from the profile, plus benign telemetry fields. The result is what
+// app connections transmit and what the MITM proxy logs.
+func BuildPayload(rng *detrand.Source, host, path string, prof *Profile, kinds []Kind) []byte {
+	var params []string
+	params = append(params,
+		"sdk_ver=4."+fmt.Sprint(rng.Intn(20)),
+		"os="+[]string{"android", "ios"}[rng.Intn(2)],
+		"session="+fmt.Sprintf("%08x", rng.Uint64()&0xffffffff),
+	)
+	for _, k := range kinds {
+		keys := payloadKeys[k]
+		key := keys[rng.Intn(len(keys))]
+		params = append(params, key+"="+prof.Value(k))
+		if k == GeoLat {
+			params = append(params, lonKeys[rng.Intn(len(lonKeys))]+"="+prof.Lon)
+		}
+	}
+	body := strings.Join(params, "&")
+	return []byte(fmt.Sprintf(
+		"POST %s HTTP/1.1\r\nhost: %s\r\ncontent-type: application/x-www-form-urlencoded\r\ncontent-length: %d\r\n\r\n%s",
+		path, host, len(body), body))
+}
+
+// Scanner detects PII kinds in payloads. Detection is profile-aware for
+// exact identifiers (as the paper's testbed knew its own device IDs) and
+// shape-based as a fallback, mirroring ReCon-style matching.
+type Scanner struct {
+	prof       *Profile
+	imeiRe     *regexp.Regexp
+	adidRe     *regexp.Regexp
+	macRe      *regexp.Regexp
+	emailRe    *regexp.Regexp
+	latlonRe   *regexp.Regexp
+	stateRe    *regexp.Regexp
+	cityRe     *regexp.Regexp
+	geoPairKey *regexp.Regexp
+}
+
+// NewScanner builds a scanner for the given device profile.
+func NewScanner(prof *Profile) *Scanner {
+	return &Scanner{
+		prof:       prof,
+		imeiRe:     regexp.MustCompile(`(?i)(?:imei|device_id|did)=(\d{15})`),
+		adidRe:     regexp.MustCompile(`(?i)(?:adid|idfa|advertising_id|gaid)=([0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12})`),
+		macRe:      regexp.MustCompile(`(?i)(?:mac|wifi_mac|hw_addr)=([0-9a-f]{2}(?::[0-9a-f]{2}){5})`),
+		emailRe:    regexp.MustCompile(`[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}`),
+		latlonRe:   regexp.MustCompile(`(?i)(?:lat|latitude)=(-?\d{1,3}\.\d+)`),
+		geoPairKey: regexp.MustCompile(`(?i)(?:lon|lng|longitude)=(-?\d{1,3}\.\d+)`),
+		stateRe:    regexp.MustCompile(`(?i)(?:state|region)=([A-Za-z]+)`),
+		cityRe:     regexp.MustCompile(`(?i)(?:city|locality)=([A-Za-z]+)`),
+	}
+}
+
+// Scan reports the set of PII kinds found in payload.
+func (s *Scanner) Scan(payload []byte) map[Kind]bool {
+	found := make(map[Kind]bool)
+	text := string(payload)
+	if m := s.imeiRe.FindStringSubmatch(text); m != nil {
+		found[IMEI] = true
+	}
+	if m := s.adidRe.FindStringSubmatch(text); m != nil {
+		found[AdID] = true
+	}
+	if m := s.macRe.FindStringSubmatch(text); m != nil {
+		found[MAC] = true
+	}
+	if s.emailRe.MatchString(text) {
+		found[Email] = true
+	}
+	// Geo requires both coordinates to avoid matching random decimals.
+	if s.latlonRe.MatchString(text) && s.geoPairKey.MatchString(text) {
+		found[GeoLat] = true
+	}
+	if m := s.stateRe.FindStringSubmatch(text); m != nil && s.prof != nil && strings.EqualFold(m[1], s.prof.State) {
+		found[State] = true
+	}
+	if m := s.cityRe.FindStringSubmatch(text); m != nil && s.prof != nil && strings.EqualFold(m[1], s.prof.City) {
+		found[City] = true
+	}
+	return found
+}
+
+// ScanAll unions detections across payloads.
+func (s *Scanner) ScanAll(payloads [][]byte) map[Kind]bool {
+	found := make(map[Kind]bool)
+	for _, p := range payloads {
+		for k := range s.Scan(p) {
+			found[k] = true
+		}
+	}
+	return found
+}

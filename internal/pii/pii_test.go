@@ -1,0 +1,129 @@
+package pii
+
+import (
+	"strings"
+	"testing"
+
+	"pinscope/internal/detrand"
+)
+
+func TestProfileDeterministic(t *testing.T) {
+	p1 := NewProfile(detrand.New(1))
+	p2 := NewProfile(detrand.New(1))
+	if *p1 != *p2 {
+		t.Fatal("profiles differ for same seed")
+	}
+	p3 := NewProfile(detrand.New(2))
+	if p1.AdID == p3.AdID {
+		t.Fatal("different seeds share an Ad ID")
+	}
+}
+
+func TestProfileShapes(t *testing.T) {
+	p := NewProfile(detrand.New(3))
+	if len(p.IMEI) != 15 {
+		t.Fatalf("IMEI %q not 15 digits", p.IMEI)
+	}
+	if len(strings.Split(p.AdID, "-")) != 5 {
+		t.Fatalf("AdID %q not UUID-shaped", p.AdID)
+	}
+	if len(strings.Split(p.MAC, ":")) != 6 {
+		t.Fatalf("MAC %q malformed", p.MAC)
+	}
+	if !strings.Contains(p.Email, "@") {
+		t.Fatalf("email %q malformed", p.Email)
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	rng := detrand.New(4)
+	prof := NewProfile(rng.Child("prof"))
+	s := NewScanner(prof)
+	for _, k := range AllKinds {
+		payload := BuildPayload(rng.Child("p"+string(k)), "t.example.com", "/track", prof, []Kind{k})
+		found := s.Scan(payload)
+		if !found[k] {
+			t.Fatalf("kind %s not detected in %q", k, payload)
+		}
+	}
+}
+
+func TestCleanPayloadHasNoPII(t *testing.T) {
+	rng := detrand.New(5)
+	prof := NewProfile(rng.Child("prof"))
+	s := NewScanner(prof)
+	payload := BuildPayload(rng.Child("p"), "t.example.com", "/ping", prof, nil)
+	if found := s.Scan(payload); len(found) != 0 {
+		t.Fatalf("PII %v detected in clean payload %q", found, payload)
+	}
+}
+
+func TestMultiKindPayload(t *testing.T) {
+	rng := detrand.New(6)
+	prof := NewProfile(rng.Child("prof"))
+	s := NewScanner(prof)
+	kinds := []Kind{AdID, Email, GeoLat}
+	payload := BuildPayload(rng.Child("p"), "t.example.com", "/v2/events", prof, kinds)
+	found := s.Scan(payload)
+	for _, k := range kinds {
+		if !found[k] {
+			t.Fatalf("missing %s in %q", k, payload)
+		}
+	}
+	if found[IMEI] || found[MAC] {
+		t.Fatalf("spurious detections: %v", found)
+	}
+}
+
+func TestGeoRequiresBothCoordinates(t *testing.T) {
+	s := NewScanner(NewProfile(detrand.New(7)))
+	if got := s.Scan([]byte("GET /x?lat=42.3601 HTTP/1.1")); got[GeoLat] {
+		t.Fatal("lat alone detected as geo")
+	}
+	if got := s.Scan([]byte("GET /x?lat=42.3601&lon=-71.0589")); !got[GeoLat] {
+		t.Fatal("lat+lon pair not detected")
+	}
+}
+
+func TestStateCityRequireProfileMatch(t *testing.T) {
+	prof := NewProfile(detrand.New(8))
+	s := NewScanner(prof)
+	// A state value that is not the device's state must not count.
+	other := "Nebraska"
+	if other == prof.State {
+		other = "Alaska"
+	}
+	if got := s.Scan([]byte("POST /t\r\n\r\nstate=" + other)); got[State] {
+		t.Fatal("foreign state detected as device PII")
+	}
+	if got := s.Scan([]byte("POST /t\r\n\r\nstate=" + prof.State)); !got[State] {
+		t.Fatal("device state not detected")
+	}
+}
+
+func TestScanAllUnions(t *testing.T) {
+	rng := detrand.New(9)
+	prof := NewProfile(rng.Child("prof"))
+	s := NewScanner(prof)
+	p1 := BuildPayload(rng.Child("1"), "a.com", "/a", prof, []Kind{AdID})
+	p2 := BuildPayload(rng.Child("2"), "b.com", "/b", prof, []Kind{Email})
+	got := s.ScanAll([][]byte{p1, p2})
+	if !got[AdID] || !got[Email] {
+		t.Fatalf("union missing kinds: %v", got)
+	}
+}
+
+func TestKeyVariantsAllDetected(t *testing.T) {
+	// The generator rotates parameter spellings; the scanner must catch all
+	// of them. Build many payloads to cover the variants.
+	rng := detrand.New(10)
+	prof := NewProfile(rng.Child("prof"))
+	s := NewScanner(prof)
+	for i := 0; i < 50; i++ {
+		payload := BuildPayload(rng.ChildN("p", i), "t.example.com", "/t", prof, []Kind{AdID, IMEI, MAC})
+		got := s.Scan(payload)
+		if !got[AdID] || !got[IMEI] || !got[MAC] {
+			t.Fatalf("iteration %d missed kinds in %q: %v", i, payload, got)
+		}
+	}
+}

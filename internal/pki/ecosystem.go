@@ -1,0 +1,136 @@
+package pki
+
+import (
+	"fmt"
+
+	"pinscope/internal/detrand"
+)
+
+// Ecosystem is the study's complete PKI world: the public CAs, the platform
+// root stores built from them, and bookkeeping for custom (non-public)
+// PKIs used by a handful of pinning apps.
+//
+// The store relationships mirror reality as described in the paper (§2.1,
+// §5.3.1): AOSP and iOS ship large overlapping root sets; OEM Android
+// builds add extra (sometimes obscure or expired) roots; the Mozilla bundle
+// is the reference "default PKI" used to classify pinned destinations in
+// Table 6.
+type Ecosystem struct {
+	// PublicCAs are the commercial CAs whose roots appear in public stores.
+	PublicCAs []*Authority
+	// Intermediates holds one issuing intermediate per public CA, keyed by
+	// position in PublicCAs. Leaf certs are issued from these, so served
+	// chains are [leaf, intermediate, root]-shaped like real deployments.
+	Intermediates []*Authority
+
+	AOSP    *RootStore // Android Open Source Project store
+	OEM     *RootStore // AOSP plus manufacturer additions
+	IOS     *RootStore // Apple trust store
+	Mozilla *RootStore // reference bundle used for Table 6 classification
+
+	// ObscureCAs are OEM-only roots not present in Mozilla; chains anchored
+	// here validate on (OEM) Android devices but are classified as outside
+	// the default PKI by the Mozilla check.
+	ObscureCAs []*Authority
+}
+
+// Common commercial CA names; enough to make chains look plausible and to
+// give the CT log some variety.
+var publicCANames = []string{
+	"GlobalTrust Root CA", "DigiCert Global Root", "Sectigo RSA Root",
+	"ISRG Root X1", "Amazon Root CA 1", "GTS Root R1",
+	"Baltimore CyberTrust Root", "Entrust Root CA", "GoDaddy Root CA",
+	"QuoVadis Root CA 2", "Starfield Root CA", "IdenTrust Commercial Root",
+}
+
+var obscureCANames = []string{
+	"Regional Telecom Root CA", "Legacy Gov Root 2009", "VendorTrust Device CA",
+}
+
+// BuildEcosystem deterministically constructs the PKI world.
+func BuildEcosystem(rng *detrand.Source) (*Ecosystem, error) {
+	eco := &Ecosystem{
+		AOSP:    NewRootStore("AOSP"),
+		OEM:     NewRootStore("OEM-Android"),
+		IOS:     NewRootStore("iOS"),
+		Mozilla: NewRootStore("Mozilla"),
+	}
+	for i, name := range publicCANames {
+		crng := rng.ChildN("public-ca", i)
+		root, err := NewRootCA(crng, name, name, 20)
+		if err != nil {
+			return nil, fmt.Errorf("pki: ecosystem root %d: %w", i, err)
+		}
+		inter, err := root.NewIntermediate(crng, name+" Issuing CA", 10)
+		if err != nil {
+			return nil, fmt.Errorf("pki: ecosystem intermediate %d: %w", i, err)
+		}
+		eco.PublicCAs = append(eco.PublicCAs, root)
+		eco.Intermediates = append(eco.Intermediates, inter)
+
+		eco.Mozilla.Add(root.Cert)
+		eco.AOSP.Add(root.Cert)
+		eco.OEM.Add(root.Cert)
+		eco.IOS.Add(root.Cert)
+	}
+	// Stores differ a little in practice: AOSP (and Mozilla) retain a
+	// legacy root that Apple removed. No live site chains to it, so the
+	// difference never breaks issuance.
+	legacy, err := NewRootCA(rng.Child("legacy-root"), "Legacy Web Root 2006", "Legacy Web CA", 30)
+	if err != nil {
+		return nil, err
+	}
+	eco.Mozilla.Add(legacy.Cert)
+	eco.AOSP.Add(legacy.Cert)
+	eco.OEM.Add(legacy.Cert)
+	for i, name := range obscureCANames {
+		crng := rng.ChildN("obscure-ca", i)
+		root, err := NewRootCA(crng, name, name, 25)
+		if err != nil {
+			return nil, fmt.Errorf("pki: obscure root %d: %w", i, err)
+		}
+		eco.ObscureCAs = append(eco.ObscureCAs, root)
+		eco.OEM.Add(root.Cert) // OEM-only: not in AOSP, iOS or Mozilla
+	}
+	return eco, nil
+}
+
+// PublicCA returns a deterministic public intermediate authority for
+// issuing a leaf, chosen by rng.
+func (e *Ecosystem) PublicCA(rng *detrand.Source) (root, intermediate *Authority) {
+	i := rng.Intn(len(e.Intermediates))
+	return e.PublicCAs[i], e.Intermediates[i]
+}
+
+// IssuePublicChain issues a leaf for hostname from a randomly chosen public
+// CA and returns the full served chain [leaf, intermediate, root] along
+// with the leaf entity (whose key the server holds).
+func (e *Ecosystem) IssuePublicChain(rng *detrand.Source, hostname string, opts LeafOptions) (Chain, *Entity, error) {
+	root, inter := e.PublicCA(rng)
+	leaf, err := inter.IssueLeaf(rng, hostname, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Chain{leaf.Cert, inter.Cert, root.Cert}, leaf, nil
+}
+
+// NewCustomPKI creates a private CA hierarchy (root + issuing intermediate)
+// that is NOT added to any public store — the "custom PKI" case of Table 6.
+func (e *Ecosystem) NewCustomPKI(rng *detrand.Source, org string) (root, intermediate *Authority, err error) {
+	root, err = NewRootCA(rng, org+" Private Root", org, 15)
+	if err != nil {
+		return nil, nil, err
+	}
+	intermediate, err = root.NewIntermediate(rng, org+" Private Issuing CA", 8)
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, intermediate, nil
+}
+
+// IsDefaultPKI reports whether the chain anchors in the Mozilla reference
+// store — the paper's operational definition of "default PKI" (§5.3.1,
+// validated with OpenSSL against the Mozilla bundle).
+func (e *Ecosystem) IsDefaultPKI(chain Chain, hostname string) bool {
+	return chain.Validate(e.Mozilla, hostname, StudyEpoch) == nil
+}

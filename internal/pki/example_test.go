@@ -1,0 +1,39 @@
+package pki_test
+
+import (
+	"fmt"
+
+	"pinscope/internal/detrand"
+	"pinscope/internal/pki"
+)
+
+// Example shows the pinning primitives end to end: issue a chain, pin the
+// issuing CA by SPKI hash, and check the chain against the pin — exactly
+// what an app's TLS stack does on every connection.
+func Example() {
+	rng := detrand.New(1)
+	root, _ := pki.NewRootCA(rng, "Example Root CA", "Example", 20)
+	inter, _ := root.NewIntermediate(rng, "Example Issuing CA", 10)
+	leaf, _ := inter.IssueLeaf(rng, "api.example.com", pki.LeafOptions{})
+	chain := pki.Chain{leaf.Cert, inter.Cert, root.Cert}
+
+	pins := &pki.PinSet{Pins: []pki.Pin{pki.NewPin(inter.Cert, pki.SHA256)}}
+	fmt.Println("chain matches CA pin:", pins.MatchChain(chain))
+
+	// A chain from anyone else fails the pin even if publicly trusted.
+	otherRoot, _ := pki.NewRootCA(detrand.New(2), "Other Root", "Other", 20)
+	otherLeaf, _ := otherRoot.IssueLeaf(detrand.New(3), "api.example.com", pki.LeafOptions{})
+	forged := pki.Chain{otherLeaf.Cert, otherRoot.Cert}
+	fmt.Println("forged chain matches pin:", pins.MatchChain(forged))
+	// Output:
+	// chain matches CA pin: true
+	// forged chain matches pin: false
+}
+
+// ExampleParsePin parses the conventional pin string format found in app
+// packages.
+func ExampleParsePin() {
+	pin, err := pki.ParsePin("sha256/r/mIkG3eEpVdm+u/ko/cwxzOMo1bk4TyHIlByibiA5E=")
+	fmt.Println(err == nil, pin.Alg)
+	// Output: true sha256
+}

@@ -1,0 +1,149 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/core"
+)
+
+var (
+	once  sync.Once
+	study *core.Study
+	sErr  error
+)
+
+func sharedStudy(t *testing.T) *core.Study {
+	t.Helper()
+	once.Do(func() {
+		study, sErr = core.Run(core.TestConfig(4321))
+	})
+	if sErr != nil {
+		t.Fatal(sErr)
+	}
+	return study
+}
+
+func TestAllSectionsRender(t *testing.T) {
+	s := sharedStudy(t)
+	sections := map[string]string{
+		"table1":  Table1(s),
+		"table2":  Table2(s),
+		"table3":  Table3(s),
+		"table4":  TableCategories(s, appmodel.Android, 2),
+		"table5":  TableCategories(s, appmodel.IOS, 2),
+		"figure2": Figure2(s),
+		"figure3": Figure3(s),
+		"figure4": Figure4(s),
+		"figure5": Figure5(s),
+		"table6":  Table6(s),
+		"certs":   CertAnalysis(s),
+		"table7":  Table7(s, 2),
+		"table8":  Table8(s),
+		"table9":  Table9(s),
+		"circ":    Circumvention(s),
+	}
+	for name, out := range sections {
+		if len(out) < 40 {
+			t.Fatalf("section %s suspiciously short: %q", name, out)
+		}
+		if strings.Contains(out, "%!") {
+			t.Fatalf("section %s has a formatting bug: %q", name, out)
+		}
+	}
+}
+
+func TestTable3MentionsAllDatasets(t *testing.T) {
+	out := Table3(sharedStudy(t))
+	for _, want := range []string{"Common", "Popular", "Random", "Android", "iOS", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Arithmetic(t *testing.T) {
+	s := sharedStudy(t)
+	f := s.Figure2Data()
+	if f.PinsEither != f.PinsBoth+f.AndroidOnly+f.IOSOnly {
+		t.Fatalf("split does not add up: %+v", f)
+	}
+	if f.PinsBoth != f.Consistent+f.Inconsistent+f.Inconclusive {
+		t.Fatalf("both-platform classes do not add up: %+v", f)
+	}
+	if f.IdenticalSets > f.Consistent {
+		t.Fatalf("identical sets exceed consistent: %+v", f)
+	}
+}
+
+func TestFullConcatenatesEverything(t *testing.T) {
+	out := Full(sharedStudy(t))
+	for _, marker := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+		"Figure 2", "Figure 3", "Figure 4", "Figure 5",
+		"Table 6", "Certificate analysis", "Table 7", "Table 8", "Table 9",
+		"circumvention",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("full report missing %q", marker)
+		}
+	}
+}
+
+func TestSweepAndAblationsRender(t *testing.T) {
+	s := sharedStudy(t)
+	points, err := core.SleepSweep(s.World, 5, []float64{15, 30, 60}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Sweep(points)
+	if !strings.Contains(out, "15") || !strings.Contains(out, "60") {
+		t.Fatalf("sweep output: %s", out)
+	}
+	rows, err := core.RunAblations(s.World, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aout := Ablations(rows)
+	if !strings.Contains(aout, "naive-detector") {
+		t.Fatalf("ablations output: %s", aout)
+	}
+}
+
+func TestTableFormatterAlignment(t *testing.T) {
+	tb := &table{header: []string{"A", "LongHeader"}}
+	tb.add("x", "1")
+	tb.add("longer-cell", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	w := len(lines[0])
+	for i, l := range lines[1:] {
+		if len(l) > w+2 && i < 1 {
+			t.Fatalf("misaligned: %q", out)
+		}
+	}
+}
+
+func TestQualityRendering(t *testing.T) {
+	out := Quality(sharedStudy(t))
+	if !strings.Contains(out, "precision") || !strings.Contains(out, "recall") {
+		t.Fatalf("quality output: %s", out)
+	}
+}
+
+func TestInteractionAndMisconfigsRender(t *testing.T) {
+	s := sharedStudy(t)
+	out := Interaction(s, 20)
+	if !strings.Contains(out, "relative change") {
+		t.Fatalf("interaction: %s", out)
+	}
+	out = Misconfigs(s)
+	if !strings.Contains(out, "NSC") {
+		t.Fatalf("misconfigs: %s", out)
+	}
+}

@@ -1,0 +1,265 @@
+// Package sdkregistry catalogs the third-party SDKs of the simulated app
+// ecosystem. Third-party code is central to the paper's findings: most
+// pinned destinations belong to third parties, and Table 7 attributes
+// embedded certificate material to SDK code paths (Twitter, Braintree,
+// PayPal, Perimeterx, MParticle on Android; Amplitude, Stripe, Weibo,
+// FraudForce, Adobe Creative Cloud on iOS).
+//
+// The registry holds SDK descriptors — code paths, contacted domains,
+// whether the SDK pins, which TLS stack it uses, and how commonly apps
+// embed it. The world generator materializes descriptors into app packages
+// and behaviour plans; the static pipeline attributes certificate paths
+// back to SDKs the way the authors did, from public knowledge of where each
+// SDK lives in an app package.
+package sdkregistry
+
+import (
+	"strings"
+
+	"pinscope/internal/appmodel"
+)
+
+// SDK describes one third-party framework.
+type SDK struct {
+	Name     string
+	Platform appmodel.Platform
+	// CodePath is the directory prefix the SDK occupies inside an app
+	// package (smali path on Android, Frameworks/ path on iOS).
+	CodePath string
+	// Org is the registrant organization of the SDK's domains.
+	Org string
+	// Domains the SDK contacts at run time.
+	Domains []string
+	// PinnedDomains is the subset the SDK pins when pinning is active.
+	PinnedDomains []string
+	// Pinning marks SDKs that enforce pins at run time.
+	Pinning bool
+	// CertCarrier marks SDKs that ship certificate/pin material in the
+	// package (even when runtime pinning is absent or disabled — the gap
+	// between static and dynamic detection).
+	CertCarrier bool
+	// Lib is the TLS stack the SDK's connections use.
+	Lib appmodel.TLSLib
+	// Weight is the base inclusion probability in an app ([0,1]).
+	Weight float64
+	// AdIDRate is the probability one of its connections carries the
+	// advertising ID.
+	AdIDRate float64
+	// Kind groups SDKs for reporting: "social", "payments", "analytics",
+	// "fraud", "cloud", "ads", "crash".
+	Kind string
+}
+
+// androidCatalog lists Android SDKs. Weights are calibrated so the ordering
+// of cert-carrying frameworks matches Table 7 and third-party traffic
+// dominates contacted domains, as in the paper.
+var androidCatalog = []SDK{
+	// Cert-carrying / pinning SDKs (Table 7, Android column).
+	{
+		Name: "Twitter", Platform: appmodel.Android, CodePath: "smali/com/twitter/sdk",
+		Org: "Twitter Inc", Domains: []string{"api.twitter.com", "syndication.twitter.com"},
+		PinnedDomains: []string{"api.twitter.com"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibOkHttp, Weight: 0.013, AdIDRate: 0.35, Kind: "social",
+	},
+	{
+		Name: "Braintree", Platform: appmodel.Android, CodePath: "smali/com/braintreepayments/api",
+		Org: "PayPal Holdings", Domains: []string{"api.braintreegateway.com"},
+		PinnedDomains: []string{"api.braintreegateway.com"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibOkHttp, Weight: 0.012, AdIDRate: 0, Kind: "payments",
+	},
+	{
+		Name: "Paypal", Platform: appmodel.Android, CodePath: "smali/com/paypal/android/sdk",
+		Org: "PayPal Holdings", Domains: []string{"api-m.paypal.com", "www.paypalobjects.com"},
+		PinnedDomains: []string{"api-m.paypal.com"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibOkHttp, Weight: 0.011, AdIDRate: 0, Kind: "payments",
+	},
+	{
+		Name: "Perimeterx", Platform: appmodel.Android, CodePath: "smali/com/perimeterx/mobile_sdk",
+		Org: "PerimeterX Inc", Domains: []string{"collector.perimeterx.net"},
+		PinnedDomains: []string{"collector.perimeterx.net"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibCustomNative, Weight: 0.0042, AdIDRate: 0.55, Kind: "fraud",
+	},
+	{
+		Name: "MParticle", Platform: appmodel.Android, CodePath: "smali/com/mparticle",
+		Org: "mParticle Inc", Domains: []string{"config2.mparticle.com", "nativesdks.mparticle.com"},
+		PinnedDomains: []string{"config2.mparticle.com"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibOkHttp, Weight: 0.0040, AdIDRate: 0.6, Kind: "analytics",
+	},
+	{
+		Name: "Sensibill", Platform: appmodel.Android, CodePath: "smali/com/getsensibill",
+		Org: "Sensibill Inc", Domains: []string{"receipts.getsensibill.com"},
+		PinnedDomains: []string{"receipts.getsensibill.com"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibOkHttp, Weight: 0.0025, AdIDRate: 0, Kind: "payments",
+	},
+
+	// High-volume non-pinning SDKs: the unpinned third-party background.
+	{
+		Name: "FirebaseAnalytics", Platform: appmodel.Android, CodePath: "smali/com/google/firebase/analytics",
+		Org: "Google LLC", Domains: []string{"app-measurement.com", "firebaseinstallations.googleapis.com"},
+		Lib: appmodel.LibConscrypt, Weight: 0.55, AdIDRate: 0.30, Kind: "analytics",
+	},
+	{
+		Name: "AdMob", Platform: appmodel.Android, CodePath: "smali/com/google/android/gms/ads",
+		Org: "Google LLC", Domains: []string{"googleads.g.doubleclick.net", "pagead2.googlesyndication.com"},
+		Lib: appmodel.LibConscrypt, Weight: 0.38, AdIDRate: 0.42, Kind: "ads",
+	},
+	{
+		Name: "Crashlytics", Platform: appmodel.Android, CodePath: "smali/com/google/firebase/crashlytics",
+		Org: "Google LLC", Domains: []string{"crashlyticsreports-pa.googleapis.com"},
+		Lib: appmodel.LibConscrypt, Weight: 0.34, AdIDRate: 0.02, Kind: "crash",
+	},
+	{
+		Name: "FacebookSDK", Platform: appmodel.Android, CodePath: "smali/com/facebook",
+		Org: "Meta Platforms", Domains: []string{"graph.facebook.com", "connect.facebook.net"},
+		Lib: appmodel.LibOkHttp, Weight: 0.30, AdIDRate: 0.36, Kind: "social",
+	},
+	{
+		Name: "AppsFlyer", Platform: appmodel.Android, CodePath: "smali/com/appsflyer",
+		Org: "AppsFlyer Ltd", Domains: []string{"t.appsflyer.com"},
+		Lib: appmodel.LibOkHttp, Weight: 0.18, AdIDRate: 0.45, Kind: "analytics",
+	},
+	{
+		Name: "UnityAds", Platform: appmodel.Android, CodePath: "smali/com/unity3d/ads",
+		Org: "Unity Technologies", Domains: []string{"auction.unityads.unity3d.com"},
+		Lib: appmodel.LibCustomNative, Weight: 0.14, AdIDRate: 0.40, Kind: "ads",
+	},
+}
+
+// iosCatalog lists iOS SDKs (Table 7, iOS column, plus background SDKs).
+var iosCatalog = []SDK{
+	{
+		Name: "Amplitude", Platform: appmodel.IOS, CodePath: "Frameworks/Amplitude.framework",
+		Org: "Amplitude Inc", Domains: []string{"api2.amplitude.com"},
+		PinnedDomains: []string{"api2.amplitude.com"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibNSURLSession, Weight: 0.019, AdIDRate: 0.6, Kind: "analytics",
+	},
+	{
+		Name: "Stripe", Platform: appmodel.IOS, CodePath: "Frameworks/Stripe.framework",
+		Org: "Stripe Inc", Domains: []string{"api.stripe.com"},
+		PinnedDomains: []string{"api.stripe.com"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibNSURLSession, Weight: 0.015, AdIDRate: 0, Kind: "payments",
+	},
+	{
+		Name: "Weibo", Platform: appmodel.IOS, CodePath: "Frameworks/WeiboSDK.framework",
+		Org: "Sina Corp", Domains: []string{"api.weibo.com"},
+		PinnedDomains: []string{"api.weibo.com"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibAFNetworking, Weight: 0.011, AdIDRate: 0.35, Kind: "social",
+	},
+	{
+		Name: "FraudForce", Platform: appmodel.IOS, CodePath: "Frameworks/FraudForce.framework",
+		Org: "TransUnion", Domains: []string{"mpsnare.iesnare.com"},
+		PinnedDomains: []string{"mpsnare.iesnare.com"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibCustomNative, Weight: 0.0070, AdIDRate: 0.55, Kind: "fraud",
+	},
+	{
+		Name: "AdobeCreativeCloud", Platform: appmodel.IOS, CodePath: "Frameworks/AdobeCreativeCloud.framework",
+		Org: "Adobe Inc", Domains: []string{"cc-api-storage.adobe.io"},
+		PinnedDomains: []string{"cc-api-storage.adobe.io"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibNSURLSession, Weight: 0.0055, AdIDRate: 0.05, Kind: "cloud",
+	},
+	// PayPal on iOS pins www.paypalobjects.com — the destination behind the
+	// elevated pinning rate in random iOS apps (§5, "Pinning by Platform").
+	{
+		Name: "PaypalCheckout", Platform: appmodel.IOS, CodePath: "Frameworks/PayPalCheckout.framework",
+		Org: "PayPal Holdings", Domains: []string{"www.paypalobjects.com", "api-m.paypal.com"},
+		PinnedDomains: []string{"www.paypalobjects.com"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibNSURLSession, Weight: 0.011, AdIDRate: 0, Kind: "payments",
+	},
+	{
+		Name: "FirebaseFirestore", Platform: appmodel.IOS, CodePath: "Frameworks/FirebaseFirestore.framework",
+		Org: "Google LLC", Domains: []string{"firestore.googleapis.com"},
+		PinnedDomains: []string{"firestore.googleapis.com"}, Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibFlutterBoring, Weight: 0.0060, AdIDRate: 0.05, Kind: "cloud",
+	},
+	{
+		Name: "TrustKit", Platform: appmodel.IOS, CodePath: "Frameworks/TrustKit.framework",
+		Org: "DataTheorem", Domains: nil, // pins the host app's own domains
+		Pinning: true, CertCarrier: true,
+		Lib: appmodel.LibTrustKit, Weight: 0.0045, AdIDRate: 0, Kind: "security",
+	},
+
+	// Background SDKs.
+	{
+		Name: "FirebaseAnalytics", Platform: appmodel.IOS, CodePath: "Frameworks/FirebaseAnalytics.framework",
+		Org: "Google LLC", Domains: []string{"app-measurement.com", "firebaseinstallations.googleapis.com"},
+		Lib: appmodel.LibNSURLSession, Weight: 0.48, AdIDRate: 0.28, Kind: "analytics",
+	},
+	{
+		Name: "FacebookSDK", Platform: appmodel.IOS, CodePath: "Frameworks/FBSDKCoreKit.framework",
+		Org: "Meta Platforms", Domains: []string{"graph.facebook.com"},
+		Lib: appmodel.LibNSURLSession, Weight: 0.31, AdIDRate: 0.34, Kind: "social",
+	},
+	{
+		Name: "Adjust", Platform: appmodel.IOS, CodePath: "Frameworks/Adjust.framework",
+		Org: "Adjust GmbH", Domains: []string{"app.adjust.com"},
+		Lib: appmodel.LibNSURLSession, Weight: 0.17, AdIDRate: 0.42, Kind: "analytics",
+	},
+	{
+		Name: "AppLovin", Platform: appmodel.IOS, CodePath: "Frameworks/AppLovinSDK.framework",
+		Org: "AppLovin Corp", Domains: []string{"ms.applovin.com"},
+		Lib: appmodel.LibCustomNative, Weight: 0.13, AdIDRate: 0.40, Kind: "ads",
+	},
+}
+
+// Catalog returns the SDK descriptors for a platform.
+func Catalog(p appmodel.Platform) []SDK {
+	if p == appmodel.Android {
+		return androidCatalog
+	}
+	return iosCatalog
+}
+
+// PinningSDKs returns the catalog subset that pins at run time.
+func PinningSDKs(p appmodel.Platform) []SDK {
+	var out []SDK
+	for _, s := range Catalog(p) {
+		if s.Pinning {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName returns the descriptor with the given name on the platform.
+func ByName(p appmodel.Platform, name string) (SDK, bool) {
+	for _, s := range Catalog(p) {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SDK{}, false
+}
+
+// AttributePath maps a file path inside an app package to the SDK whose
+// code directory contains it, reproducing the paper's manual path review
+// (§4.1.4). Returns ok=false for first-party or unknown paths.
+func AttributePath(p appmodel.Platform, path string) (SDK, bool) {
+	clean := strings.TrimPrefix(path, "/")
+	// iOS paths are rooted under Payload/<App>.app/.
+	if i := strings.Index(clean, ".app/"); i >= 0 {
+		clean = clean[i+len(".app/"):]
+	}
+	for _, s := range Catalog(p) {
+		if strings.HasPrefix(clean, s.CodePath+"/") || clean == s.CodePath {
+			return s, true
+		}
+	}
+	return SDK{}, false
+}
+
+// OrgDomains returns every (domain, org) pair in the catalog, for whois
+// population.
+func OrgDomains() map[string]string {
+	out := make(map[string]string)
+	for _, cat := range [][]SDK{androidCatalog, iosCatalog} {
+		for _, s := range cat {
+			for _, d := range s.Domains {
+				out[d] = s.Org
+			}
+			for _, d := range s.PinnedDomains {
+				out[d] = s.Org
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package sdkregistry
+
+import (
+	"testing"
+
+	"pinscope/internal/appmodel"
+)
+
+func TestCatalogPlatformSeparation(t *testing.T) {
+	for _, s := range Catalog(appmodel.Android) {
+		if s.Platform != appmodel.Android {
+			t.Fatalf("%s in Android catalog has platform %s", s.Name, s.Platform)
+		}
+	}
+	for _, s := range Catalog(appmodel.IOS) {
+		if s.Platform != appmodel.IOS {
+			t.Fatalf("%s in iOS catalog has platform %s", s.Name, s.Platform)
+		}
+	}
+}
+
+func TestPinningSDKsAllPin(t *testing.T) {
+	for _, p := range appmodel.Platforms {
+		pins := PinningSDKs(p)
+		if len(pins) < 5 {
+			t.Fatalf("only %d pinning SDKs on %s", len(pins), p)
+		}
+		for _, s := range pins {
+			if !s.Pinning {
+				t.Fatalf("%s returned by PinningSDKs without Pinning", s.Name)
+			}
+			if !s.CertCarrier {
+				t.Fatalf("pinning SDK %s carries no cert material", s.Name)
+			}
+		}
+	}
+}
+
+func TestTable7FrameworksPresent(t *testing.T) {
+	android := []string{"Twitter", "Braintree", "Paypal", "Perimeterx", "MParticle"}
+	for _, n := range android {
+		if _, ok := ByName(appmodel.Android, n); !ok {
+			t.Fatalf("Android Table 7 framework %s missing", n)
+		}
+	}
+	ios := []string{"Amplitude", "Stripe", "Weibo", "FraudForce", "AdobeCreativeCloud"}
+	for _, n := range ios {
+		if _, ok := ByName(appmodel.IOS, n); !ok {
+			t.Fatalf("iOS Table 7 framework %s missing", n)
+		}
+	}
+}
+
+func TestTable7WeightOrdering(t *testing.T) {
+	// Inclusion weights must reproduce the Table 7 ordering within each
+	// platform's cert-carrying set.
+	order := []string{"Twitter", "Braintree", "Paypal", "Perimeterx", "MParticle"}
+	var prev float64 = 1
+	for _, n := range order {
+		s, _ := ByName(appmodel.Android, n)
+		if s.Weight > prev {
+			t.Fatalf("weight ordering violated at %s", n)
+		}
+		prev = s.Weight
+	}
+	orderIOS := []string{"Amplitude", "Stripe", "Weibo", "FraudForce", "AdobeCreativeCloud"}
+	prev = 1
+	for _, n := range orderIOS {
+		s, _ := ByName(appmodel.IOS, n)
+		if s.Weight > prev {
+			t.Fatalf("iOS weight ordering violated at %s", n)
+		}
+		prev = s.Weight
+	}
+}
+
+func TestAttributePathAndroid(t *testing.T) {
+	s, ok := AttributePath(appmodel.Android, "smali/com/twitter/sdk/android/core/TwitterCore.smali")
+	if !ok || s.Name != "Twitter" {
+		t.Fatalf("got %v %v", s.Name, ok)
+	}
+	if _, ok := AttributePath(appmodel.Android, "smali/com/example/myapp/Main.smali"); ok {
+		t.Fatal("first-party path attributed to an SDK")
+	}
+	// Prefix must be a path boundary, not a string prefix.
+	if _, ok := AttributePath(appmodel.Android, "smali/com/twitter/sdkevil/X.smali"); ok {
+		t.Fatal("non-boundary prefix matched")
+	}
+}
+
+func TestAttributePathIOS(t *testing.T) {
+	s, ok := AttributePath(appmodel.IOS, "Payload/Shop.app/Frameworks/Stripe.framework/cert.pem")
+	if !ok || s.Name != "Stripe" {
+		t.Fatalf("got %v %v", s.Name, ok)
+	}
+}
+
+func TestPaypalObjectsPinnedOnIOS(t *testing.T) {
+	// The destination behind the random-iOS pinning bump must be pinned by
+	// the iOS PayPal SDK.
+	s, ok := ByName(appmodel.IOS, "PaypalCheckout")
+	if !ok {
+		t.Fatal("PaypalCheckout missing")
+	}
+	found := false
+	for _, d := range s.PinnedDomains {
+		if d == "www.paypalobjects.com" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("www.paypalobjects.com not pinned by iOS PayPal SDK: %v", s.PinnedDomains)
+	}
+}
+
+func TestOrgDomains(t *testing.T) {
+	m := OrgDomains()
+	if m["api.twitter.com"] != "Twitter Inc" {
+		t.Fatalf("api.twitter.com org: %q", m["api.twitter.com"])
+	}
+	if m["www.paypalobjects.com"] != "PayPal Holdings" {
+		t.Fatalf("paypalobjects org: %q", m["www.paypalobjects.com"])
+	}
+	if len(m) < 20 {
+		t.Fatalf("only %d org domains", len(m))
+	}
+}
+
+func TestWeightsAreProbabilities(t *testing.T) {
+	for _, p := range appmodel.Platforms {
+		for _, s := range Catalog(p) {
+			if s.Weight <= 0 || s.Weight > 1 {
+				t.Fatalf("%s weight %v out of (0,1]", s.Name, s.Weight)
+			}
+			if s.AdIDRate < 0 || s.AdIDRate > 1 {
+				t.Fatalf("%s AdIDRate %v", s.Name, s.AdIDRate)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package staticanalysis
+
+import (
+	"testing"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/apppkg"
+)
+
+// FuzzScanFile feeds arbitrary bytes through the full static scanner under
+// every file role (text asset, cert-extension file, executable): the
+// pipeline must never panic and never fabricate certificates from noise.
+func FuzzScanFile(f *testing.F) {
+	f.Add([]byte("-----BEGIN CERTIFICATE-----\nAAAA\n-----END CERTIFICATE-----"))
+	f.Add([]byte("sha256/r/mIkG3eEpVdm+u/ko/cwxzOMo1bk4TyHIlByibiA5E="))
+	f.Add([]byte("sha1/aaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	f.Add([]byte{0x30, 0x82, 0x01, 0x00})
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkg := apppkg.New("com.fuzz.app")
+		pkg.Add("assets/blob.bin", data)
+		pkg.Add("res/raw/x.pem", data)
+		pkg.AddExecutable("lib/libfuzz.so", data)
+		app := &appmodel.App{ID: "com.fuzz.app", Platform: appmodel.Android, Pkg: pkg}
+		r, err := Analyze(app)
+		if err != nil {
+			t.Fatalf("Analyze errored on fuzz input: %v", err)
+		}
+		for _, fc := range r.Certs {
+			if fc.Cert == nil {
+				t.Fatal("nil certificate reported")
+			}
+		}
+		for _, fp := range r.Pins {
+			if len(fp.Pin.Digest) != 20 && len(fp.Pin.Digest) != 32 {
+				t.Fatalf("pin with digest length %d accepted", len(fp.Pin.Digest))
+			}
+		}
+	})
+}
+
+// FuzzExtractStrings must never panic or return bytes outside printable
+// ASCII plus separators.
+func FuzzExtractStrings(f *testing.F) {
+	f.Add([]byte("hello\x00world and some longer text"), 6)
+	f.Add([]byte{}, 4)
+	f.Fuzz(func(t *testing.T, data []byte, min int) {
+		if min < 1 || min > 64 {
+			min = 4
+		}
+		out := ExtractStrings(data, min)
+		for _, b := range out {
+			if b != '\n' && (b < 0x20 || b > 0x7e) {
+				t.Fatalf("non-printable byte %#x in output", b)
+			}
+		}
+	})
+}

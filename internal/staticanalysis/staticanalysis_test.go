@@ -1,0 +1,339 @@
+package staticanalysis
+
+import (
+	"strings"
+	"testing"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/apppkg"
+	"pinscope/internal/ctlog"
+	"pinscope/internal/detrand"
+	"pinscope/internal/pki"
+)
+
+func mkChain(t *testing.T, seed int64, host string) pki.Chain {
+	t.Helper()
+	rng := detrand.New(seed)
+	root, err := pki.NewRootCA(rng, "SA Root", "SA", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := root.IssueLeaf(rng, host, pki.LeafOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pki.Chain{leaf.Cert, root.Cert}
+}
+
+func androidApp(pkg *apppkg.Package) *appmodel.App {
+	return &appmodel.App{ID: pkg.AppID, Platform: appmodel.Android, Pkg: pkg}
+}
+
+func TestFindsPEMAssets(t *testing.T) {
+	chain := mkChain(t, 1, "pin.example.com")
+	pkg := apppkg.New("com.a.b")
+	pkg.Add("assets/certs/server.pem", pki.EncodePEM(chain.Leaf()))
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Certs) != 1 || !r.Certs[0].Cert.Equal(chain.Leaf()) {
+		t.Fatalf("certs: %+v", r.Certs)
+	}
+	if !r.HasCertMaterial() {
+		t.Fatal("HasCertMaterial false")
+	}
+}
+
+func TestFindsRawDER(t *testing.T) {
+	chain := mkChain(t, 2, "der.example.com")
+	pkg := apppkg.New("com.a.b")
+	pkg.Add("res/raw/ca.der", chain.Root().Raw)
+	pkg.Add("res/raw/leaf.crt", chain.Leaf().Raw)
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Certs) != 2 {
+		t.Fatalf("%d certs found", len(r.Certs))
+	}
+}
+
+func TestFindsPEMInUnrelatedFile(t *testing.T) {
+	chain := mkChain(t, 3, "json.example.com")
+	pkg := apppkg.New("com.a.b")
+	cfg := append([]byte(`{"tls_cert": "`), pki.EncodePEM(chain.Leaf())...)
+	cfg = append(cfg, []byte(`"}`)...)
+	pkg.Add("assets/config.json", cfg)
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Certs) != 1 {
+		t.Fatalf("%d certs in config.json", len(r.Certs))
+	}
+}
+
+func TestFindsPinStringsInCode(t *testing.T) {
+	chain := mkChain(t, 4, "code.example.com")
+	pin := pki.NewPin(chain.Leaf(), pki.SHA256)
+	pkg := apppkg.New("com.a.b")
+	code := `new CertificatePinner.Builder().add("code.example.com", "` + pin.String() + `").build();`
+	pkg.Add("smali/com/a/b/Net.smali", []byte(code))
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pins) != 1 || r.Pins[0].Pin.Key() != pin.Key() {
+		t.Fatalf("pins: %+v", r.Pins)
+	}
+}
+
+func TestFindsHexAndSHA1Pins(t *testing.T) {
+	chain := mkChain(t, 5, "hex.example.com")
+	p256 := pki.NewPin(chain.Leaf(), pki.SHA256)
+	p256.Hex = true
+	p1 := pki.NewPin(chain.Root(), pki.SHA1)
+	pkg := apppkg.New("com.a.b")
+	pkg.Add("assets/pins.txt", []byte(p256.String()+"\n"+p1.String()))
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pins) != 2 {
+		t.Fatalf("pins: %+v", r.Pins)
+	}
+}
+
+func TestIgnoresMalformedPinStrings(t *testing.T) {
+	pkg := apppkg.New("com.a.b")
+	// Matches the regex shape but decodes to the wrong digest length.
+	pkg.Add("assets/x.txt", []byte("sha256/aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pins) != 0 {
+		t.Fatalf("malformed pin accepted: %+v", r.Pins)
+	}
+}
+
+func TestFindsPinsInNativeLibStrings(t *testing.T) {
+	chain := mkChain(t, 6, "native.example.com")
+	pin := pki.NewPin(chain.Leaf(), pki.SHA256)
+	blob := append([]byte{0x7f, 'E', 'L', 'F', 0x00, 0x01, 0x02}, []byte(pin.String())...)
+	blob = append(blob, 0x00, 0xff, 0xfe)
+	pkg := apppkg.New("com.a.b")
+	pkg.AddExecutable("lib/arm64-v8a/libssl_helper.so", blob)
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pins) != 1 {
+		t.Fatalf("pins in native lib: %+v", r.Pins)
+	}
+}
+
+func TestExtractStrings(t *testing.T) {
+	data := []byte("\x00\x01short\x00longer-string-here\x01\x02ok?not\xffabcdef")
+	out := string(ExtractStrings(data, 6))
+	if !strings.Contains(out, "longer-string-here") {
+		t.Fatalf("missed long string: %q", out)
+	}
+	if strings.Contains(out, "short") {
+		t.Fatalf("kept short run: %q", out)
+	}
+	if !strings.Contains(out, "abcdef") {
+		t.Fatalf("missed trailing run: %q", out)
+	}
+}
+
+func TestNSCDetection(t *testing.T) {
+	chain := mkChain(t, 7, "nsc.example.com")
+	pin := pki.NewPin(chain.Root(), pki.SHA256)
+	pkg := apppkg.New("com.a.b")
+	pkg.Add("AndroidManifest.xml", apppkg.BuildManifest("com.a.b", "A", "@xml/network_security_config"))
+	pkg.Add("res/xml/network_security_config.xml", apppkg.BuildNSC(&apppkg.NSC{
+		Domains: []apppkg.NSCDomain{{
+			Domain: "nsc.example.com",
+			Pins:   []apppkg.NSCPin{{Digest: "SHA-256", Value: pin.String()[len("sha256/"):]}},
+		}},
+	}))
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NSC == nil || !r.NSCHasPins {
+		t.Fatalf("NSC not detected: %+v", r)
+	}
+	if len(r.Pins) != 1 || r.Pins[0].Pin.Key() != pin.Key() {
+		t.Fatalf("NSC pin not extracted: %+v", r.Pins)
+	}
+}
+
+func TestNSCWithoutPinsNotCounted(t *testing.T) {
+	pkg := apppkg.New("com.a.b")
+	pkg.Add("AndroidManifest.xml", apppkg.BuildManifest("com.a.b", "A", "@xml/nsc"))
+	pkg.Add("res/xml/nsc.xml", apppkg.BuildNSC(&apppkg.NSC{
+		Domains: []apppkg.NSCDomain{{Domain: "cleartext.example.com"}},
+	}))
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NSC == nil {
+		t.Fatal("NSC not parsed")
+	}
+	if r.NSCHasPins || r.HasCertMaterial() {
+		t.Fatal("pinless NSC counted as pinning")
+	}
+}
+
+func TestNSCMisconfigs(t *testing.T) {
+	pkg := apppkg.New("com.a.b")
+	pkg.Add("AndroidManifest.xml", apppkg.BuildManifest("com.a.b", "A", "@xml/nsc"))
+	pkg.Add("res/xml/nsc.xml", apppkg.BuildNSC(&apppkg.NSC{
+		Domains: []apppkg.NSCDomain{{
+			Domain:       "example.com",
+			Pins:         []apppkg.NSCPin{{Digest: "SHA-256", Value: "r/mIkG3eEpVdm+u/ko/cwxzOMo1bk4TyHIlByibiA5E="}},
+			OverridePins: true,
+		}},
+	}))
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Misconfigs) != 2 {
+		t.Fatalf("misconfigs: %v", r.Misconfigs)
+	}
+}
+
+func TestEncryptedIOSRejected(t *testing.T) {
+	pkg := apppkg.New("com.ios.app")
+	pkg.AddExecutable("Payload/App.app/App", []byte("sha256/AAAA..."))
+	pkg.EncryptIOS()
+	app := &appmodel.App{ID: pkg.AppID, Platform: appmodel.IOS, Pkg: pkg}
+	if _, err := Analyze(app); err == nil {
+		t.Fatal("encrypted package analyzed")
+	}
+	pkg.DecryptIOS()
+	if _, err := Analyze(app); err != nil {
+		t.Fatalf("decrypted package rejected: %v", err)
+	}
+}
+
+func TestEncryptionHidesPins(t *testing.T) {
+	// End-to-end: a pin visible in the decrypted binary is invisible when
+	// scanning ciphertext (if someone skipped the decrypt step).
+	chain := mkChain(t, 8, "enc.example.com")
+	pin := pki.NewPin(chain.Leaf(), pki.SHA256)
+	pkg := apppkg.New("com.ios.enc")
+	pkg.AddExecutable("Payload/App.app/App", []byte("prefix "+pin.String()+" suffix"))
+	app := &appmodel.App{ID: pkg.AppID, Platform: appmodel.IOS, Pkg: pkg}
+	r, err := Analyze(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pins) != 1 {
+		t.Fatal("pin not found in decrypted binary")
+	}
+}
+
+func TestIOSEntitlements(t *testing.T) {
+	pkg := apppkg.New("com.ios.app")
+	pkg.Add("Payload/App.app/embedded.mobileprovision",
+		apppkg.BuildEntitlements("com.ios.app", []string{"links.example.com"}))
+	app := &appmodel.App{ID: pkg.AppID, Platform: appmodel.IOS, Pkg: pkg}
+	r, err := Analyze(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.AssociatedDomains) != 1 || r.AssociatedDomains[0] != "links.example.com" {
+		t.Fatalf("associated domains: %v", r.AssociatedDomains)
+	}
+}
+
+func TestResolvePins(t *testing.T) {
+	chain := mkChain(t, 9, "ct.example.com")
+	log := ctlog.New()
+	log.Submit(chain.Leaf()) // only the leaf is logged
+
+	pkg := apppkg.New("com.a.b")
+	leafPin := pki.NewPin(chain.Leaf(), pki.SHA256)
+	unknownPin := pki.NewPin(chain.Root(), pki.SHA256) // root not logged
+	pkg.Add("assets/pins.txt", []byte(leafPin.String()+"\n"+unknownPin.String()))
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved, frac := ResolvePins(r, log)
+	if len(resolved) != 1 || frac != 0.5 {
+		t.Fatalf("resolved %d, fraction %v", len(resolved), frac)
+	}
+}
+
+func TestAttributeFrameworks(t *testing.T) {
+	chain := mkChain(t, 10, "sdk.example.com")
+	mkReport := func(appID, path string) *Report {
+		pkg := apppkg.New(appID)
+		pkg.Add(path, pki.EncodePEM(chain.Leaf()))
+		r, err := Analyze(&appmodel.App{ID: appID, Platform: appmodel.Android, Pkg: pkg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	var reports []*Report
+	for i := 0; i < 7; i++ {
+		reports = append(reports, mkReport(
+			"com.app"+string(rune('a'+i)),
+			"smali/com/twitter/sdk/android/tls/cert.pem"))
+	}
+	reports = append(reports, mkReport("com.solo", "smali/com/mparticle/cert.pem"))
+	reports = append(reports, mkReport("com.first", "smali/com/first/party/cert.pem"))
+
+	fw := AttributeFrameworks(reports, appmodel.Android, 5)
+	if len(fw) != 1 || fw[0].SDK.Name != "Twitter" || fw[0].Apps != 7 {
+		t.Fatalf("frameworks: %+v", fw)
+	}
+	// minApps=1 includes MParticle but never the first-party path.
+	fw = AttributeFrameworks(reports, appmodel.Android, 1)
+	if len(fw) != 2 {
+		t.Fatalf("frameworks at min 1: %+v", fw)
+	}
+	if fw[0].SDK.Name != "Twitter" || fw[1].SDK.Name != "MParticle" {
+		t.Fatalf("ordering: %v %v", fw[0].SDK.Name, fw[1].SDK.Name)
+	}
+}
+
+func TestDeduplicatesCertFindings(t *testing.T) {
+	chain := mkChain(t, 11, "dup.example.com")
+	pkg := apppkg.New("com.a.b")
+	// Same cert twice in one file (PEM bundle duplicated).
+	bundle := append(pki.EncodePEM(chain.Leaf()), pki.EncodePEM(chain.Leaf())...)
+	pkg.Add("assets/bundle.pem", bundle)
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Certs) != 1 {
+		t.Fatalf("%d certs after dedupe", len(r.Certs))
+	}
+}
+
+func TestUniquePins(t *testing.T) {
+	chain := mkChain(t, 12, "u.example.com")
+	pin := pki.NewPin(chain.Leaf(), pki.SHA256)
+	hexPin := pin
+	hexPin.Hex = true
+	pkg := apppkg.New("com.a.b")
+	pkg.Add("a.txt", []byte(pin.String()))
+	pkg.Add("b.txt", []byte(hexPin.String())) // same digest, hex form
+	r, err := Analyze(androidApp(pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pins) != 2 || len(r.UniquePins()) != 1 {
+		t.Fatalf("pins %d unique %d", len(r.Pins), len(r.UniquePins()))
+	}
+}

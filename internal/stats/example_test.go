@@ -1,0 +1,24 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"pinscope/internal/stats"
+)
+
+// ExampleJaccard compares two pinned-domain sets the way the Figure 3
+// heatmap does.
+func ExampleJaccard() {
+	android := stats.Set([]string{"api.x.com", "cdn.x.com"})
+	ios := stats.Set([]string{"api.x.com"})
+	fmt.Printf("%.2f\n", stats.Jaccard(android, ios))
+	// Output: 0.50
+}
+
+// ExampleChiSquare2x2 runs the Table 9 significance test on a contingency
+// table of destinations with/without a PII type, pinned vs non-pinned.
+func ExampleChiSquare2x2() {
+	_, p := stats.ChiSquare2x2(56, 161, 262, 1825)
+	fmt.Println("significant:", p < 0.05)
+	// Output: significant: true
+}

@@ -1,0 +1,238 @@
+// Package stats provides the small statistical toolkit the pinning study
+// needs: Jaccard similarity over domain sets, the chi-square test of
+// independence used for the PII comparison (Table 9), and counting helpers
+// shared by the report generators.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Jaccard returns the Jaccard index |a∩b| / |a∪b| of two string sets.
+// Two empty sets have similarity 1 by convention (they are identical).
+func Jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Overlap returns the fraction of elements of a that are also in b
+// (|a∩b| / |a|). The paper uses this asymmetric measure when comparing a
+// pinned-domain set against a not-pinned set. An empty a yields 0.
+func Overlap(a, b map[string]bool) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a))
+}
+
+// Set builds a string set from a slice.
+func Set(items []string) map[string]bool {
+	s := make(map[string]bool, len(items))
+	for _, v := range items {
+		s[v] = true
+	}
+	return s
+}
+
+// SortedKeys returns the keys of a set in sorted order, for deterministic
+// report output.
+func SortedKeys(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ChiSquare2x2 runs the chi-square test of independence on a 2x2
+// contingency table:
+//
+//	            present  absent
+//	group A        a        b
+//	group B        c        d
+//
+// It returns the test statistic and the p-value (df=1). Cells may be zero;
+// if a whole row or column is zero the variables carry no information and
+// the test returns statistic 0, p-value 1.
+func ChiSquare2x2(a, b, c, d float64) (stat, p float64) {
+	n := a + b + c + d
+	if n == 0 {
+		return 0, 1
+	}
+	row1, row2 := a+b, c+d
+	col1, col2 := a+c, b+d
+	if row1 == 0 || row2 == 0 || col1 == 0 || col2 == 0 {
+		return 0, 1
+	}
+	exp := [4]float64{
+		row1 * col1 / n,
+		row1 * col2 / n,
+		row2 * col1 / n,
+		row2 * col2 / n,
+	}
+	obs := [4]float64{a, b, c, d}
+	for i := range obs {
+		diff := obs[i] - exp[i]
+		stat += diff * diff / exp[i]
+	}
+	return stat, ChiSquarePValue(stat, 1)
+}
+
+// ChiSquarePValue returns P(X >= stat) for a chi-square distribution with
+// df degrees of freedom, i.e. the upper regularized incomplete gamma
+// function Q(df/2, stat/2).
+func ChiSquarePValue(stat float64, df int) float64 {
+	if stat <= 0 {
+		return 1
+	}
+	return gammaQ(float64(df)/2, stat/2)
+}
+
+// gammaQ computes the upper regularized incomplete gamma function Q(a, x)
+// using the series expansion for x < a+1 and the continued fraction
+// otherwise (Numerical Recipes style).
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+func gammaPSeries(a, x float64) float64 {
+	const itmax = 200
+	const eps = 3e-14
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinuedFraction(a, x float64) float64 {
+	const itmax = 200
+	const eps = 3e-14
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// Percent formats a ratio as a percentage value (0.123 → 12.3). Kept here
+// so report code shares one rounding convention.
+func Percent(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// Counter counts string-keyed occurrences and reports them in deterministic
+// rank order.
+type Counter struct {
+	counts map[string]int
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add increments key by n.
+func (c *Counter) Add(key string, n int) {
+	c.counts[key] += n
+}
+
+// Inc increments key by one.
+func (c *Counter) Inc(key string) { c.Add(key, 1) }
+
+// Get returns the count for key.
+func (c *Counter) Get(key string) int { return c.counts[key] }
+
+// Len returns the number of distinct keys.
+func (c *Counter) Len() int { return len(c.counts) }
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int {
+	t := 0
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// KV is a key with its count.
+type KV struct {
+	Key   string
+	Count int
+}
+
+// Top returns the n highest-count entries, ties broken alphabetically so
+// output is deterministic. n <= 0 returns all entries.
+func (c *Counter) Top(n int) []KV {
+	out := make([]KV, 0, len(c.counts))
+	for k, v := range c.counts {
+		out = append(out, KV{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pinscope/internal/detrand"
+)
+
+func TestJaccardBasics(t *testing.T) {
+	a := Set([]string{"x", "y", "z"})
+	b := Set([]string{"y", "z", "w"})
+	if got := Jaccard(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Jaccard = %v, want 0.5", got)
+	}
+	if got := Jaccard(a, a); got != 1 {
+		t.Fatalf("self Jaccard = %v", got)
+	}
+	if got := Jaccard(nil, nil); got != 1 {
+		t.Fatalf("empty Jaccard = %v, want 1", got)
+	}
+	if got := Jaccard(a, nil); got != 0 {
+		t.Fatalf("disjoint-with-empty Jaccard = %v, want 0", got)
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	gen := detrand.New(100)
+	randomSet := func(r *detrand.Source) map[string]bool {
+		n := r.Intn(8)
+		s := map[string]bool{}
+		for i := 0; i < n; i++ {
+			s[string(rune('a'+r.Intn(10)))] = true
+		}
+		return s
+	}
+	for i := 0; i < 500; i++ {
+		a := randomSet(gen)
+		b := randomSet(gen)
+		j1 := Jaccard(a, b)
+		j2 := Jaccard(b, a)
+		if j1 != j2 {
+			t.Fatalf("Jaccard not symmetric: %v vs %v", j1, j2)
+		}
+		if j1 < 0 || j1 > 1 {
+			t.Fatalf("Jaccard out of range: %v", j1)
+		}
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := Set([]string{"x", "y"})
+	b := Set([]string{"y", "z"})
+	if got := Overlap(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Overlap = %v", got)
+	}
+	if got := Overlap(nil, b); got != 0 {
+		t.Fatalf("Overlap of empty = %v", got)
+	}
+	if got := Overlap(a, nil); got != 0 {
+		t.Fatalf("Overlap with empty = %v", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	s := Set([]string{"c", "a", "b"})
+	got := SortedKeys(s)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys = %v", got)
+		}
+	}
+}
+
+func TestChiSquareKnownValue(t *testing.T) {
+	// Classic example: 2x2 table with clear association.
+	//           present absent
+	// pinned       90     10
+	// unpinned     50     50
+	stat, p := ChiSquare2x2(90, 10, 50, 50)
+	// Expected statistic ~ 38.1 (computed by hand: n=200, exp a=70,b=30,c=70,d=30)
+	want := 200.0 * math.Pow(90*50-10*50, 2) / (100 * 100 * 140 * 60)
+	if math.Abs(stat-want) > 1e-9 {
+		t.Fatalf("stat = %v, want %v", stat, want)
+	}
+	if p > 1e-6 {
+		t.Fatalf("p = %v, expected extremely small", p)
+	}
+}
+
+func TestChiSquareIndependence(t *testing.T) {
+	// Perfectly proportional table → statistic 0, p = 1.
+	stat, p := ChiSquare2x2(20, 80, 10, 40)
+	if stat > 1e-9 {
+		t.Fatalf("stat = %v on independent table", stat)
+	}
+	if p < 0.999 {
+		t.Fatalf("p = %v on independent table", p)
+	}
+}
+
+func TestChiSquareDegenerate(t *testing.T) {
+	for _, tc := range [][4]float64{
+		{0, 0, 0, 0},
+		{0, 0, 5, 5}, // empty row
+		{0, 5, 0, 5}, // empty column
+	} {
+		stat, p := ChiSquare2x2(tc[0], tc[1], tc[2], tc[3])
+		if stat != 0 || p != 1 {
+			t.Fatalf("degenerate table %v: stat=%v p=%v", tc, stat, p)
+		}
+	}
+}
+
+func TestChiSquarePValueReference(t *testing.T) {
+	// Reference values for df=1: P(X>=3.841) ≈ 0.05, P(X>=6.635) ≈ 0.01.
+	cases := []struct {
+		stat, want float64
+	}{
+		{3.841, 0.05},
+		{6.635, 0.01},
+		{2.706, 0.10},
+	}
+	for _, c := range cases {
+		got := ChiSquarePValue(c.stat, 1)
+		if math.Abs(got-c.want) > 0.001 {
+			t.Fatalf("p(%v) = %v, want ~%v", c.stat, got, c.want)
+		}
+	}
+	// df=2 reference: P(X>=5.991) ≈ 0.05.
+	if got := ChiSquarePValue(5.991, 2); math.Abs(got-0.05) > 0.001 {
+		t.Fatalf("df=2 p = %v", got)
+	}
+}
+
+func TestChiSquarePValueMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := float64(a%1000)/10, float64(b%1000)/10
+		if x > y {
+			x, y = y, x
+		}
+		px := ChiSquarePValue(x, 1)
+		py := ChiSquarePValue(y, 1)
+		return py <= px+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPValueBounds(t *testing.T) {
+	f := func(a uint32) bool {
+		stat := float64(a%100000) / 100
+		p := ChiSquarePValue(stat, 1)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(1, 4); got != 25 {
+		t.Fatalf("Percent = %v", got)
+	}
+	if got := Percent(3, 0); got != 0 {
+		t.Fatalf("Percent with zero denominator = %v", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("b")
+	c.Inc("a")
+	c.Inc("a")
+	c.Add("c", 5)
+	if c.Get("a") != 2 || c.Get("c") != 5 || c.Get("missing") != 0 {
+		t.Fatal("Get wrong")
+	}
+	if c.Total() != 8 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	top := c.Top(2)
+	if top[0].Key != "c" || top[1].Key != "a" {
+		t.Fatalf("Top = %v", top)
+	}
+	all := c.Top(0)
+	if len(all) != 3 {
+		t.Fatalf("Top(0) = %v", all)
+	}
+	// Tie-break is alphabetical.
+	c2 := NewCounter()
+	c2.Inc("z")
+	c2.Inc("m")
+	got := c2.Top(0)
+	if got[0].Key != "m" {
+		t.Fatalf("tie break wrong: %v", got)
+	}
+}

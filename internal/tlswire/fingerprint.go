@@ -1,0 +1,37 @@
+package tlswire
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Fingerprint computes a JA3-style client fingerprint from the observable
+// ClientHello: max version, offered cipher suites and ALPN list, hashed to
+// a short hex digest.
+//
+// The study ran into exactly this technique's limit: iOS system services
+// and regular apps both ride the platform TLS stack, so their fingerprints
+// collide and OS-initiated traffic "exhibits a similar TLS fingerprint as
+// regular app traffic" (§4.5) — which is why the paper had to exclude
+// associated domains by name rather than by fingerprint. The function
+// exists so that analysis code (and tests) can demonstrate that failure
+// honestly instead of assuming it.
+func (h *HelloInfo) Fingerprint() string {
+	if h == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d,", uint16(h.MaxVersion))
+	for i, c := range h.CipherSuites {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%d", uint16(c))
+	}
+	b.WriteByte(',')
+	b.WriteString(strings.Join(h.ALPN, "-"))
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:8])
+}

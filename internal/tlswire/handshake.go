@@ -1,0 +1,485 @@
+package tlswire
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pinscope/internal/pki"
+)
+
+// ClientConfig configures the client half of an emulated TLS session.
+type ClientConfig struct {
+	// ServerName is sent as SNI and used for hostname verification.
+	ServerName string
+	// MaxVersion defaults to TLS13.
+	MaxVersion Version
+	// CipherSuites is the advertised offer, in preference order. Defaults
+	// to ModernSuites. Offers containing weak suites are what Table 8
+	// measures.
+	CipherSuites []CipherSuite
+	// RootStore anchors chain validation. Required unless SkipVerify.
+	RootStore *pki.RootStore
+	// Pins, when non-empty, are enforced after standard validation: the
+	// served chain must contain a certificate matching the set.
+	Pins *pki.PinSet
+	// SkipVerify disables standard chain validation (hostname, expiry,
+	// trust anchoring). Instrumentation hooks set this.
+	SkipVerify bool
+	// SkipPinning disables pin enforcement. Instrumentation hooks set this.
+	SkipPinning bool
+	// PinFailure selects the wire signature produced when validation or
+	// pinning fails.
+	PinFailure FailureMode
+	// ALPN protocols, cleartext in the ClientHello.
+	ALPN []string
+	// Time is the validation instant; zero means pki.StudyEpoch.
+	Time time.Time
+}
+
+func (c *ClientConfig) withDefaults() ClientConfig {
+	cfg := *c
+	if cfg.MaxVersion == 0 {
+		cfg.MaxVersion = TLS13
+	}
+	if cfg.CipherSuites == nil {
+		cfg.CipherSuites = ModernSuites
+	}
+	return cfg
+}
+
+// ServerConfig configures the server half.
+type ServerConfig struct {
+	// Chain is the certificate chain to serve, leaf first.
+	Chain pki.Chain
+	// GetChain, when set, overrides Chain per ClientHello. The MITM proxy
+	// uses it to forge a leaf for the requested SNI.
+	GetChain func(*HelloInfo) (pki.Chain, error)
+	// MinVersion/MaxVersion default to TLS10/TLS13.
+	MinVersion, MaxVersion Version
+	// CipherSuites is the server preference order; defaults to ModernSuites.
+	CipherSuites []CipherSuite
+	// ResetOnAccept injects a server-side failure: the connection is torn
+	// down with RST before the ServerHello. This is one of the confounders
+	// the differential analysis must not mistake for pinning.
+	ResetOnAccept bool
+	// Respond produces the application response for a request. Nil echoes
+	// a short acknowledgment.
+	Respond func(req []byte) []byte
+	// SessionTickets is the number of NewSessionTicket messages sent after
+	// a completed TLS 1.3 handshake (most real servers send 1–2). On the
+	// wire they are yet more application_data-disguised records — noise the
+	// §4.2.2 heuristics must tolerate.
+	SessionTickets int
+}
+
+func (c *ServerConfig) withDefaults() ServerConfig {
+	cfg := *c
+	if cfg.MinVersion == 0 {
+		cfg.MinVersion = TLS10
+	}
+	if cfg.MaxVersion == 0 {
+		cfg.MaxVersion = TLS13
+	}
+	if cfg.CipherSuites == nil {
+		cfg.CipherSuites = ModernSuites
+	}
+	return cfg
+}
+
+// HandshakeError describes why a handshake failed.
+type HandshakeError struct {
+	Stage string // "transport", "negotiate", "verify", "pin", "peer-alert"
+	Alert AlertCode
+	Err   error
+}
+
+func (e *HandshakeError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("tlswire: handshake failed at %s: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("tlswire: handshake failed at %s (%s)", e.Stage, e.Alert)
+}
+
+func (e *HandshakeError) Unwrap() error { return e.Err }
+
+// IsPinFailure reports whether err is a handshake error caused by pin
+// enforcement. Endpoints know this; passive observers must infer it.
+func IsPinFailure(err error) bool {
+	var he *HandshakeError
+	return errors.As(err, &he) && he.Stage == "pin"
+}
+
+// Conn is an established emulated TLS session.
+type Conn struct {
+	t         Transport
+	isClient  bool
+	Version   Version
+	Cipher    CipherSuite
+	PeerChain pki.Chain
+	closed    bool
+}
+
+// Client runs the client side of the handshake over t. On failure it
+// produces the configured wire signature (alert/RST/silent idle) and
+// returns a *HandshakeError; the transport is closed except in
+// FailSilentIdle mode, where the caller owns the idle connection and
+// should Close(CloseFIN) it when the app "gives up".
+func Client(t Transport, cfg0 *ClientConfig) (*Conn, error) {
+	cfg := cfg0.withDefaults()
+	hello := &HelloInfo{
+		SNI:          cfg.ServerName,
+		MaxVersion:   cfg.MaxVersion,
+		CipherSuites: cfg.CipherSuites,
+		ALPN:         cfg.ALPN,
+	}
+	rec := Record{
+		WireType: RecHandshake,
+		Length:   helloWireLen(hello),
+		Hello:    hello,
+		hsKind:   hsClientHello,
+	}
+	if err := t.Send(rec); err != nil {
+		return nil, &HandshakeError{Stage: "transport", Err: err}
+	}
+
+	// ServerHello (or a plaintext alert / abrupt close).
+	r, err := t.Recv()
+	if err != nil {
+		return nil, &HandshakeError{Stage: "transport", Err: err}
+	}
+	if r.WireType == RecAlert {
+		t.Close(CloseFIN)
+		return nil, &HandshakeError{Stage: "peer-alert", Alert: r.Alert}
+	}
+	if r.SHello == nil {
+		t.Close(CloseRST)
+		return nil, &HandshakeError{Stage: "transport", Err: errors.New("expected ServerHello")}
+	}
+	version, cipher := r.SHello.Version, r.SHello.Cipher
+
+	// Certificate delivery.
+	var chain pki.Chain
+	if version == TLS13 {
+		// EncryptedExtensions, Certificate, CertificateVerify, Finished —
+		// all disguised as application_data. Collect until Finished.
+		for {
+			r, err = t.Recv()
+			if err != nil {
+				return nil, &HandshakeError{Stage: "transport", Err: err}
+			}
+			if r.WireType == RecChangeCipherSpec {
+				continue // middlebox-compatibility CCS
+			}
+			if r.hiddenAlrt != 0 || (r.WireType == RecAlert) {
+				t.Close(CloseFIN)
+				return nil, &HandshakeError{Stage: "peer-alert", Alert: r.Alert}
+			}
+			if r.hiddenCert != nil {
+				chain = r.hiddenCert
+			}
+			if r.hsKind == hsFinished {
+				break
+			}
+		}
+	} else {
+		// Certificate (cleartext) then ServerHelloDone.
+		for {
+			r, err = t.Recv()
+			if err != nil {
+				return nil, &HandshakeError{Stage: "transport", Err: err}
+			}
+			if r.WireType == RecAlert {
+				t.Close(CloseFIN)
+				return nil, &HandshakeError{Stage: "peer-alert", Alert: r.Alert}
+			}
+			if r.Certs != nil {
+				chain = r.Certs
+			}
+			if r.hsKind == hsServerHelloDone {
+				break
+			}
+		}
+	}
+
+	// Standard certificate validation (hostname, expiry, anchoring).
+	if !cfg.SkipVerify {
+		if cfg.RootStore == nil {
+			t.Close(CloseRST)
+			return nil, &HandshakeError{Stage: "verify", Err: errors.New("no root store configured")}
+		}
+		if err := cfg.RootStore.Validate(chain, cfg.ServerName, orEpoch(cfg.Time)); err != nil {
+			failConn(t, version, cfg.PinFailure)
+			herr := &HandshakeError{Stage: "verify", Alert: AlertBadCertificate, Err: err}
+			if cfg.PinFailure == FailSilentIdle {
+				completeClientHandshake(t, version)
+			}
+			return nil, herr
+		}
+	}
+
+	// Pin enforcement.
+	if !cfg.SkipPinning && !cfg.Pins.Empty() {
+		if !cfg.Pins.MatchChain(chain) {
+			failConn(t, version, cfg.PinFailure)
+			herr := &HandshakeError{Stage: "pin", Alert: AlertBadCertificate,
+				Err: fmt.Errorf("served chain for %s matches no pin", cfg.ServerName)}
+			if cfg.PinFailure == FailSilentIdle {
+				completeClientHandshake(t, version)
+			}
+			return nil, herr
+		}
+	}
+
+	if err := completeClientHandshake(t, version); err != nil {
+		return nil, &HandshakeError{Stage: "transport", Err: err}
+	}
+	return &Conn{t: t, isClient: true, Version: version, Cipher: cipher, PeerChain: chain}, nil
+}
+
+// failConn emits the failure signature for the chosen mode. FailSilentIdle
+// emits nothing here — the handshake is completed by the caller and the
+// connection is left established-but-unused.
+func failConn(t Transport, v Version, mode FailureMode) {
+	switch mode {
+	case FailAlertClose:
+		t.Send(alertRecord(v, AlertBadCertificate))
+		t.Close(CloseFIN)
+	case FailReset:
+		t.Close(CloseRST)
+	case FailSilentIdle:
+		// handled by caller
+	}
+}
+
+// alertRecord builds an alert as it appears on the wire for the version: a
+// plaintext alert record for TLS <= 1.2, an encrypted record disguised as
+// application_data (with the characteristic length) for TLS 1.3.
+func alertRecord(v Version, code AlertCode) Record {
+	if v == TLS13 {
+		return Record{
+			WireType:   RecAppData,
+			Length:     EncryptedAlertWireLen,
+			inner:      RecAlert,
+			hiddenAlrt: code,
+		}
+	}
+	return Record{WireType: RecAlert, Length: recordHeaderLen + 2, Alert: code}
+}
+
+// completeClientHandshake sends the client's closing flight.
+func completeClientHandshake(t Transport, v Version) error {
+	if v == TLS13 {
+		// Encrypted Finished, disguised as application_data: the client's
+		// first encrypted record on every successful 1.3 connection.
+		return t.Send(Record{
+			WireType: RecAppData,
+			Length:   finishedWireLen,
+			inner:    RecHandshake,
+			hsKind:   hsFinished,
+		})
+	}
+	if err := t.Send(Record{WireType: RecHandshake, Length: recordHeaderLen + 4 + 66, hsKind: hsClientKeyExchange}); err != nil {
+		return err
+	}
+	if err := t.Send(Record{WireType: RecChangeCipherSpec, Length: recordHeaderLen + 1}); err != nil {
+		return err
+	}
+	// In TLS <= 1.2 the Finished message is encrypted but the record type
+	// on the wire is still handshake(22).
+	return t.Send(Record{WireType: RecHandshake, Length: recordHeaderLen + 40, hsKind: hsFinished})
+}
+
+// ServerHandshake runs the server side of the handshake and returns the
+// established connection plus the observed ClientHello. The MITM proxy
+// composes this with its own upstream Client call.
+func ServerHandshake(t Transport, cfg0 *ServerConfig) (*Conn, *HelloInfo, error) {
+	cfg := cfg0.withDefaults()
+	r, err := t.Recv()
+	if err != nil {
+		return nil, nil, &HandshakeError{Stage: "transport", Err: err}
+	}
+	hello := r.Hello
+	if hello == nil {
+		t.Close(CloseRST)
+		return nil, nil, &HandshakeError{Stage: "transport", Err: errors.New("expected ClientHello")}
+	}
+	if cfg.ResetOnAccept {
+		t.Close(CloseRST)
+		return nil, hello, &HandshakeError{Stage: "transport", Err: errors.New("injected server reset")}
+	}
+	version, cipher, err := negotiate(hello, cfg.MinVersion, cfg.MaxVersion, cfg.CipherSuites)
+	if err != nil {
+		t.Send(Record{WireType: RecAlert, Length: recordHeaderLen + 2, Alert: AlertProtocolVersion})
+		t.Close(CloseFIN)
+		return nil, hello, &HandshakeError{Stage: "negotiate", Alert: AlertProtocolVersion, Err: err}
+	}
+
+	chain := cfg.Chain
+	if cfg.GetChain != nil {
+		chain, err = cfg.GetChain(hello)
+		if err != nil {
+			t.Send(Record{WireType: RecAlert, Length: recordHeaderLen + 2, Alert: AlertInternalError})
+			t.Close(CloseFIN)
+			return nil, hello, &HandshakeError{Stage: "negotiate", Alert: AlertInternalError, Err: err}
+		}
+	}
+
+	sh := &ServerHelloInfo{Version: version, Cipher: cipher}
+	if err := t.Send(Record{WireType: RecHandshake, Length: recordHeaderLen + 4 + 72, SHello: sh, hsKind: hsServerHello}); err != nil {
+		return nil, hello, &HandshakeError{Stage: "transport", Err: err}
+	}
+
+	if version == TLS13 {
+		// Compatibility CCS, then the encrypted server flight disguised as
+		// application_data: EncryptedExtensions+Certificate+CertificateVerify
+		// folded into one record (as coalesced flights commonly are), then
+		// Finished.
+		if err := t.Send(Record{WireType: RecChangeCipherSpec, Length: recordHeaderLen + 1}); err != nil {
+			return nil, hello, &HandshakeError{Stage: "transport", Err: err}
+		}
+		certRec := Record{
+			WireType:   RecAppData,
+			Length:     chainWireLen(chain) + 64 + tls13InnerType + aeadOverhead,
+			inner:      RecHandshake,
+			hsKind:     hsCertificate,
+			hiddenCert: chain,
+		}
+		if err := t.Send(certRec); err != nil {
+			return nil, hello, &HandshakeError{Stage: "transport", Err: err}
+		}
+		if err := t.Send(Record{WireType: RecAppData, Length: finishedWireLen, inner: RecHandshake, hsKind: hsFinished}); err != nil {
+			return nil, hello, &HandshakeError{Stage: "transport", Err: err}
+		}
+	} else {
+		if err := t.Send(Record{WireType: RecHandshake, Length: chainWireLen(chain), Certs: chain, hsKind: hsCertificate}); err != nil {
+			return nil, hello, &HandshakeError{Stage: "transport", Err: err}
+		}
+		if err := t.Send(Record{WireType: RecHandshake, Length: recordHeaderLen + 4, hsKind: hsServerHelloDone}); err != nil {
+			return nil, hello, &HandshakeError{Stage: "transport", Err: err}
+		}
+	}
+
+	// Client's closing flight — or its rejection of our certificate.
+	for {
+		r, err = t.Recv()
+		if err != nil {
+			// RST or FIN without alert: client aborted (e.g. FailReset pin
+			// behaviour).
+			return nil, hello, &HandshakeError{Stage: "transport", Err: err}
+		}
+		switch {
+		case r.WireType == RecAlert:
+			t.Close(CloseFIN)
+			return nil, hello, &HandshakeError{Stage: "peer-alert", Alert: r.Alert}
+		case r.inner == RecAlert:
+			t.Close(CloseFIN)
+			return nil, hello, &HandshakeError{Stage: "peer-alert", Alert: r.hiddenAlrt}
+		case r.hsKind == hsFinished:
+			if version != TLS13 {
+				// Server's CCS + Finished complete the 1.2 handshake.
+				if err := t.Send(Record{WireType: RecChangeCipherSpec, Length: recordHeaderLen + 1}); err != nil {
+					return nil, hello, &HandshakeError{Stage: "transport", Err: err}
+				}
+				if err := t.Send(Record{WireType: RecHandshake, Length: recordHeaderLen + 40, hsKind: hsFinished}); err != nil {
+					return nil, hello, &HandshakeError{Stage: "transport", Err: err}
+				}
+			} else {
+				// Post-handshake NewSessionTickets, disguised on the wire.
+				for i := 0; i < cfg.SessionTickets; i++ {
+					if err := t.Send(Record{
+						WireType: RecAppData,
+						Length:   recordHeaderLen + 4 + 180 + tls13InnerType + aeadOverhead,
+						inner:    RecHandshake,
+						hsKind:   hsNewSessionTicket,
+					}); err != nil {
+						return nil, hello, &HandshakeError{Stage: "transport", Err: err}
+					}
+				}
+			}
+			return &Conn{t: t, Version: version, Cipher: cipher}, hello, nil
+		}
+		// Ignore CCS / ClientKeyExchange and keep reading.
+	}
+}
+
+// Serve runs a complete server connection: handshake, then a request/
+// response loop until the client closes. It returns the handshake error if
+// any; a clean session returns nil.
+func Serve(t Transport, cfg *ServerConfig) error {
+	conn, _, err := ServerHandshake(t, cfg)
+	if err != nil {
+		return err
+	}
+	respond := cfg.Respond
+	if respond == nil {
+		respond = func([]byte) []byte { return []byte("HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok") }
+	}
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			conn.shutdown(CloseFIN)
+			return nil
+		}
+		if err := conn.Send(respond(req)); err != nil {
+			return nil
+		}
+	}
+}
+
+// Send transmits application data.
+func (c *Conn) Send(data []byte) error {
+	if c.closed {
+		return errors.New("tlswire: send on closed conn")
+	}
+	return c.t.Send(Record{
+		WireType: RecAppData,
+		Length:   appDataWireLen(c.Version, len(data)),
+		inner:    RecAppData,
+		appData:  data,
+	})
+}
+
+// Recv returns the next application payload. Alerts (close_notify or
+// otherwise) and transport closure surface as errors.
+func (c *Conn) Recv() ([]byte, error) {
+	for {
+		r, err := c.t.Recv()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case r.WireType == RecAlert:
+			return nil, fmt.Errorf("tlswire: received alert %s", r.Alert)
+		case r.inner == RecAlert:
+			return nil, fmt.Errorf("tlswire: received alert %s", r.hiddenAlrt)
+		case r.inner == RecAppData:
+			return r.appData, nil
+		}
+		// Skip post-handshake noise (tickets, CCS).
+	}
+}
+
+// Close ends the session cleanly: close_notify then FIN.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.t.Send(alertRecord(c.Version, AlertCloseNotify))
+	return c.shutdown(CloseFIN)
+}
+
+// Abort tears the connection down with a TCP reset.
+func (c *Conn) Abort() error { return c.shutdown(CloseRST) }
+
+func (c *Conn) shutdown(flag CloseFlag) error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.t.Close(flag)
+}
+
+// Transport exposes the underlying transport (used by the relay in
+// mitmproxy).
+func (c *Conn) Transport() Transport { return c.t }

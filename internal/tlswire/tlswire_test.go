@@ -1,0 +1,216 @@
+package tlswire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVersionStrings(t *testing.T) {
+	cases := map[Version]string{
+		TLS10: "TLS1.0", TLS11: "TLS1.1", TLS12: "TLS1.2", TLS13: "TLS1.3",
+		Version(0x9999): "TLS(0x9999)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Fatalf("%v.String() = %q, want %q", uint16(v), got, want)
+		}
+	}
+}
+
+func TestCipherSuiteStrings(t *testing.T) {
+	if TLS_AES_128_GCM_SHA256.String() != "TLS_AES_128_GCM_SHA256" {
+		t.Fatal("known suite name wrong")
+	}
+	if !strings.Contains(CipherSuite(0xdead).String(), "0xdead") {
+		t.Fatal("unknown suite not hex-rendered")
+	}
+}
+
+func TestTLS13SuiteClassification(t *testing.T) {
+	for _, c := range []CipherSuite{TLS_AES_128_GCM_SHA256, TLS_AES_256_GCM_SHA384, TLS_CHACHA20_POLY1305_SHA256} {
+		if !c.TLS13Suite() {
+			t.Fatalf("%s not classified as 1.3", c)
+		}
+	}
+	if ECDHE_RSA_WITH_AES_128_GCM_SHA256.TLS13Suite() {
+		t.Fatal("1.2 suite classified as 1.3")
+	}
+}
+
+func TestLegacySuitesSupersetOfModern(t *testing.T) {
+	modern := map[CipherSuite]bool{}
+	for _, c := range ModernSuites {
+		modern[c] = true
+	}
+	weak := 0
+	for _, c := range LegacySuites {
+		if c.IsWeak() {
+			weak++
+		}
+	}
+	if weak == 0 {
+		t.Fatal("LegacySuites offers no weak suites")
+	}
+	for _, c := range ModernSuites {
+		found := false
+		for _, l := range LegacySuites {
+			if l == c {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("modern suite %s missing from legacy offer", c)
+		}
+	}
+}
+
+func TestRecordTypeStrings(t *testing.T) {
+	cases := map[RecordType]string{
+		RecChangeCipherSpec: "change_cipher_spec",
+		RecAlert:            "alert",
+		RecHandshake:        "handshake",
+		RecAppData:          "application_data",
+		RecordType(99):      "record(99)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Fatalf("%d.String() = %q", r, got)
+		}
+	}
+}
+
+func TestAlertCodeStrings(t *testing.T) {
+	if AlertBadCertificate.String() != "bad_certificate" ||
+		AlertCloseNotify.String() != "close_notify" ||
+		AlertProtocolVersion.String() != "protocol_version" {
+		t.Fatal("alert names wrong")
+	}
+	if !strings.Contains(AlertCode(200).String(), "200") {
+		t.Fatal("unknown alert not numeric")
+	}
+}
+
+func TestCloseFlagStrings(t *testing.T) {
+	if CloseFIN.String() != "FIN" || CloseRST.String() != "RST" || CloseNone.String() != "none" {
+		t.Fatal("close flag names wrong")
+	}
+}
+
+func TestFailureModeStrings(t *testing.T) {
+	if FailAlertClose.String() != "alert+fin" || FailReset.String() != "rst" ||
+		FailSilentIdle.String() != "silent-idle" {
+		t.Fatal("failure mode names wrong")
+	}
+}
+
+func TestSummarizeHidesEndpointContent(t *testing.T) {
+	r := Record{
+		WireType: RecAppData,
+		Length:   100,
+		inner:    RecAppData,
+		appData:  []byte("secret payload"),
+	}
+	s := r.Summarize(true)
+	if !s.FromClient || s.WireType != RecAppData || s.Length != 100 {
+		t.Fatalf("summary: %+v", s)
+	}
+	// Summary type has no payload field at all — this test documents that
+	// the only record content exposed is the cleartext-observable part.
+	if s.Hello != nil || s.Certs != nil || s.HasAlert {
+		t.Fatalf("unexpected content in summary: %+v", s)
+	}
+}
+
+func TestSummarizeAlert(t *testing.T) {
+	r := Record{WireType: RecAlert, Length: 7, Alert: AlertBadCertificate}
+	s := r.Summarize(false)
+	if !s.HasAlert || s.Alert != AlertBadCertificate || s.FromClient {
+		t.Fatalf("alert summary: %+v", s)
+	}
+}
+
+func TestWireLengthsArePositiveAndOrdered(t *testing.T) {
+	f := func(sniLen uint8, nCiphers uint8, payload uint16) bool {
+		sni := strings.Repeat("a", int(sniLen%64)+1) + ".com"
+		ciphers := make([]CipherSuite, int(nCiphers%16)+1)
+		for i := range ciphers {
+			ciphers[i] = TLS_AES_128_GCM_SHA256
+		}
+		h := &HelloInfo{SNI: sni, MaxVersion: TLS13, CipherSuites: ciphers}
+		if helloWireLen(h) <= recordHeaderLen {
+			return false
+		}
+		p := int(payload % 4096)
+		l12 := appDataWireLen(TLS12, p)
+		l13 := appDataWireLen(TLS13, p)
+		if l12 <= p || l13 <= p {
+			return false
+		}
+		// More payload never shrinks the record.
+		return appDataWireLen(TLS13, p+1) > l13-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncryptedAlertLengthDistinct(t *testing.T) {
+	// The §4.2.2 heuristic depends on the encrypted-alert length differing
+	// from the Finished length.
+	if EncryptedAlertWireLen == finishedWireLen {
+		t.Fatal("alert and Finished records are indistinguishable by length")
+	}
+}
+
+func TestNegotiateVersionClamping(t *testing.T) {
+	h := &HelloInfo{MaxVersion: TLS13, CipherSuites: ModernSuites}
+	v, c, err := negotiate(h, TLS10, TLS12, ModernSuites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != TLS12 || c.TLS13Suite() {
+		t.Fatalf("negotiated %s/%s", v, c)
+	}
+	// Client below server minimum.
+	h2 := &HelloInfo{MaxVersion: TLS10, CipherSuites: ModernSuites}
+	if _, _, err := negotiate(h2, TLS12, TLS13, ModernSuites); err == nil {
+		t.Fatal("negotiated below server minimum")
+	}
+	// No common suite.
+	h3 := &HelloInfo{MaxVersion: TLS13, CipherSuites: []CipherSuite{RSA_WITH_RC4_128_SHA}}
+	if _, _, err := negotiate(h3, TLS10, TLS13, ModernSuites); err == nil {
+		t.Fatal("negotiated without a common suite")
+	}
+}
+
+func TestFingerprintProperties(t *testing.T) {
+	mk := func(v Version, suites []CipherSuite, alpn []string) *HelloInfo {
+		return &HelloInfo{SNI: "x.example.com", MaxVersion: v, CipherSuites: suites, ALPN: alpn}
+	}
+	a := mk(TLS13, ModernSuites, []string{"h2"})
+	b := mk(TLS13, ModernSuites, []string{"h2"})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical hellos fingerprint differently")
+	}
+	// SNI must NOT influence the fingerprint (JA3 semantics) — this is
+	// exactly why fingerprints cannot separate OS traffic (same stack,
+	// different destination) from app traffic.
+	c := mk(TLS13, ModernSuites, []string{"h2"})
+	c.SNI = "totally-different.example.org"
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatal("SNI leaked into the fingerprint")
+	}
+	d := mk(TLS12, ModernSuites, []string{"h2"})
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("version change did not alter fingerprint")
+	}
+	e := mk(TLS13, LegacySuites, []string{"h2"})
+	if a.Fingerprint() == e.Fingerprint() {
+		t.Fatal("cipher change did not alter fingerprint")
+	}
+	var nilHello *HelloInfo
+	if nilHello.Fingerprint() != "" {
+		t.Fatal("nil hello fingerprint not empty")
+	}
+}

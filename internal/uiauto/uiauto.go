@@ -1,0 +1,179 @@
+// Package uiauto models the app-exploration tooling the paper evaluated
+// and set aside (§4.2.1 "App Interaction", §5.7 "App Exploration"):
+// UI Automator on Android and its iOS counterpart, driving random monkey
+// interactions against a running app.
+//
+// The paper found that random interactions produced "no significant change
+// in the number of domains contacted" versus launch-only runs, because the
+// connections behind UI flows mostly require semantic actions (sign-up,
+// log-in) that random tapping cannot perform. The model reproduces that:
+// apps carry interactive connection plans gated on either a random-reachable
+// trigger (a small minority — prominent buttons on the first screen) or a
+// semantic trigger (the majority), and the monkey only fires the former.
+package uiauto
+
+import (
+	"pinscope/internal/appmodel"
+	"pinscope/internal/detrand"
+)
+
+// Trigger describes what it takes to reach a connection's code path.
+type Trigger int
+
+const (
+	// TriggerLaunch connections happen on app start (the default plan in
+	// appmodel.App.Conns).
+	TriggerLaunch Trigger = iota
+	// TriggerRandomReachable connections fire behind prominent first-screen
+	// elements a monkey can hit.
+	TriggerRandomReachable
+	// TriggerSemantic connections require real flows (credentials, forms,
+	// payments) out of reach for random input.
+	TriggerSemantic
+)
+
+func (t Trigger) String() string {
+	switch t {
+	case TriggerLaunch:
+		return "launch"
+	case TriggerRandomReachable:
+		return "random-reachable"
+	}
+	return "semantic"
+}
+
+// InteractiveConn is a connection gated behind UI interaction.
+type InteractiveConn struct {
+	Conn    appmodel.PlannedConn
+	Trigger Trigger
+}
+
+// Script is one interaction session plan: a bounded stream of monkey
+// events (taps, swipes, text garbage) like `adb shell monkey` or the
+// UI Automator loops the authors experimented with.
+type Script struct {
+	Events int
+	// Seed controls which random-reachable triggers actually get hit.
+	Seed int64
+}
+
+// DefaultScript mirrors a short monkey burst per app.
+func DefaultScript(seed int64) Script { return Script{Events: 250, Seed: seed} }
+
+// Explore simulates running the script against an app's interactive plan
+// and returns the additional connections the session unlocked. Semantic
+// triggers never fire; random-reachable triggers fire with a probability
+// that saturates with event count (every prominent element gets hit
+// eventually).
+func Explore(app *appmodel.App, extra []InteractiveConn, script Script) []appmodel.PlannedConn {
+	rng := detrand.New(script.Seed).Child("explore/" + app.ID)
+	// Probability a given prominent element is exercised at least once.
+	pHit := 1.0 - 1.0/(1.0+float64(script.Events)/60.0)
+	var out []appmodel.PlannedConn
+	for i, ic := range extra {
+		switch ic.Trigger {
+		case TriggerLaunch:
+			out = append(out, ic.Conn)
+		case TriggerRandomReachable:
+			if rng.ChildN("hit", i).Bool(pHit) {
+				out = append(out, ic.Conn)
+			}
+		case TriggerSemantic:
+			// Random input cannot sign in.
+		}
+	}
+	return out
+}
+
+// PlanFor synthesizes an app's interactive connection plan: a handful of
+// extra destinations, most gated semantically. The generator mirrors the
+// study's observation — the interesting (often pinned, often credentialed)
+// flows hide behind log-in walls.
+func PlanFor(app *appmodel.App, rng *detrand.Source) []InteractiveConn {
+	var out []InteractiveConn
+	hosts := app.ContactedHosts()
+	if len(hosts) == 0 {
+		return nil
+	}
+	n := rng.Intn(4) // 0-3 extra interactive destinations
+	for i := 0; i < n; i++ {
+		host := hosts[rng.Intn(len(hosts))]
+		// Most interactive flows hit hosts the app already talks to; a
+		// minority reach a genuinely new destination (account service,
+		// payment gateway) — this is what keeps the with/without-interaction
+		// domain counts close but not identical.
+		if rng.Bool(0.25) {
+			if dot := indexByte(host, '.'); dot > 0 {
+				host = "secure" + host[dot:]
+			}
+		}
+		trig := TriggerSemantic
+		if rng.Bool(0.22) {
+			trig = TriggerRandomReachable
+		}
+		out = append(out, InteractiveConn{
+			Trigger: trig,
+			Conn: appmodel.PlannedConn{
+				Host: host, At: 5 + rng.Float64()*20, Used: true,
+				Path: "/api/v1/interactive",
+				Lib:  appmodel.LibOkHttp,
+			},
+		})
+	}
+	return out
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// CompareResult summarizes the with/without-interaction experiment.
+type CompareResult struct {
+	Apps                  int
+	AvgDomainsLaunchOnly  float64
+	AvgDomainsInteractive float64
+	// RelativeChange is (interactive-launch)/launch.
+	RelativeChange float64
+}
+
+// CompareDomains reproduces the paper's check: does random interaction
+// change the number of domains contacted? It evaluates the plans
+// analytically (no network needed) over a set of apps.
+func CompareDomains(apps []*appmodel.App, seed int64) CompareResult {
+	rng := detrand.New(seed)
+	var res CompareResult
+	var sumBase, sumInter float64
+	for _, a := range apps {
+		res.Apps++
+		base := map[string]bool{}
+		for _, c := range a.Conns {
+			base[c.Host] = true
+		}
+		sumBase += float64(len(base))
+
+		plan := PlanFor(a, rng.Child("plan/"+a.ID))
+		extra := Explore(a, plan, DefaultScript(seed))
+		inter := map[string]bool{}
+		for h := range base {
+			inter[h] = true
+		}
+		for _, c := range extra {
+			inter[c.Host] = true
+		}
+		sumInter += float64(len(inter))
+	}
+	if res.Apps > 0 {
+		res.AvgDomainsLaunchOnly = sumBase / float64(res.Apps)
+		res.AvgDomainsInteractive = sumInter / float64(res.Apps)
+	}
+	if res.AvgDomainsLaunchOnly > 0 {
+		res.RelativeChange = (res.AvgDomainsInteractive - res.AvgDomainsLaunchOnly) /
+			res.AvgDomainsLaunchOnly
+	}
+	return res
+}

@@ -1,0 +1,124 @@
+package uiauto
+
+import (
+	"math"
+	"testing"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/detrand"
+)
+
+func appWithHosts(hosts ...string) *appmodel.App {
+	a := &appmodel.App{ID: "com.t.app"}
+	for _, h := range hosts {
+		a.Conns = append(a.Conns, appmodel.PlannedConn{Host: h})
+	}
+	return a
+}
+
+func TestSemanticTriggersNeverFire(t *testing.T) {
+	app := appWithHosts("a.com")
+	extra := []InteractiveConn{
+		{Trigger: TriggerSemantic, Conn: appmodel.PlannedConn{Host: "login.a.com"}},
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		got := Explore(app, extra, DefaultScript(seed))
+		if len(got) != 0 {
+			t.Fatalf("semantic trigger fired with seed %d", seed)
+		}
+	}
+}
+
+func TestLaunchTriggersAlwaysFire(t *testing.T) {
+	app := appWithHosts("a.com")
+	extra := []InteractiveConn{
+		{Trigger: TriggerLaunch, Conn: appmodel.PlannedConn{Host: "x.a.com"}},
+	}
+	if got := Explore(app, extra, Script{Events: 0, Seed: 1}); len(got) != 1 {
+		t.Fatalf("launch trigger did not fire: %v", got)
+	}
+}
+
+func TestRandomReachableSaturatesWithEvents(t *testing.T) {
+	app := appWithHosts("a.com")
+	extra := []InteractiveConn{
+		{Trigger: TriggerRandomReachable, Conn: appmodel.PlannedConn{Host: "promo.a.com"}},
+	}
+	hits := func(events int) int {
+		n := 0
+		for seed := int64(0); seed < 200; seed++ {
+			if len(Explore(app, extra, Script{Events: events, Seed: seed})) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	few, many := hits(10), hits(2000)
+	if few >= many {
+		t.Fatalf("hit rate did not grow with events: %d vs %d", few, many)
+	}
+	if many < 180 {
+		t.Fatalf("long sessions should almost always hit prominent elements: %d/200", many)
+	}
+}
+
+func TestPlanForShape(t *testing.T) {
+	rng := detrand.New(5)
+	app := appWithHosts("a.com", "b.com")
+	semantic, random := 0, 0
+	for i := 0; i < 300; i++ {
+		for _, ic := range PlanFor(app, rng.ChildN("p", i)) {
+			switch ic.Trigger {
+			case TriggerSemantic:
+				semantic++
+			case TriggerRandomReachable:
+				random++
+			}
+		}
+	}
+	if semantic == 0 || random == 0 {
+		t.Fatalf("plan lacks variety: semantic=%d random=%d", semantic, random)
+	}
+	if random >= semantic {
+		t.Fatalf("random-reachable (%d) should be the minority vs semantic (%d)", random, semantic)
+	}
+	// No plan for an app with no hosts.
+	if got := PlanFor(&appmodel.App{ID: "x"}, rng.Child("empty")); got != nil {
+		t.Fatalf("plan for host-less app: %v", got)
+	}
+}
+
+func TestCompareDomainsSmallChange(t *testing.T) {
+	// The headline reproduction: random interaction changes the contacted
+	// domain count only marginally (the paper found no significant change).
+	var apps []*appmodel.App
+	rng := detrand.New(9)
+	for i := 0; i < 120; i++ {
+		a := &appmodel.App{ID: "com.app" + string(rune('a'+i%26)) + string(rune('0'+i%10))}
+		n := 5 + rng.Intn(15)
+		for j := 0; j < n; j++ {
+			a.Conns = append(a.Conns, appmodel.PlannedConn{
+				Host: "h" + string(rune('a'+j)) + ".example.com",
+			})
+		}
+		apps = append(apps, a)
+	}
+	res := CompareDomains(apps, 3)
+	if res.Apps != 120 {
+		t.Fatalf("apps %d", res.Apps)
+	}
+	if res.AvgDomainsInteractive < res.AvgDomainsLaunchOnly {
+		t.Fatal("interaction cannot reduce domains")
+	}
+	if math.Abs(res.RelativeChange) > 0.10 {
+		t.Fatalf("relative change %.3f too large — should be insignificant", res.RelativeChange)
+	}
+}
+
+func TestTriggerStrings(t *testing.T) {
+	if TriggerLaunch.String() != "launch" ||
+		TriggerRandomReachable.String() != "random-reachable" ||
+		TriggerSemantic.String() != "semantic" {
+		t.Fatal("trigger names wrong")
+	}
+}

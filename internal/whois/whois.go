@@ -1,0 +1,74 @@
+// Package whois is the study's domain-ownership oracle. The paper
+// attributes each contacted domain to a first or third party "using various
+// points of information (whois data, certificate subject names, etc.)"
+// (§5.2, Figure 5). Our substitute is a registry populated by the world
+// generator from the same registration data a real registrar would hold:
+// the organization that registered each domain.
+//
+// Attribution itself (matching a domain's registrant against an app's
+// developer) lives in the analysis pipeline; this package only answers
+// lookups, including the realistic failure mode of missing records.
+package whois
+
+import (
+	"strings"
+	"sync"
+)
+
+// Record is the registration data for one domain.
+type Record struct {
+	Domain string
+	// Org is the registrant organization.
+	Org string
+	// Private marks WHOIS-privacy-protected registrations, for which Org
+	// is withheld from lookups.
+	Private bool
+}
+
+// Registry maps domains to registration records. Safe for concurrent reads
+// after population.
+type Registry struct {
+	mu      sync.RWMutex
+	records map[string]Record
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{records: make(map[string]Record)}
+}
+
+// Register adds or replaces the record for a domain.
+func (r *Registry) Register(rec Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records[strings.ToLower(rec.Domain)] = rec
+}
+
+// Lookup returns the registrant organization for the domain or its
+// registrable parent. Privacy-protected and unknown domains return ok=false
+// — the analyst then falls back to other signals.
+func (r *Registry) Lookup(domain string) (org string, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d := strings.ToLower(domain)
+	for {
+		if rec, found := r.records[d]; found {
+			if rec.Private {
+				return "", false
+			}
+			return rec.Org, true
+		}
+		i := strings.Index(d, ".")
+		if i < 0 || !strings.Contains(d[i+1:], ".") {
+			return "", false
+		}
+		d = d[i+1:]
+	}
+}
+
+// Len returns the number of registered domains.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.records)
+}

@@ -1,0 +1,65 @@
+package whois
+
+import "testing"
+
+func TestLookupExact(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Record{Domain: "api.acme.com", Org: "Acme Inc"})
+	org, ok := r.Lookup("api.acme.com")
+	if !ok || org != "Acme Inc" {
+		t.Fatalf("got %q %v", org, ok)
+	}
+}
+
+func TestLookupWalksToRegistrableParent(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Record{Domain: "acme.com", Org: "Acme Inc"})
+	org, ok := r.Lookup("deep.api.acme.com")
+	if !ok || org != "Acme Inc" {
+		t.Fatalf("parent walk failed: %q %v", org, ok)
+	}
+}
+
+func TestLookupDoesNotCrossTLD(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Record{Domain: "com", Org: "Registry Operator"})
+	if _, ok := r.Lookup("unknown.example.com"); ok {
+		t.Fatal("lookup walked into the TLD")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Lookup("nobody.example.org"); ok {
+		t.Fatal("unknown domain resolved")
+	}
+}
+
+func TestPrivacyProtected(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Record{Domain: "hidden.com", Org: "Secret Corp", Private: true})
+	if _, ok := r.Lookup("hidden.com"); ok {
+		t.Fatal("private registration leaked org")
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Record{Domain: "Acme.COM", Org: "Acme Inc"})
+	if _, ok := r.Lookup("ACME.com"); !ok {
+		t.Fatal("case-sensitive lookup")
+	}
+}
+
+func TestLen(t *testing.T) {
+	r := NewRegistry()
+	r.Register(Record{Domain: "a.com", Org: "A"})
+	r.Register(Record{Domain: "a.com", Org: "A2"}) // replace
+	r.Register(Record{Domain: "b.com", Org: "B"})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if org, _ := r.Lookup("a.com"); org != "A2" {
+		t.Fatal("replacement failed")
+	}
+}

@@ -1,0 +1,286 @@
+package worldgen
+
+import "pinscope/internal/appmodel"
+
+// This file holds every calibration constant of the generated world. The
+// analysis pipelines never read these values — they parse packages and
+// observe traffic — but the values are chosen so the *measured* results
+// reproduce the shape of the paper's findings (see DESIGN.md §5 and
+// EXPERIMENTS.md for paper-vs-measured numbers).
+
+// Tier is the dataset segment an app was materialized for.
+type Tier string
+
+const (
+	TierCommon  Tier = "common"
+	TierPopular Tier = "popular"
+	TierRandom  Tier = "random"
+)
+
+// dynPinRate is the probability that an app enforces pinning at run time,
+// before category adjustment (Table 3, "Dynamic analysis" column). Common
+// apps are governed by pair classes instead (see pairClassWeights).
+var dynPinRate = map[appmodel.Platform]map[Tier]float64{
+	appmodel.Android: {TierPopular: 0.067, TierRandom: 0.0075},
+	appmodel.IOS:     {TierPopular: 0.122, TierRandom: 0.025},
+}
+
+// staticExtraRate is the probability that a NON-pinning app still embeds
+// certificate or pin material (unused libraries, optional pinning support,
+// disabled code paths). Together with pinning apps' material this produces
+// the "Embedded Certificates" static column of Table 3.
+// (The rates account for the cert-carrying SDKs already contributing
+// material independently.)
+var staticExtraRate = map[appmodel.Platform]map[Tier]float64{
+	appmodel.Android: {TierCommon: 0.185, TierPopular: 0.086, TierRandom: 0.068},
+	appmodel.IOS:     {TierCommon: 0.069, TierPopular: 0.148, TierRandom: 0.027},
+}
+
+// obfuscationRate is the fraction of pinning apps whose pin material is
+// invisible to static analysis (obfuscated, reconstructed at run time) —
+// one reason dynamic analysis is ground truth (§4.2).
+const obfuscationRate = 0.08
+
+// nscPinRate is the probability an Android pinning app declares its pins
+// via a Network Security Configuration (the only mechanism prior NSC-based
+// studies could see; Table 3 "Configuration Files" column).
+var nscPinRate = map[Tier]float64{
+	TierCommon: 0.25, TierPopular: 0.27, TierRandom: 0.5,
+}
+
+// nscPlainRate is the probability that any Android app ships an NSC without
+// a pin-set (NSC adoption far exceeds NSC pinning; Oltrogge et al. found
+// 7.43% adoption with <1% pinning).
+const nscPlainRate = 0.06
+
+// nscMisconfigRate: among NSC-pinning apps, the probability of shipping a
+// Possemato-style misconfiguration (overridePins or placeholder domain).
+const nscMisconfigRate = 0.12
+
+// catPinMult scales pinning probability by store category. Keys are the
+// per-platform category names; missing categories default to 1. Values are
+// normalized at build time so the tier average stays at dynPinRate.
+var catPinMult = map[string]float64{
+	// Shared names.
+	"Finance": 2.9, "Shopping": 2.1, "Travel": 1.4, "Food & Drink": 1.9,
+	"Weather": 0.95, "Sports": 1.1, "Music": 0.5, "Entertainment": 0.6,
+	"News": 0.8, "Business": 0.6, "Education": 0.35, "Books": 1.0,
+	"Lifestyle": 1.15, "Productivity": 0.7, "Games": 0.12,
+	// Android names.
+	"Social": 2.5, "Events": 2.2, "Dating": 2.1, "Comics": 1.9,
+	"Automobile": 1.3, "Tools": 0.5, "Photography": 1.0, "Communication": 0.9,
+	"Health": 0.8, "Personalization": 0.4, "Maps": 1.0, "Video Players": 0.5,
+	"House": 0.8, "Parenting": 0.7, "Art": 0.5, "Beauty": 0.7, "Libraries": 0.4,
+	// iOS names.
+	"Social Networking": 2.3, "Photo & Video": 1.85, "Utilities": 0.95,
+	"Health & Fitness": 0.85, "Navigation": 1.25, "Medical": 0.9,
+	"Reference": 0.6, "Magazines": 0.5, "Catalogs": 0.5,
+}
+
+// pairClass encodes the cross-platform pinning behaviour of a common app
+// (Figure 2/3/4). Weights are per-575 counts from §5.1.
+type pairClass int
+
+const (
+	pairNeither pairClass = iota
+	pairBothIdentical
+	pairBothSubset
+	pairBothInconsistent
+	pairBothInconclusive
+	pairAndroidOnlyInconsistent
+	pairAndroidOnlyInconclusive
+	pairIOSOnlyInconsistent
+	pairIOSOnlyInconclusive
+)
+
+var pairClassWeights = []struct {
+	class pairClass
+	w     float64 // expected count per 575 common apps
+}{
+	{pairBothIdentical, 13},
+	{pairBothSubset, 2},
+	{pairBothInconsistent, 6},
+	{pairBothInconclusive, 6},
+	{pairAndroidOnlyInconsistent, 10},
+	{pairAndroidOnlyInconclusive, 10},
+	{pairIOSOnlyInconsistent, 7},
+	{pairIOSOnlyInconclusive, 15},
+	{pairNeither, 575 - 69},
+}
+
+// Pin-material composition (§5.3).
+const (
+	// caPinRate: fraction of first-party pin configurations that pin a CA
+	// certificate rather than the leaf. Together with SDK pins (see
+	// sdkCAPinRate) the matched-certificate CA share lands near the
+	// paper's ≈73% (80/110).
+	caPinRate = 0.52
+	// sdkCAPinRate is the CA-pin fraction for SDK pin sets.
+	sdkCAPinRate = 0.62
+	// spkiPinRate: among leaf pins, the fraction expressed as SPKI hashes
+	// rather than raw certificates (24/30).
+	spkiPinRate = 0.80
+	// rawCertStrictRate: among raw-cert embeddings, the fraction whose
+	// runtime check really requires the exact certificate (1 of 6 in the
+	// paper; the rest effectively pin the public key).
+	rawCertStrictRate = 0.16
+	// sha1PinRate / hexPinRate: presentation diversity of pin strings.
+	sha1PinRate = 0.08
+	hexPinRate  = 0.10
+	// leafRotationRate: pinned first-party leaves reissued (key reused)
+	// between app release and our dynamic tests (§5.3.3).
+	leafRotationRate = 0.20
+)
+
+// Pinned-destination infrastructure (Table 6).
+const (
+	// customPKIRate*: pinning apps whose own pinned domain uses a private
+	// CA (4/178 Android, 1/253 iOS destinations).
+	customPKIRateAndroid = 0.030
+	customPKIRateIOS     = 0.006
+	// selfSignedRate: pinned destinations serving a bare self-signed cert
+	// (one per platform in the paper).
+	selfSignedRate = 0.015
+	// flakyHostRate: pinned destinations unreachable by the time of the
+	// chain probe ("Data Unavailable": 11/178, 14/253).
+	flakyHostRate = 0.10
+)
+
+// pinFailureModeWeights: how pinned clients fail on the wire (§4.2.2 lists
+// alerts, resets, and established-but-unused connections).
+var pinFailureModeWeights = []float64{0.55, 0.25, 0.20} // alert+fin, rst, silent-idle
+
+// First-party TLS stack mixes. SDK connections use the SDK's own stack;
+// these govern the app's own connections. The pinned mix determines
+// circumvention rates (§4.3: ≈51.5% Android, ≈66.2% iOS destinations).
+var fpLibMix = map[appmodel.Platform]map[appmodel.TLSLib]float64{
+	appmodel.Android: {
+		appmodel.LibOkHttp: 0.55, appmodel.LibConscrypt: 0.25,
+		appmodel.LibWebView: 0.05, appmodel.LibFlutterBoring: 0.08,
+		appmodel.LibCustomNative: 0.07,
+	},
+	appmodel.IOS: {
+		appmodel.LibNSURLSession: 0.62, appmodel.LibAFNetworking: 0.15,
+		appmodel.LibTrustKit: 0.08, appmodel.LibFlutterBoring: 0.08,
+		appmodel.LibCustomNative: 0.07,
+	},
+}
+
+var fpPinnedLibMix = map[appmodel.Platform]map[appmodel.TLSLib]float64{
+	appmodel.Android: {
+		appmodel.LibOkHttp: 0.26, appmodel.LibConscrypt: 0.04,
+		appmodel.LibWebView: 0.02, appmodel.LibFlutterBoring: 0.27,
+		appmodel.LibCustomNative: 0.41,
+	},
+	appmodel.IOS: {
+		appmodel.LibNSURLSession: 0.32, appmodel.LibTrustKit: 0.16,
+		appmodel.LibAFNetworking: 0.03, appmodel.LibFlutterBoring: 0.18,
+		appmodel.LibCustomNative: 0.31,
+	},
+}
+
+// Weak-cipher advertisement (Table 8). These are app-level behaviours:
+// weakGenericRate is the probability an app's general-purpose stack offers
+// weak suites (nearly all iOS stacks of the study era did — legacy
+// SecureTransport defaults); weakPinnedRate is the probability a pinning
+// app's PINNED connections offer them. Note the paper's Android-Common
+// inversion (pinned connections weaker than the dataset overall).
+var weakGenericRate = map[appmodel.Platform]map[Tier]float64{
+	appmodel.Android: {TierCommon: 0.0835, TierPopular: 0.183, TierRandom: 0.031},
+	appmodel.IOS:     {TierCommon: 0.9339, TierPopular: 0.952, TierRandom: 0.826},
+}
+
+var weakPinnedRate = map[appmodel.Platform]map[Tier]float64{
+	appmodel.Android: {TierCommon: 0.234, TierPopular: 0.0149, TierRandom: 0.0},
+	appmodel.IOS:     {TierCommon: 0.5577, TierPopular: 0.4609, TierRandom: 0.5294},
+}
+
+// TLS version mix for app connections.
+var versionMixWeights = []float64{0.68, 0.27, 0.05} // TLS13, TLS12, TLS11
+
+// Behaviour-plan shape (§4.2.1's sleep sweep: ~20.8/23.5/24.6 handshakes at
+// 15/30/60 s).
+const (
+	miscDomainsMean   = 11.0 // shared third-party infrastructure contacted
+	miscDomainsSpread = 3.5
+	miscDomainsMin    = 4
+	miscDomainsMax    = 22
+	redundantConnRate = 0.30 // extra never-used connection per destination
+	fpExtraConnRate   = 0.45 // second connection to a first-party host
+	lateConnRate      = 0.25 // probability of a tail (30–60 s) connection
+	usedConnRate      = 0.90 // a planned primary connection transmits data
+)
+
+// Arrival-time buckets: most handshakes land early.
+var arrivalBuckets = []struct {
+	w        float64
+	min, max float64
+}{
+	{0.72, 0, 10},
+	{0.18, 10, 30},
+	{0.10, 30, 60},
+}
+
+// sdkTierMult scales SDK inclusion probability per tier (popular apps carry
+// more third-party code).
+var sdkTierMult = map[Tier]float64{TierCommon: 1.3, TierPopular: 1.4, TierRandom: 0.6}
+
+// First-party pinning shape (Figure 5).
+const (
+	// pinMechanismFirstParty / Both: given a pinning app, which code pins.
+	// The remainder is third-party-SDK-only pinning — the dominant case.
+	pinMechanismFirstParty = 0.22
+	pinMechanismBoth       = 0.10
+	// androidPinAllFPRate: Android apps that pin first parties pin ALL of
+	// them (the paper found a single exception); iOS frequently pins only a
+	// subset.
+	androidPinAllFPRate = 0.97
+	iosPinAllFPRate     = 0.68
+	// sdkOnlyNoFPRate: SDK-only pinning apps frequently contact no
+	// developer-owned domain at all (pure-SDK apps). This is what makes
+	// "Android apps that contact first parties pin them" hold in Figure 5.
+	sdkOnlyNoFPRateAndroid = 0.97
+	sdkOnlyNoFPRateIOS     = 0.80
+	// pinEverythingRate: rare apps pin every destination they contact
+	// (5 Android, 4 iOS in the paper).
+	pinEverythingRate = 0.05
+)
+
+// PII emission (Table 9). Pinned destinations skew toward advertising IDs
+// (analytics/fraud SDKs pin and fingerprint); the non-pinned background is
+// tamer per destination. The iOS skew is stronger, which is what makes the
+// difference statistically significant there and not on Android.
+const (
+	fpEmailRate    = 0.012
+	fpStateRate    = 0.010
+	fpCityRate     = 0.008
+	fpGeoRate      = 0.004
+	cdnAdIDRate    = 0.04
+	adPoolAdIDRate = 0.22
+	// fpPinnedAdIDRate: apps send the advertising ID to their own pinned
+	// backends too (attribution postbacks).
+	fpPinnedAdIDRateAndroid = 0.30
+	fpPinnedAdIDRateIOS     = 0.26
+	pinnedAdIDBoostAndroid  = 1.5
+	pinnedAdIDBoostIOS      = 1.45
+)
+
+// iOS associated domains (§4.5: 66% of apps declare none; the rest average
+// 4.8 unique domains).
+const (
+	assocDomainRate = 0.34
+	assocDomainMin  = 2
+	assocDomainMax  = 8
+)
+
+// whoisPrivateRate: registrations hidden behind WHOIS privacy, forcing the
+// analyst's name-token fallback.
+const whoisPrivateRate = 0.12
+
+// serverResetRate: shared third-party hosts that reset connections during
+// the study (a non-pinning failure confounder).
+const serverResetRate = 0.01
+
+// nativeLibRate: Android apps shipping a native library whose strings are
+// scanned radare2-style.
+const nativeLibRate = 0.18

@@ -1,0 +1,123 @@
+package worldgen
+
+import (
+	"testing"
+
+	"pinscope/internal/appmodel"
+)
+
+// TestRateTablesAreProbabilities guards against calibration edits pushing
+// any probability outside [0,1].
+func TestRateTablesAreProbabilities(t *testing.T) {
+	check := func(name string, v float64) {
+		t.Helper()
+		if v < 0 || v > 1 {
+			t.Fatalf("%s = %v outside [0,1]", name, v)
+		}
+	}
+	for plat, tiers := range dynPinRate {
+		for tier, v := range tiers {
+			check("dynPinRate["+string(plat)+"]["+string(tier)+"]", v)
+		}
+	}
+	for plat, tiers := range staticExtraRate {
+		for tier, v := range tiers {
+			check("staticExtraRate["+string(plat)+"]["+string(tier)+"]", v)
+		}
+	}
+	for tier, v := range nscPinRate {
+		check("nscPinRate["+string(tier)+"]", v)
+	}
+	for plat, tiers := range weakGenericRate {
+		for tier, v := range tiers {
+			check("weakGenericRate["+string(plat)+"]["+string(tier)+"]", v)
+		}
+	}
+	for plat, tiers := range weakPinnedRate {
+		for tier, v := range tiers {
+			check("weakPinnedRate["+string(plat)+"]["+string(tier)+"]", v)
+		}
+	}
+	for _, v := range []float64{
+		obfuscationRate, nscPlainRate, nscMisconfigRate,
+		caPinRate, sdkCAPinRate, spkiPinRate, rawCertStrictRate,
+		sha1PinRate, hexPinRate, leafRotationRate,
+		customPKIRateAndroid, customPKIRateIOS, selfSignedRate, flakyHostRate,
+		pinMechanismFirstParty, pinMechanismBoth,
+		androidPinAllFPRate, iosPinAllFPRate,
+		sdkOnlyNoFPRateAndroid, sdkOnlyNoFPRateIOS, pinEverythingRate,
+		fpEmailRate, fpStateRate, fpCityRate, fpGeoRate,
+		cdnAdIDRate, adPoolAdIDRate,
+		fpPinnedAdIDRateAndroid, fpPinnedAdIDRateIOS,
+		assocDomainRate, whoisPrivateRate, serverResetRate, nativeLibRate,
+		redundantConnRate, fpExtraConnRate, lateConnRate, usedConnRate,
+	} {
+		check("const", v)
+	}
+}
+
+func TestLibMixesSumToOne(t *testing.T) {
+	for name, mix := range map[string]map[appmodel.Platform]map[appmodel.TLSLib]float64{
+		"fpLibMix": fpLibMix, "fpPinnedLibMix": fpPinnedLibMix,
+	} {
+		for plat, m := range mix {
+			var sum float64
+			for _, w := range m {
+				if w < 0 {
+					t.Fatalf("%s[%s] negative weight", name, plat)
+				}
+				sum += w
+			}
+			if sum < 0.99 || sum > 1.01 {
+				t.Fatalf("%s[%s] sums to %v", name, plat, sum)
+			}
+		}
+	}
+}
+
+func TestArrivalBucketsCoverHour(t *testing.T) {
+	var total float64
+	for _, b := range arrivalBuckets {
+		if b.min >= b.max {
+			t.Fatalf("bucket [%v,%v) empty", b.min, b.max)
+		}
+		total += b.w
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("bucket weights sum to %v", total)
+	}
+	last := arrivalBuckets[len(arrivalBuckets)-1]
+	if last.max != 60 {
+		t.Fatalf("arrival window ends at %v, want 60", last.max)
+	}
+}
+
+func TestPairClassWeightsMatchPaperCounts(t *testing.T) {
+	var pin, total float64
+	for _, cw := range pairClassWeights {
+		total += cw.w
+		if cw.class != pairNeither {
+			pin += cw.w
+		}
+	}
+	if total != 575 {
+		t.Fatalf("pair weights total %v, want 575 (the common dataset size)", total)
+	}
+	if pin != 69 {
+		t.Fatalf("pinning pair weight %v, want 69 (the paper's count)", pin)
+	}
+}
+
+func TestCatPinMultShape(t *testing.T) {
+	if catPinMult["Finance"] <= catPinMult["Games"] {
+		t.Fatal("Finance must out-pin Games")
+	}
+	if catPinMult["Games"] >= 0.5 {
+		t.Fatal("Games multiplier should be strongly suppressed")
+	}
+	for cat, m := range catPinMult {
+		if m <= 0 || m > 5 {
+			t.Fatalf("catPinMult[%s] = %v implausible", cat, m)
+		}
+	}
+}

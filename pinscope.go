@@ -1,0 +1,375 @@
+// Package pinscope reproduces the measurement study "A Comparative
+// Analysis of Certificate Pinning in Android & iOS" (Pradeep et al.,
+// ACM IMC 2022) end to end on a deterministic, fully simulated mobile
+// ecosystem: app stores, app packages, devices, a TLS wire emulation, a
+// MITM interception proxy, and instrumentation hooks.
+//
+// The package is the public face of the library. A Study runs the
+// complete pipeline — dataset crawling, static analysis of app packages,
+// differential dynamic analysis with and without interception, pinning
+// circumvention and PII inspection — and exposes every table and figure of
+// the paper's evaluation both as typed data and as rendered text.
+//
+// Quick use:
+//
+//	study, err := pinscope.Run(pinscope.MiniConfig(42))
+//	...
+//	fmt.Println(study.Report(pinscope.SecTable3))
+//
+// Everything is reproducible: the same Config yields identical results.
+package pinscope
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/core"
+	"pinscope/internal/report"
+	"pinscope/internal/worldgen"
+)
+
+// Config sizes and seeds a study.
+type Config struct {
+	// Seed determines the entire world; equal seeds give equal results.
+	Seed int64
+	// CommonSize, PopularSize, RandomSize are per-platform dataset sizes.
+	// Zero values default to the paper's 575/1,000/1,000.
+	CommonSize, PopularSize, RandomSize int
+	// StoreAndroid/StoreIOS size the store populations (zero → defaults).
+	StoreAndroid, StoreIOS int
+	// Window is the dynamic capture window in seconds (zero → 30).
+	Window float64
+	// Workers caps parallelism (zero → GOMAXPROCS).
+	Workers int
+}
+
+// PaperConfig reproduces the paper-scale study (≈5,000 unique apps).
+func PaperConfig() Config {
+	p := worldgen.DefaultParams()
+	return Config{
+		Seed:       p.Seed,
+		CommonSize: p.CommonSize, PopularSize: p.PopularSize, RandomSize: p.RandomSize,
+		StoreAndroid: p.StoreAndroid, StoreIOS: p.StoreIOS,
+		Window: 30,
+	}
+}
+
+// MiniConfig is a laptop-instant miniature study, useful for examples and
+// tests.
+func MiniConfig(seed int64) Config {
+	p := worldgen.TestParams(seed)
+	return Config{
+		Seed:       seed,
+		CommonSize: p.CommonSize, PopularSize: p.PopularSize, RandomSize: p.RandomSize,
+		StoreAndroid: p.StoreAndroid, StoreIOS: p.StoreIOS,
+		Window: 30,
+	}
+}
+
+func (c Config) toCore() core.Config {
+	def := worldgen.DefaultParams()
+	p := worldgen.Params{
+		Seed:       c.Seed,
+		CommonSize: c.CommonSize, PopularSize: c.PopularSize, RandomSize: c.RandomSize,
+		StoreAndroid: c.StoreAndroid, StoreIOS: c.StoreIOS,
+		PopularCut: def.PopularCut,
+	}
+	if p.Seed == 0 {
+		p.Seed = def.Seed
+	}
+	if p.CommonSize == 0 {
+		p.CommonSize = def.CommonSize
+	}
+	if p.PopularSize == 0 {
+		p.PopularSize = def.PopularSize
+	}
+	if p.RandomSize == 0 {
+		p.RandomSize = def.RandomSize
+	}
+	if p.StoreAndroid == 0 {
+		p.StoreAndroid = def.StoreAndroid
+	}
+	if p.StoreIOS == 0 {
+		p.StoreIOS = def.StoreIOS
+	}
+	// Keep the popular-mix head proportional on shrunk stores.
+	if p.StoreAndroid < def.StoreAndroid {
+		p.PopularCut = p.StoreAndroid * def.PopularCut / def.StoreAndroid
+	}
+	p.CrossProducts = p.CommonSize + p.CommonSize/4
+	win := c.Window
+	if win == 0 {
+		win = 30
+	}
+	return core.Config{Params: p, Window: win, Workers: c.Workers}
+}
+
+// Platform identifies a mobile OS in the public API.
+type Platform string
+
+const (
+	Android Platform = Platform(appmodel.Android)
+	IOS     Platform = Platform(appmodel.IOS)
+)
+
+// Study is a completed reproduction run.
+type Study struct {
+	s *core.Study
+}
+
+// Run executes the full study for the configuration.
+func Run(cfg Config) (*Study, error) {
+	s, err := core.Run(cfg.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Study{s: s}, nil
+}
+
+// Section names the renderable experiment sections.
+type Section string
+
+const (
+	SecTable1        Section = "table1"
+	SecTable2        Section = "table2"
+	SecTable3        Section = "table3"
+	SecTable4        Section = "table4"
+	SecTable5        Section = "table5"
+	SecFigure2       Section = "figure2"
+	SecFigure3       Section = "figure3"
+	SecFigure4       Section = "figure4"
+	SecFigure5       Section = "figure5"
+	SecTable6        Section = "table6"
+	SecCertAnalysis  Section = "certs"
+	SecTable7        Section = "table7"
+	SecTable8        Section = "table8"
+	SecTable9        Section = "table9"
+	SecCircumvention Section = "circumvention"
+	SecMisconfigs    Section = "misconfigs"
+	SecInteraction   Section = "interaction"
+)
+
+// Sections lists all renderable sections in paper order.
+func Sections() []Section {
+	return []Section{
+		SecTable1, SecTable2, SecTable3, SecTable4, SecTable5,
+		SecFigure2, SecFigure3, SecFigure4, SecFigure5,
+		SecTable6, SecCertAnalysis, SecTable7, SecTable8, SecTable9,
+		SecCircumvention, SecMisconfigs, SecInteraction,
+	}
+}
+
+// Report renders one section as text.
+func (st *Study) Report(sec Section) (string, error) {
+	s := st.s
+	switch sec {
+	case SecTable1:
+		return report.Table1(s), nil
+	case SecTable2:
+		return report.Table2(s), nil
+	case SecTable3:
+		return report.Table3(s), nil
+	case SecTable4:
+		return report.TableCategories(s, appmodel.Android, minApps(s)), nil
+	case SecTable5:
+		return report.TableCategories(s, appmodel.IOS, minApps(s)), nil
+	case SecFigure2:
+		return report.Figure2(s), nil
+	case SecFigure3:
+		return report.Figure3(s), nil
+	case SecFigure4:
+		return report.Figure4(s), nil
+	case SecFigure5:
+		return report.Figure5(s), nil
+	case SecTable6:
+		return report.Table6(s), nil
+	case SecCertAnalysis:
+		return report.CertAnalysis(s), nil
+	case SecTable7:
+		return report.Table7(s, table7Min(s)), nil
+	case SecTable8:
+		return report.Table8(s), nil
+	case SecTable9:
+		return report.Table9(s), nil
+	case SecCircumvention:
+		return report.Circumvention(s), nil
+	case SecMisconfigs:
+		return report.Misconfigs(s), nil
+	case SecInteraction:
+		return report.Interaction(s, interactionSample(s)), nil
+	}
+	return "", fmt.Errorf("pinscope: unknown section %q", sec)
+}
+
+// FullReport renders every section.
+func (st *Study) FullReport() string {
+	return report.Full(st.s)
+}
+
+func minApps(s *core.Study) int { return len(s.World.DS.PopularAndroid.Listings)/100 + 1 }
+
+func interactionSample(s *core.Study) int {
+	n := len(s.World.DS.PopularAndroid.Listings)
+	if n > 400 {
+		return 400
+	}
+	return n
+}
+func table7Min(s *core.Study) int {
+	m := len(s.World.DS.PopularAndroid.Listings) * 5 / 1000
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// Verdict is the public per-app result.
+type Verdict struct {
+	AppID     string
+	Name      string
+	Developer string
+	Platform  Platform
+	Category  string
+
+	// Pinned reports run-time pinning detected by the differential
+	// dynamic analysis.
+	Pinned bool
+	// PinnedDomains are the destinations detected as pinned.
+	PinnedDomains []string
+	// EmbeddedCertMaterial reports static detection (certs or pin hashes
+	// in the package).
+	EmbeddedCertMaterial bool
+	// NSCPinning reports an Android Network Security Configuration
+	// pin-set.
+	NSCPinning bool
+	// CircumventedDomains are pinned destinations whose plaintext the
+	// instrumentation hooks exposed.
+	CircumventedDomains []string
+}
+
+// Verdicts returns every studied app's verdict, sorted by platform then ID.
+func (st *Study) Verdicts() []Verdict {
+	var out []Verdict
+	seen := map[string]bool{}
+	for _, ds := range st.s.World.DS.All() {
+		for _, r := range st.s.DatasetResults(ds) {
+			key := string(r.App.Platform) + "/" + r.App.ID
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			v := Verdict{
+				AppID:     r.App.ID,
+				Name:      r.App.Name,
+				Developer: r.App.Developer,
+				Platform:  Platform(r.App.Platform),
+				Category:  r.App.Category,
+				Pinned:    r.Pinned(),
+			}
+			if r.Dyn != nil {
+				v.PinnedDomains = r.Dyn.PinnedDests()
+			}
+			if r.Static != nil {
+				v.EmbeddedCertMaterial = r.Static.HasCertMaterial()
+				v.NSCPinning = r.Static.NSCHasPins
+			}
+			for d, ok := range r.CircumventedDests {
+				if ok {
+					v.CircumventedDomains = append(v.CircumventedDomains, d)
+				}
+			}
+			sort.Strings(v.CircumventedDomains)
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Platform != out[j].Platform {
+			return out[i].Platform < out[j].Platform
+		}
+		return out[i].AppID < out[j].AppID
+	})
+	return out
+}
+
+// PinningRate returns the dynamic pinning rate (percent) for a dataset
+// ("Common", "Popular", "Random") on a platform.
+func (st *Study) PinningRate(dataset string, platform Platform) (float64, error) {
+	for _, c := range st.s.Table3() {
+		if c.Cell.Dataset == dataset && Platform(c.Cell.Platform) == platform {
+			if c.N == 0 {
+				return 0, nil
+			}
+			return 100 * float64(c.Dynamic) / float64(c.N), nil
+		}
+	}
+	return 0, fmt.Errorf("pinscope: unknown dataset %q / platform %q", dataset, platform)
+}
+
+// Advice is one per-destination pinning recommendation for an app,
+// derived from the study's measurements (ownership, sensitivity, current
+// policy here and on the sibling platform).
+type Advice struct {
+	Host      string
+	Pin       bool
+	Strategy  string
+	Mechanism string
+	Rationale []string
+	Warnings  []string
+}
+
+// AdviseApp returns pinning guidance for one studied app — the
+// developer-guideline output the paper's discussion calls for (§5.7).
+func (st *Study) AdviseApp(platform Platform, appID string) ([]Advice, error) {
+	recs, err := st.s.AdviceByID(appmodel.Platform(platform), appID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Advice, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, Advice{
+			Host:      r.Host,
+			Pin:       r.Pin,
+			Strategy:  r.Strategy.String(),
+			Mechanism: r.Mechanism,
+			Rationale: r.Rationale,
+			Warnings:  r.Warnings,
+		})
+	}
+	return out, nil
+}
+
+// ValidationReport renders the detector's confusion matrix against
+// generator ground truth. This is simulation-only self-validation (the real
+// study had no ground truth) and is therefore not part of FullReport.
+func (st *Study) ValidationReport() string {
+	return report.Quality(st.s)
+}
+
+// ExportDataset writes the study's shareable dataset (per-app verdicts and
+// pinned-destination classifications) as JSON — the counterpart of the
+// dataset the paper releases for reproducibility.
+func (st *Study) ExportDataset(w io.Writer) error {
+	return st.s.WriteJSON(w)
+}
+
+// SleepSweep reruns a sample of apps at the given capture windows and
+// reports average handshake counts (§4.2.1).
+func (st *Study) SleepSweep(windows []float64, sample int) (string, error) {
+	points, err := core.SleepSweep(st.s.World, st.s.Cfg.Params.Seed, windows, sample)
+	if err != nil {
+		return "", err
+	}
+	return report.Sweep(points), nil
+}
+
+// Ablations reruns a sample of apps under degraded detector variants and
+// reports the damage each ablation causes.
+func (st *Study) Ablations(sample int) (string, error) {
+	rows, err := core.RunAblations(st.s.World, st.s.Cfg.Params.Seed, sample)
+	if err != nil {
+		return "", err
+	}
+	return report.Ablations(rows), nil
+}
