@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test check bench chaos
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the full health gate: build + vet + tests + race pass over the
+# concurrent packages. CI and pre-commit should run this.
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test . -run NONE -bench . -benchtime 1x
+
+# chaos reruns the fault-injection sweep on its own (it is the slowest
+# benchmark; see EXPERIMENTS.md for the expected drift envelope).
+chaos:
+	$(GO) test . -run NONE -bench BenchmarkChaosSweep -benchtime 1x -v

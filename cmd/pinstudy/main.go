@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pinstudy [-scale mini|paper] [-seed N] [-section table3] [-sweep] [-ablate]
+//	         [-faults 0.1] [-retries 2] [-chaos]
 //
 // The default paper scale studies ≈5,000 unique apps and takes a couple of
 // minutes; -scale mini runs a few hundred apps in seconds.
@@ -28,6 +29,9 @@ func main() {
 	ablate := flag.Bool("ablate", false, "also run the methodology ablations")
 	export := flag.String("export", "", "write the study dataset as JSON to this file")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	faults := flag.Float64("faults", 0, "fault-injection rate in [0,1] (0 = clean run)")
+	retries := flag.Int("retries", 0, "per-app retry budget under faults (0 = default)")
+	chaos := flag.Bool("chaos", false, "also run the chaos sweep (full study per fault rate)")
 	flag.Parse()
 
 	var cfg pinscope.Config
@@ -44,6 +48,12 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	if *faults < 0 || *faults > 1 {
+		fmt.Fprintf(os.Stderr, "-faults %v outside [0,1]\n", *faults)
+		os.Exit(2)
+	}
+	cfg.FaultRate = *faults
+	cfg.Retries = *retries
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "pinstudy: building world and running study (%s scale, seed %d)...\n",
@@ -78,6 +88,16 @@ func main() {
 		out, err := study.Ablations(sweepSample(*scale))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pinstudy: ablations: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if *chaos {
+		rates := []float64{0, 0.05, 0.1, 0.2}
+		fmt.Fprintf(os.Stderr, "pinstudy: chaos sweep over rates %v (one full study each)...\n", rates)
+		out, err := pinscope.ChaosReport(cfg, rates)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pinstudy: chaos: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(out)

@@ -1,0 +1,92 @@
+package core
+
+// chaos.go sweeps the study across fault rates and measures how far the
+// headline prevalence numbers (Table 3) drift from the fault-free run — the
+// robustness claim behind the fault-injection layer: operational messiness
+// degrades coverage, it must not invert conclusions.
+
+import (
+	"math"
+
+	"pinscope/internal/faultinject"
+	"pinscope/internal/worldgen"
+)
+
+// ChaosPoint is one fault rate's outcome in a chaos sweep.
+type ChaosPoint struct {
+	Rate  float64
+	Stats RobustnessStats
+	Cells []Table3Cell
+	// MaxAbsDriftPP is the largest absolute drift, over all dataset cells,
+	// of the dynamic pinning prevalence versus the fault-free reference, in
+	// percentage points.
+	MaxAbsDriftPP float64
+}
+
+// DynamicPrevalencePct is a cell's dynamic pinning prevalence in percent.
+func DynamicPrevalencePct(c Table3Cell) float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return 100 * float64(c.Dynamic) / float64(c.N)
+}
+
+// ChaosSweep reruns the study at each fault rate (plus a rate-0 reference)
+// and reports per-rate robustness accounting and Table 3 drift. A fresh
+// world is built per point: a study mutates world state (iOS package
+// decryption), so reusing one world would couple the points.
+//
+// Points with a positive rate run with a Uniform fault plan seeded from
+// cfg.Params.Seed and at least two retries, so the sweep exercises the full
+// retry/quarantine machinery.
+func ChaosSweep(cfg Config, rates []float64) ([]ChaosPoint, error) {
+	ref, err := chaosPoint(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	refPct := map[DatasetCell]float64{}
+	for _, c := range ref.Cells {
+		refPct[c.Cell] = DynamicPrevalencePct(c)
+	}
+
+	out := make([]ChaosPoint, 0, len(rates))
+	for _, rate := range rates {
+		pt := ref
+		if rate != 0 {
+			pt, err = chaosPoint(cfg, rate)
+			if err != nil {
+				return nil, err
+			}
+		}
+		pt.MaxAbsDriftPP = 0
+		for _, c := range pt.Cells {
+			if d := math.Abs(DynamicPrevalencePct(c) - refPct[c.Cell]); d > pt.MaxAbsDriftPP {
+				pt.MaxAbsDriftPP = d
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func chaosPoint(cfg Config, rate float64) (ChaosPoint, error) {
+	if cfg.Window == 0 {
+		cfg.Window = 30
+	}
+	cfg.Faults = nil
+	if rate > 0 {
+		cfg.Faults = faultinject.NewPlan(cfg.Params.Seed, faultinject.Uniform(rate))
+		if cfg.Retries < 2 {
+			cfg.Retries = 2
+		}
+	}
+	w, err := worldgen.Build(cfg.Params)
+	if err != nil {
+		return ChaosPoint{}, err
+	}
+	s, err := RunOnWorld(cfg, w)
+	if err != nil {
+		return ChaosPoint{}, err
+	}
+	return ChaosPoint{Rate: rate, Stats: s.Robustness(), Cells: s.Table3()}, nil
+}

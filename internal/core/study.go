@@ -8,6 +8,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -18,6 +20,7 @@ import (
 	"pinscope/internal/detrand"
 	"pinscope/internal/device"
 	"pinscope/internal/dynamicanalysis"
+	"pinscope/internal/faultinject"
 	"pinscope/internal/frida"
 	"pinscope/internal/mitmproxy"
 	"pinscope/internal/pii"
@@ -33,6 +36,15 @@ type Config struct {
 	Window float64
 	// Workers caps parallel app processing; 0 means GOMAXPROCS.
 	Workers int
+	// Faults, when non-nil and enabled, injects deterministic operational
+	// faults into every layer of the pipeline. A nil plan (or all-zero
+	// rates) leaves the study byte-identical to a fault-free build.
+	Faults *faultinject.Plan
+	// Retries bounds extra measurement attempts per app when an attempt
+	// hard-fails or comes back below full confidence. Only consulted while
+	// faults are enabled: clean runs are deterministic, so retrying them
+	// cannot change the outcome.
+	Retries int
 }
 
 // DefaultConfig is the paper-scale configuration.
@@ -71,10 +83,70 @@ type AppResult struct {
 	// ObservedDests are the destinations whose plaintext was observable in
 	// the hooked run (Table 9's denominators).
 	ObservedDests map[string]bool
+
+	// Robustness accounting, filled in by the resilient runner.
+
+	// Confidence grades how much of the pipeline informed this result.
+	Confidence Confidence
+	// Attempts is how many measurement attempts this app consumed (>= 1).
+	Attempts int
+	// FromAttempt is the 0-based attempt whose result was kept.
+	FromAttempt int
+	// Quarantined marks an app every attempt of which failed to produce
+	// analysis-grade data; the study records it instead of aborting.
+	Quarantined bool
+	// Err joins the per-attempt failures of a degraded or quarantined app.
+	Err error
+	// DynRun records, for iOS Common apps, which §4.5 run produced the kept
+	// dynamic verdicts: "initial" or "delayed-rerun".
+	DynRun string
 }
 
 // Pinned is a convenience accessor.
 func (r *AppResult) Pinned() bool { return r.Dyn != nil && r.Dyn.Pins() }
+
+// Confidence grades an AppResult by which pipeline halves produced valid
+// data — the study's graceful-degradation signal. Ordering matters: higher
+// is better, and the dynamic differential (the paper's core contribution)
+// outranks static extraction when only one survived.
+type Confidence int
+
+const (
+	// ConfidenceNone: neither pipeline produced analysis-grade data.
+	ConfidenceNone Confidence = iota
+	// ConfidenceStaticOnly: the dynamic differential never completed; only
+	// static extraction stands.
+	ConfidenceStaticOnly
+	// ConfidenceDynamicOnly: static extraction failed (e.g. decryption);
+	// dynamic verdicts stand.
+	ConfidenceDynamicOnly
+	// ConfidenceFull: both pipelines completed.
+	ConfidenceFull
+)
+
+func (c Confidence) String() string {
+	switch c {
+	case ConfidenceFull:
+		return "full"
+	case ConfidenceDynamicOnly:
+		return "dynamic-only"
+	case ConfidenceStaticOnly:
+		return "static-only"
+	}
+	return "none"
+}
+
+func confidenceFor(staticOK, dynOK bool) Confidence {
+	switch {
+	case staticOK && dynOK:
+		return ConfidenceFull
+	case dynOK:
+		return ConfidenceDynamicOnly
+	case staticOK:
+		return ConfidenceStaticOnly
+	}
+	return ConfidenceNone
+}
 
 // DestProbe is the infrastructure classification of one pinned destination
 // (Table 6).
@@ -128,6 +200,56 @@ func (s *Study) DatasetResults(ds *appstore.Dataset) []*AppResult {
 	return out
 }
 
+// RobustnessStats aggregates the resilient runner's accounting across a
+// completed study.
+type RobustnessStats struct {
+	// Apps studied; Attempts is the total measurement attempts consumed.
+	Apps     int
+	Attempts int
+	// Retried counts apps that needed more than one attempt; Quarantined
+	// counts apps recorded as failures after exhausting their budget.
+	Retried     int
+	Quarantined int
+	// Per-confidence app counts.
+	Full        int
+	DynamicOnly int
+	StaticOnly  int
+	None        int
+	// DelayedRerunKept counts iOS Common apps whose §4.5 delayed re-run won
+	// the verdict arbitration (at zero fault rate: all of them).
+	DelayedRerunKept int
+}
+
+// Robustness tallies retry/quarantine/degradation accounting. Call after
+// the run completes.
+func (s *Study) Robustness() RobustnessStats {
+	var st RobustnessStats
+	for _, r := range s.results {
+		st.Apps++
+		st.Attempts += r.Attempts
+		if r.Attempts > 1 {
+			st.Retried++
+		}
+		if r.Quarantined {
+			st.Quarantined++
+		}
+		switch r.Confidence {
+		case ConfidenceFull:
+			st.Full++
+		case ConfidenceDynamicOnly:
+			st.DynamicOnly++
+		case ConfidenceStaticOnly:
+			st.StaticOnly++
+		default:
+			st.None++
+		}
+		if r.DynRun == "delayed-rerun" {
+			st.DelayedRerunKept++
+		}
+	}
+	return st
+}
+
 // Run executes the complete study.
 func Run(cfg Config) (*Study, error) {
 	if cfg.Window == 0 {
@@ -177,10 +299,25 @@ func RunOnWorld(cfg Config, w *worldgen.World) (*Study, error) {
 	if workers > len(work) {
 		workers = len(work)
 	}
-	// Buffered to the full work list so the feeder below never blocks,
-	// even if every worker exits early on an error.
-	jobs := make(chan workItem, len(work))
-	errs := make(chan error, workers)
+	// Per-app failures never reach this level anymore — the resilient
+	// runner retries and quarantines them. A worker only fails fatally when
+	// its bench cannot be built; the shared context then cancels the feeder
+	// and the remaining workers promptly instead of letting them grind
+	// through a doomed queue, and every fatal error is reported (joined),
+	// not just the first one drained.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		failMu sync.Mutex
+		fatal  []error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		fatal = append(fatal, err)
+		failMu.Unlock()
+		cancel()
+	}
+	jobs := make(chan workItem)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -188,30 +325,40 @@ func RunOnWorld(cfg Config, w *worldgen.World) (*Study, error) {
 			defer wg.Done()
 			lab, err := newLab(cfg, w)
 			if err != nil {
-				errs <- err
+				fail(fmt.Errorf("core: worker bench setup: %w", err))
 				return
 			}
-			for item := range jobs {
-				res, err := lab.studyApp(item.app, item.common)
-				if err != nil {
-					errs <- fmt.Errorf("core: app %s: %w", item.app.ID, err)
+			for {
+				select {
+				case <-ctx.Done():
 					return
+				case item, ok := <-jobs:
+					if !ok {
+						return
+					}
+					res := lab.studyAppResilient(item.app, item.common)
+					s.mu.Lock()
+					s.results[string(item.app.Platform)+"/"+item.app.ID] = res
+					s.mu.Unlock()
 				}
-				s.mu.Lock()
-				s.results[string(item.app.Platform)+"/"+item.app.ID] = res
-				s.mu.Unlock()
 			}
 		}()
 	}
+feed:
 	for _, item := range work {
-		jobs <- item
+		select {
+		case jobs <- item:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
+	failMu.Lock()
+	err := errors.Join(fatal...)
+	failMu.Unlock()
+	if err != nil {
 		return nil, err
-	default:
 	}
 
 	s.buildPairs()
@@ -277,13 +424,160 @@ func newLab(cfg Config, w *worldgen.World) (*lab, error) {
 	return l, nil
 }
 
-// studyApp runs the full per-app pipeline.
-func (l *lab) studyApp(app *appmodel.App, common bool) (*AppResult, error) {
-	res := &AppResult{App: app}
+// studyAppResilient wraps studyApp in the robustness layer: bounded retry
+// with per-attempt fault scopes, keep-the-best-confidence arbitration, and
+// quarantine — an app whose every attempt failed becomes a recorded failure
+// instead of killing the study.
+func (l *lab) studyAppResilient(app *appmodel.App, common bool) *AppResult {
+	key := string(app.Platform) + "/" + app.ID
+	maxAttempts := 1 + l.cfg.Retries
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var best *AppResult
+	var failures []error
+	var valids []*dynamicanalysis.Result // per-attempt valid differentials
+	attempts := 0
+	for a := 0; a < maxAttempts; a++ {
+		attempts++
+		res, err := l.studyApp(app, common, l.cfg.Faults.ForApp(key, a))
+		if err != nil {
+			failures = append(failures, fmt.Errorf("attempt %d: %w", a+1, err))
+		} else if res.Dyn != nil {
+			valids = append(valids, res.Dyn)
+		}
+		if best == nil || res.Confidence > best.Confidence {
+			res.FromAttempt = a
+			best = res
+		}
+		if !l.cfg.Faults.Enabled() {
+			break // clean runs are deterministic; a retry changes nothing
+		}
+		// Under faults a single differential is never trusted outright:
+		// transient faults can hide pins and, more rarely, fabricate them.
+		// Stop only once a full-confidence result has a second independent
+		// differential to cross-examine against.
+		if best.Confidence == ConfidenceFull && len(valids) >= 2 {
+			break
+		}
+	}
+	// Cross-attempt verdict arbitration, exploiting that fault scopes are
+	// re-rolled per attempt. Two signals with opposite strengths:
+	//
+	//   - Refutation is decisive: a destination a truly pinning app contacts
+	//     can never carry data under MITM, so ANY attempt observing it used
+	//     under interception disproves a pin another attempt fabricated.
+	//   - A single unrefuted sighting is suspicious but not conclusive — a
+	//     transient fault can fabricate one — so a pin must be sighted by
+	//     two independent differentials to stand. Contested pins (sighted
+	//     once, unrefuted) earn extra tie-break attempts while the retry
+	//     budget lasts.
+	if l.cfg.Faults.Enabled() && len(valids) >= 2 && best.Dyn != nil {
+		type tally struct {
+			pins    map[string]int
+			refuted map[string]bool
+			seenAs  map[string]*dynamicanalysis.DestVerdict
+		}
+		count := func() tally {
+			tl := tally{map[string]int{}, map[string]bool{}, map[string]*dynamicanalysis.DestVerdict{}}
+			for _, r := range valids {
+				for d, v := range r.Verdicts {
+					if v.UsedMITM {
+						tl.refuted[d] = true
+					}
+					if v.Pinned {
+						tl.pins[d]++
+						tl.seenAs[d] = v
+					}
+				}
+			}
+			return tl
+		}
+		tl := count()
+		contested := func() bool {
+			for d, n := range tl.pins {
+				if n == 1 && !tl.refuted[d] {
+					return true
+				}
+			}
+			return false
+		}
+		for a := attempts; a < maxAttempts && contested(); a++ {
+			attempts++
+			res, err := l.studyApp(app, common, l.cfg.Faults.ForApp(key, a))
+			if err != nil {
+				failures = append(failures, fmt.Errorf("attempt %d: %w", a+1, err))
+			} else if res.Dyn != nil {
+				valids = append(valids, res.Dyn)
+			}
+			if res.Confidence > best.Confidence {
+				res.FromAttempt = a
+				best = res
+			}
+			tl = count()
+		}
+		for d, v := range best.Dyn.Verdicts {
+			if v.Pinned && (tl.pins[d] < 2 || tl.refuted[d]) {
+				v.Pinned = false
+				delete(best.CircumventedDests, d)
+			}
+		}
+		for d, n := range tl.pins {
+			if n < 2 || tl.refuted[d] {
+				continue
+			}
+			if bv := best.Dyn.Verdicts[d]; bv != nil {
+				bv.Pinned = true
+			} else {
+				cp := *tl.seenAs[d]
+				best.Dyn.Verdicts[d] = &cp
+			}
+		}
+	}
+	best.Attempts = attempts
+	if len(failures) > 0 {
+		best.Err = errors.Join(failures...)
+	}
+	if best.Confidence == ConfidenceNone {
+		best.Quarantined = true
+	}
+	if best.Dyn == nil {
+		// Keep downstream aggregation nil-safe: a quarantined app carries an
+		// empty-but-valid dynamic result (contacted nothing, pinned nothing).
+		best.Dyn = &dynamicanalysis.Result{
+			AppID:    app.ID,
+			Verdicts: map[string]*dynamicanalysis.DestVerdict{},
+		}
+	}
+	return best
+}
+
+// studyApp runs the full per-app pipeline for one measurement attempt. The
+// returned error marks a hard failure of the dynamic differential (an
+// injected crash killed a leg before any connection); res is still valid,
+// carrying whatever the attempt salvaged.
+func (l *lab) studyApp(app *appmodel.App, common bool, af *faultinject.AppFaults) (res *AppResult, err error) {
+	res = &AppResult{App: app}
 	plat := app.Platform
 
+	// Attempt-scoped fault taps. All of these are no-ops for a nil af: the
+	// taps install as nil, which netem and mitmproxy treat as absent.
+	setTaps := func(baseLeg, mitmLeg string) {
+		l.plain[plat].Net.SetFaultTap(af.NetTap(baseLeg))
+		l.mitm[plat].Net.SetFaultTap(af.NetTap(mitmLeg))
+	}
+	setTaps("baseline", "mitm")
+	l.proxy.SetForgeFaults(af.ForgeTap())
+	defer func() {
+		l.plain[plat].Net.SetFaultTap(nil)
+		l.mitm[plat].Net.SetFaultTap(nil)
+		l.proxy.SetForgeFaults(nil)
+	}()
+
 	// --- static (§4.1): decrypt iOS packages on the jailbroken device.
-	if err := l.mitm[plat].DecryptApp(app); err != nil {
+	if app.Pkg != nil && app.Pkg.Encrypted && af.DecryptFails() {
+		res.StaticErr = faultinject.ErrTransient("decryption", app.ID)
+	} else if err := l.mitm[plat].DecryptApp(app); err != nil {
 		res.StaticErr = err
 	} else {
 		rep, err := staticanalysis.Analyze(app)
@@ -293,11 +587,20 @@ func (l *lab) studyApp(app *appmodel.App, common bool) (*AppResult, error) {
 			res.Static = rep
 		}
 	}
+	staticOK := res.StaticErr == nil && res.Static != nil
 
 	// --- dynamic (§4.2): baseline + MITM runs.
-	opts := device.RunOptions{Window: l.cfg.Window}
-	capA := l.plain[plat].Run(app, opts)
-	capB := l.mitm[plat].Run(app, opts)
+	opts := device.RunOptions{Window: l.cfg.Window, Faults: af.Run("baseline")}
+	capA, errA := l.plain[plat].Measure(app, opts)
+	optsB := device.RunOptions{Window: l.cfg.Window, Faults: af.Run("mitm")}
+	capB, errB := l.mitm[plat].Measure(app, optsB)
+	if errA != nil || errB != nil {
+		// One leg lost the app before it spoke: the differential is invalid
+		// (a dead baseline hides pinners; a dead MITM leg hides rejections).
+		// Hard-fail the attempt so the resilient runner retries it.
+		res.Confidence = confidenceFor(staticOK, false)
+		return res, errors.Join(errA, errB)
+	}
 
 	detOpts := dynamicanalysis.Options{}
 	if plat == appmodel.IOS {
@@ -307,18 +610,32 @@ func (l *lab) studyApp(app *appmodel.App, common bool) (*AppResult, error) {
 		}
 	}
 	res.Dyn = dynamicanalysis.Detect(app.ID, capA, capB, detOpts)
+	res.Confidence = confidenceFor(staticOK, true)
 
 	// --- iOS Common re-run (§4.5): pinning verdicts from a delayed launch
 	// that lets associated-domain verification finish before capture, so
 	// the associated-domain exclusion (and the false negatives it causes)
 	// is no longer needed.
 	if common && plat == appmodel.IOS {
-		rOpts := device.RunOptions{Window: l.cfg.Window, LaunchDelay: 120}
-		capA2 := l.plain[plat].Run(app, rOpts)
-		capB2 := l.mitm[plat].Run(app, rOpts)
-		rerunOpts := dynamicanalysis.Options{ExcludeDomains: device.AppleBackgroundDomains}
-		res.Dyn = dynamicanalysis.Detect(app.ID, capA2, capB2, rerunOpts)
-		capA = capA2 // weak-cipher observations follow the final verdicts
+		res.DynRun = "initial"
+		setTaps("rerun-baseline", "rerun-mitm")
+		rOpts := device.RunOptions{Window: l.cfg.Window, LaunchDelay: 120, Faults: af.Run("rerun-baseline")}
+		capA2, errA2 := l.plain[plat].Measure(app, rOpts)
+		rOptsB := device.RunOptions{Window: l.cfg.Window, LaunchDelay: 120, Faults: af.Run("rerun-mitm")}
+		capB2, errB2 := l.mitm[plat].Measure(app, rOptsB)
+		if errA2 == nil && errB2 == nil {
+			rerunOpts := dynamicanalysis.Options{ExcludeDomains: device.AppleBackgroundDomains}
+			rerun := dynamicanalysis.Detect(app.ID, capA2, capB2, rerunOpts)
+			// Keep whichever run rests on more conclusive evidence. Ties go
+			// to the re-run: with both runs clean it sees every destination
+			// the initial run saw, minus the associated-domain exclusion
+			// that §4.5 exists to remove.
+			if rerun.Quality() >= res.Dyn.Quality() {
+				res.Dyn = rerun
+				res.DynRun = "delayed-rerun"
+				capA = capA2 // weak-cipher observations follow the verdicts
+			}
+		}
 	}
 
 	// --- weak-cipher observations from the baseline capture (Table 8).
@@ -337,8 +654,9 @@ func (l *lab) studyApp(app *appmodel.App, common bool) (*AppResult, error) {
 
 	// --- circumvention + PII (§4.3, §4.4): hooked MITM run for pinners.
 	if res.Dyn.Pins() {
+		l.mitm[plat].Net.SetFaultTap(af.NetTap("hooked"))
 		l.proxy.ResetLogs()
-		l.mitm[plat].Run(app, device.RunOptions{Window: l.cfg.Window, Hooks: l.hooks[plat]})
+		l.mitm[plat].Run(app, device.RunOptions{Window: l.cfg.Window, Hooks: l.hooks[plat], Faults: af.Run("hooked")})
 		res.CircumventedDests = map[string]bool{}
 		res.DestPII = map[string]map[pii.Kind]bool{}
 		res.ObservedDests = map[string]bool{}

@@ -15,6 +15,7 @@ import (
 
 	"pinscope/internal/appmodel"
 	"pinscope/internal/detrand"
+	"pinscope/internal/faultinject"
 	"pinscope/internal/frida"
 	"pinscope/internal/netem"
 	"pinscope/internal/pii"
@@ -91,6 +92,9 @@ type RunOptions struct {
 	// Hooks, when non-nil, is an attached instrumentation session that
 	// disables validation for covered TLS libraries.
 	Hooks *frida.Session
+	// Faults, when non-nil, injects the device-layer faults of this run:
+	// capture-window truncation and app crashes (faultinject package).
+	Faults *faultinject.RunFaults
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -104,28 +108,85 @@ func (o RunOptions) withDefaults() RunOptions {
 // verification keeps generating traffic.
 const osAssocWindow = 60.0
 
+// truncTailSlack is how close (in seconds) to a capture cut a dial must be
+// for its flow to lose its recorded tail rather than the whole flow.
+const truncTailSlack = 4.0
+
 // Run installs the app, launches it, captures traffic for the window, and
 // uninstalls. The returned capture contains everything the monitoring point
 // saw: app traffic inside the window plus any OS traffic overlapping it.
 func (d *Device) Run(app *appmodel.App, opts RunOptions) *netem.Capture {
+	cap, _ := d.Measure(app, opts)
+	return cap
+}
+
+// Measure is Run with fault accounting: it additionally reports an error
+// when an injected crash kills the app at launch, before any planned
+// connection fired — the per-app failure the study runner retries. The
+// capture is valid (OS traffic may be present) even when err is non-nil.
+func (d *Device) Measure(app *appmodel.App, opts RunOptions) (*netem.Capture, error) {
 	opts = opts.withDefaults()
 	cap := netem.NewCapture()
 	runRng := d.rng.Child("run/" + app.ID)
 
+	// Device-layer faults: the monitoring point may stop early (capWindow)
+	// and the app may die mid-run (crashAt).
+	capWindow, truncated := opts.Faults.TruncatedWindow(opts.Window)
+	crashAt, crashed := opts.Faults.CrashTime(opts.Window)
+
 	// OS background traffic first (it is concurrent in reality; ordering
-	// within the capture does not matter to the analyses).
+	// within the capture does not matter to the analyses). It outlives the
+	// app, so a crash does not silence it — but a capture cut does.
 	if d.Platform == appmodel.IOS {
-		d.runIOSBackground(app, opts, cap, runRng.Child("os"))
+		osOpts := opts
+		osOpts.Window = capWindow
+		d.runIOSBackground(app, osOpts, cap, runRng.Child("os"))
 	}
 
+	launched := false
 	for i, pc := range app.Conns {
 		if pc.At > opts.Window {
 			continue // connection would occur after capture/uninstall
 		}
-		d.runConn(app, pc, opts, cap, runRng.ChildN("conn", i))
+		if crashed && pc.At > crashAt {
+			continue // the app is dead; nothing later fires
+		}
+		connCap := cap
+		var cf netem.ConnFaults
+		if truncated {
+			if pc.At > capWindow {
+				// Monitoring already stopped; the app still talks (the
+				// proxy still logs it) but the capture misses the flow.
+				connCap = nil
+			} else if capWindow-pc.At < truncTailSlack {
+				// Dialed moments before the cut: the capture keeps the
+				// handshake opening but loses the tail and the teardown.
+				cf.CaptureTailAfter = 2
+			}
+		}
+		d.runConn(app, pc, opts, connCap, cf, runRng.ChildN("conn", i))
+		launched = true
 	}
 	d.Net.WaitIdle()
-	return cap
+	if crashed && !launched && firstConnAt(app, opts.Window) >= 0 {
+		return cap, fmt.Errorf("device: app %s crashed %.1fs after launch, before any connection", app.ID, crashAt)
+	}
+	return cap, nil
+}
+
+// firstConnAt returns the dial time of the first planned connection inside
+// the window, or -1 when the app plans none.
+func firstConnAt(app *appmodel.App, window float64) float64 {
+	first := -1.0
+	for _, pc := range app.Conns {
+		if pc.At > window {
+			continue
+		}
+		if first < 0 || pc.At < first {
+			first = pc.At
+		}
+	}
+	return first
 }
 
 // runIOSBackground emits the OS-initiated traffic of §4.5: Apple service
@@ -174,8 +235,8 @@ func (d *Device) runIOSBackground(app *appmodel.App, opts RunOptions, cap *netem
 }
 
 // runConn executes one planned connection.
-func (d *Device) runConn(app *appmodel.App, pc appmodel.PlannedConn, opts RunOptions, cap *netem.Capture, rng *detrand.Source) {
-	tr, err := d.Net.Dial(pc.Host, netem.DialOpts{At: pc.At, Capture: cap})
+func (d *Device) runConn(app *appmodel.App, pc appmodel.PlannedConn, opts RunOptions, cap *netem.Capture, cf netem.ConnFaults, rng *detrand.Source) {
+	tr, err := d.Net.Dial(pc.Host, netem.DialOpts{At: pc.At, Capture: cap, Faults: cf})
 	if err != nil {
 		return
 	}

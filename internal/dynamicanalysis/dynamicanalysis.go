@@ -58,8 +58,31 @@ func ClassifyFlow(f *netem.Flow) ConnStatus {
 	used := false
 	switch {
 	case version == 0:
-		// Handshake never completed far enough to negotiate.
-		used = false
+		// No ServerHello in the capture: either the handshake really died
+		// that early, or the tap lost the record. Fall back to length
+		// fingerprints, which hold for both wire formats: any client
+		// application_data record that is neither a Finished nor an
+		// encrypted alert, or any server record beyond the first (the
+		// certificate flight) that is neither Finished, ticket nor alert,
+		// is application traffic.
+		serverApp := 0
+		for _, r := range f.Records() {
+			if r.WireType != tlswire.RecAppData {
+				continue
+			}
+			if r.FromClient {
+				if r.Length != tlswire.FinishedWireLen && r.Length != tlswire.EncryptedAlertWireLen {
+					used = true
+				}
+				continue
+			}
+			serverApp++
+			if serverApp > 1 && r.Length != tlswire.FinishedWireLen &&
+				r.Length != tlswire.SessionTicketWireLen &&
+				r.Length != tlswire.EncryptedAlertWireLen {
+				used = true
+			}
+		}
 	case version <= tlswire.TLS12:
 		for _, r := range f.Records() {
 			if r.WireType == tlswire.RecAppData {
@@ -69,9 +92,26 @@ func ClassifyFlow(f *netem.Flow) ConnStatus {
 		}
 	default: // TLS 1.3
 		var clientApp []int
+		serverApp := 0
 		for _, r := range f.Records() {
-			if r.FromClient && r.WireType == tlswire.RecAppData {
+			if r.WireType != tlswire.RecAppData {
+				continue
+			}
+			if r.FromClient {
 				clientApp = append(clientApp, r.Length)
+				continue
+			}
+			serverApp++
+			// Server-side evidence, robust to capture loss of client
+			// records: after the certificate flight (the first encrypted
+			// server record), an unused connection only ever carries
+			// Finished, session tickets, and alerts — all of fixed wire
+			// length. A later server record of any other length is an
+			// application response, and responses only follow requests.
+			if serverApp > 1 && r.Length != tlswire.FinishedWireLen &&
+				r.Length != tlswire.SessionTicketWireLen &&
+				r.Length != tlswire.EncryptedAlertWireLen {
+				used = true
 			}
 		}
 		switch {
@@ -85,10 +125,20 @@ func ClassifyFlow(f *netem.Flow) ConnStatus {
 		return StatusUsed
 	}
 	clientClose, _ := f.CloseFlags()
-	if clientClose != tlswire.CloseNone {
-		return StatusFailed
+	if clientClose == tlswire.CloseNone {
+		return StatusInconclusive
 	}
-	return StatusInconclusive
+	if version == 0 && clientClose != tlswire.CloseRST {
+		// An orderly client teardown on a connection that died before a
+		// ServerHello ever appeared: the client never saw a certificate, so
+		// the close cannot be a pinning verdict — this is the reachability
+		// confounder of §4.2.2 (unreachable hosts, proxy forge errors), not
+		// a rejection. An abrupt RST is kept as a failure: that is how
+		// aborting clients look whether or not the tap caught the
+		// ServerHello.
+		return StatusInconclusive
+	}
+	return StatusFailed
 }
 
 // flowDest returns the destination key for grouping: SNI when present
@@ -165,12 +215,34 @@ type DestVerdict struct {
 	Excluded bool
 	// WeakCipherOffered comes from the non-MITM run's ClientHellos.
 	WeakCipherOffered bool
+	// ConclusiveFlows counts flows classified used or failed across both
+	// captures; a verdict with none rests entirely on inconclusive
+	// (truncated) observations.
+	ConclusiveFlows int
 }
 
 // Result is the dynamic verdict for one app run pair.
 type Result struct {
 	AppID    string
 	Verdicts map[string]*DestVerdict
+}
+
+// Quality scores how much conclusive evidence backs this result: the
+// number of non-excluded destinations with at least one conclusively
+// classified flow. Used to arbitrate between repeated runs of the same app
+// (§4.5's delayed re-run) and to grade degraded results under faults.
+// Nil-safe; a nil result scores -1 so any real result beats it.
+func (r *Result) Quality() int {
+	if r == nil {
+		return -1
+	}
+	n := 0
+	for _, v := range r.Verdicts {
+		if !v.Excluded && v.ConclusiveFlows > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Pins reports whether any destination was detected as pinned.
@@ -255,14 +327,26 @@ func Detect(appID string, noMITM, mitm *netem.Capture, opts Options) *Result {
 		if b := base[dest]; b != nil {
 			v.UsedNoMITM = b.Used > 0
 			v.WeakCipherOffered = b.WeakCipherOffered
+			v.ConclusiveFlows += b.Used + b.Failed
 		}
 		if m := inter[dest]; m != nil {
 			v.UsedMITM = m.Used > 0
+			v.ConclusiveFlows += m.Used + m.Failed
 		}
 		// Pinned: data flowed without interception; the destination was
-		// attempted under interception and every attempt failed.
+		// attempted under interception and every attempt failed — and it
+		// failed MORE often than without interception. Failures common to
+		// both captures (redundant connections an app opens and abandons,
+		// protocol problems) cancel out differentially; only the excess is
+		// interception-induced. For a real pinner the excess is exactly the
+		// connections that carried data without MITM, so this never costs a
+		// detection.
 		if !v.Excluded && v.UsedNoMITM {
-			if m := inter[dest]; m != nil && m.Used == 0 && m.Failed > 0 {
+			bFailed := 0
+			if b := base[dest]; b != nil {
+				bFailed = b.Failed
+			}
+			if m := inter[dest]; m != nil && m.Used == 0 && m.Failed > bFailed {
 				v.Pinned = true
 			}
 		}

@@ -78,12 +78,20 @@ func DetectWith(appID string, noMITM, mitm *netem.Capture, opts Options, classif
 		if b := base[dest]; b != nil {
 			v.UsedNoMITM = b.Used > 0
 			v.WeakCipherOffered = b.WeakCipherOffered
+			v.ConclusiveFlows += b.Used + b.Failed
 		}
 		if m := inter[dest]; m != nil {
 			v.UsedMITM = m.Used > 0
+			v.ConclusiveFlows += m.Used + m.Failed
 		}
+		// Same failure-excess differential as Detect: failures present in
+		// both captures cancel; only interception-induced ones count.
 		if !v.Excluded && v.UsedNoMITM {
-			if m := inter[dest]; m != nil && m.Used == 0 && m.Failed > 0 {
+			bFailed := 0
+			if b := base[dest]; b != nil {
+				bFailed = b.Failed
+			}
+			if m := inter[dest]; m != nil && m.Used == 0 && m.Failed > bFailed {
 				v.Pinned = true
 			}
 		}

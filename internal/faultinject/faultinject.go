@@ -1,0 +1,231 @@
+// Package faultinject provides the study's deterministic fault-injection
+// layer. The paper's measurement campaign was dominated by operational
+// messiness — apps crashing mid-run, connections failing for reasons
+// unrelated to pinning (§4.2.2's confounding failures), captures cut off by
+// the 30 s window, iOS packages failing to decrypt — and the pipeline's
+// robustness claims are only credible if it re-discovers ground truth
+// *through* such faults, not in their absence.
+//
+// A Plan is seeded via internal/detrand and every decision is a pure
+// function of (seed, scope label), never of shared mutable state or call
+// order: the same app attempt sees the same faults regardless of worker
+// scheduling, and a nil Plan (or all-zero Rates) injects nothing at all, so
+// fault-free studies stay byte-identical to a build without this package.
+//
+// Scope hierarchy: Plan → ForApp(key, attempt) → per-run views. Keying the
+// app scope by attempt number is what makes faults *transient*: a bounded
+// retry of the same app rolls fresh, independent faults, exactly like
+// rerunning a flaky app on the bench phone.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+
+	"pinscope/internal/detrand"
+	"pinscope/internal/netem"
+)
+
+// Rates are per-fault injection probabilities in [0, 1].
+type Rates struct {
+	// ConnReset is the per-connection probability of a mid-handshake TCP
+	// reset at the access link (netem layer).
+	ConnReset float64
+	// RecordDrop is the per-record probability that the monitoring tap
+	// misses a record (pcap drop; netem layer).
+	RecordDrop float64
+	// CaptureTrunc is the per-run probability that the capture window is
+	// cut short (device layer).
+	CaptureTrunc float64
+	// AppCrash is the per-run probability that the app dies mid-run
+	// (device layer).
+	AppCrash float64
+	// DecryptFail is the per-attempt probability of a transient iOS
+	// package-decryption failure (the paper's Appendix A obstacle).
+	DecryptFail float64
+	// ForgeFail is the per-host probability of a transient mitmproxy
+	// leaf-forging error.
+	ForgeFail float64
+}
+
+// Uniform sets every fault class to the same rate — the chaos-sweep knob.
+func Uniform(rate float64) Rates {
+	return Rates{
+		ConnReset:    rate,
+		RecordDrop:   rate,
+		CaptureTrunc: rate,
+		AppCrash:     rate,
+		DecryptFail:  rate,
+		ForgeFail:    rate,
+	}
+}
+
+// Any reports whether any fault class has a positive rate.
+func (r Rates) Any() bool {
+	return r.ConnReset > 0 || r.RecordDrop > 0 || r.CaptureTrunc > 0 ||
+		r.AppCrash > 0 || r.DecryptFail > 0 || r.ForgeFail > 0
+}
+
+// Plan is a seeded, fully reproducible fault plan for one study run.
+type Plan struct {
+	seed  int64
+	rates Rates
+}
+
+// NewPlan builds a plan. All decisions derive from seed, so two plans with
+// equal seed and rates inject identical faults.
+func NewPlan(seed int64, rates Rates) *Plan {
+	return &Plan{seed: seed, rates: rates}
+}
+
+// Enabled reports whether the plan can inject anything. Nil-safe.
+func (p *Plan) Enabled() bool { return p != nil && p.rates.Any() }
+
+// Rates returns the plan's rates (zero value for a nil plan).
+func (p *Plan) Rates() Rates {
+	if p == nil {
+		return Rates{}
+	}
+	return p.rates
+}
+
+// ForApp scopes the plan to one measurement attempt of one app. Attempt
+// numbers decorrelate retries. Returns nil for a nil or disabled plan, and
+// every derived view tolerates a nil receiver, so callers thread a single
+// pointer through without guarding.
+func (p *Plan) ForApp(key string, attempt int) *AppFaults {
+	if !p.Enabled() {
+		return nil
+	}
+	return &AppFaults{plan: p, scope: key + "#" + strconv.Itoa(attempt)}
+}
+
+// AppFaults is the fault view of one app measurement attempt.
+type AppFaults struct {
+	plan  *Plan
+	scope string
+}
+
+// rng derives the decision stream for one labeled fault. Fresh per call:
+// decisions are order-independent and goroutine-safe.
+func (a *AppFaults) rng(label string) *detrand.Source {
+	return detrand.New(a.plan.seed).Child("fault/" + a.scope + "/" + label)
+}
+
+// DecryptFails reports a transient decryption failure for this attempt.
+func (a *AppFaults) DecryptFails() bool {
+	if a == nil {
+		return false
+	}
+	return a.rng("decrypt").Bool(a.plan.rates.DecryptFail)
+}
+
+// NetTap returns the netem.FaultTap for one run leg ("baseline", "mitm",
+// "hooked", ...). Nil for a nil receiver — and netem treats a nil tap as
+// absent.
+func (a *AppFaults) NetTap(run string) netem.FaultTap {
+	if a == nil {
+		return nil
+	}
+	return &netTap{af: a, run: run}
+}
+
+// Run returns the device-layer fault view for one run leg.
+func (a *AppFaults) Run(run string) *RunFaults {
+	if a == nil {
+		return nil
+	}
+	return &RunFaults{af: a, run: run}
+}
+
+// ForgeTap returns the mitmproxy forge-fault decider for this attempt.
+func (a *AppFaults) ForgeTap() *ForgeTap {
+	if a == nil {
+		return nil
+	}
+	return &ForgeTap{af: a}
+}
+
+// netTap implements netem.FaultTap with decisions keyed by run leg, host
+// and dial time.
+type netTap struct {
+	af  *AppFaults
+	run string
+}
+
+func connKey(run, host string, at float64) string {
+	return run + "/" + host + "@" + strconv.FormatFloat(at, 'g', -1, 64)
+}
+
+// ConnFaults implements netem.FaultTap.
+func (t *netTap) ConnFaults(host string, at float64) netem.ConnFaults {
+	rates := t.af.plan.rates
+	key := connKey(t.run, host, at)
+	var cf netem.ConnFaults
+	if rates.ConnReset > 0 {
+		rng := t.af.rng("reset/" + key)
+		if rng.Bool(rates.ConnReset) {
+			// 1–4 records: always inside the handshake.
+			cf.ResetAfter = 1 + rng.Intn(4)
+		}
+	}
+	if rates.RecordDrop > 0 {
+		af, dropRate := t.af, rates.RecordDrop
+		cf.DropCaptureRecord = func(i int) bool {
+			return af.rng("drop/" + key + "#" + strconv.Itoa(i)).Bool(dropRate)
+		}
+	}
+	return cf
+}
+
+// RunFaults are the device-layer fault decisions for one run leg.
+type RunFaults struct {
+	af  *AppFaults
+	run string
+}
+
+// TruncatedWindow reports whether (and where) the capture window is cut
+// short for this run. Nil-safe.
+func (r *RunFaults) TruncatedWindow(window float64) (float64, bool) {
+	if r == nil {
+		return window, false
+	}
+	rng := r.af.rng("trunc/" + r.run)
+	if !rng.Bool(r.af.plan.rates.CaptureTrunc) {
+		return window, false
+	}
+	// Keep 25–90% of the window: a truncation that leaves some signal.
+	return window * (0.25 + 0.65*rng.Float64()), true
+}
+
+// CrashTime reports whether (and when) the app dies during this run.
+// Nil-safe.
+func (r *RunFaults) CrashTime(window float64) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	rng := r.af.rng("crash/" + r.run)
+	if !rng.Bool(r.af.plan.rates.AppCrash) {
+		return 0, false
+	}
+	return window * rng.Float64(), true
+}
+
+// ForgeTap decides transient mitmproxy leaf-forging failures.
+type ForgeTap struct {
+	af *AppFaults
+}
+
+// ForgeFails reports a transient forging error for host. Nil-safe.
+func (f *ForgeTap) ForgeFails(host string) bool {
+	if f == nil {
+		return false
+	}
+	return f.af.rng("forge/" + host).Bool(f.af.plan.rates.ForgeFail)
+}
+
+// ErrTransient marks injected transient failures so retries can recognize
+// them in logs.
+func ErrTransient(kind, subject string) error {
+	return fmt.Errorf("faultinject: transient %s failure: %s", kind, subject)
+}

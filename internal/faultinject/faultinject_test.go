@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+func TestNilAndZeroPlansInjectNothing(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Enabled() {
+		t.Fatal("nil plan enabled")
+	}
+	if nilPlan.ForApp("a", 0) != nil {
+		t.Fatal("nil plan yielded app faults")
+	}
+	zero := NewPlan(1, Uniform(0))
+	if zero.Enabled() {
+		t.Fatal("zero-rate plan enabled")
+	}
+	if zero.ForApp("a", 0) != nil {
+		t.Fatal("zero-rate plan yielded app faults")
+	}
+
+	// Nil AppFaults views are inert.
+	var af *AppFaults
+	if af.DecryptFails() {
+		t.Fatal("nil app faults failed decryption")
+	}
+	if af.NetTap("baseline") != nil {
+		t.Fatal("nil app faults produced a tap")
+	}
+	if w, ok := af.Run("baseline").TruncatedWindow(30); ok || w != 30 {
+		t.Fatal("nil run faults truncated the window")
+	}
+	if _, ok := af.Run("baseline").CrashTime(30); ok {
+		t.Fatal("nil run faults crashed the app")
+	}
+	if af.ForgeTap().ForgeFails("x.example") {
+		t.Fatal("nil forge tap failed")
+	}
+}
+
+func TestDecisionsAreDeterministicAndScopeKeyed(t *testing.T) {
+	p1 := NewPlan(42, Uniform(0.5))
+	p2 := NewPlan(42, Uniform(0.5))
+
+	a1 := p1.ForApp("app.one", 0)
+	a2 := p2.ForApp("app.one", 0)
+	for _, host := range []string{"a.example", "b.example", "c.example"} {
+		cf1 := a1.NetTap("mitm").ConnFaults(host, 3.5)
+		cf2 := a2.NetTap("mitm").ConnFaults(host, 3.5)
+		if cf1.ResetAfter != cf2.ResetAfter {
+			t.Fatalf("reset decision differs for %s: %d vs %d", host, cf1.ResetAfter, cf2.ResetAfter)
+		}
+		for i := 0; i < 8; i++ {
+			if cf1.DropCaptureRecord(i) != cf2.DropCaptureRecord(i) {
+				t.Fatalf("drop decision differs for %s record %d", host, i)
+			}
+		}
+		if a1.ForgeTap().ForgeFails(host) != a2.ForgeTap().ForgeFails(host) {
+			t.Fatalf("forge decision differs for %s", host)
+		}
+	}
+
+	// Attempts decorrelate: across many apps, attempt 0 and 1 must not
+	// always agree.
+	differ := false
+	for i := 0; i < 64 && !differ; i++ {
+		key := "app" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		d0 := p1.ForApp(key, 0).DecryptFails()
+		d1 := p1.ForApp(key, 1).DecryptFails()
+		if d0 != d1 {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("attempt scoping does not decorrelate decisions")
+	}
+
+	// Run legs decorrelate too.
+	differ = false
+	for i := 0; i < 64 && !differ; i++ {
+		host := "h" + string(rune('a'+i%26)) + ".example"
+		b := a1.NetTap("baseline").ConnFaults(host, 1)
+		m := a1.NetTap("mitm").ConnFaults(host, 1)
+		if (b.ResetAfter > 0) != (m.ResetAfter > 0) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("run-leg scoping does not decorrelate decisions")
+	}
+}
+
+func TestRatesBite(t *testing.T) {
+	p := NewPlan(7, Uniform(0.2))
+	a := p.ForApp("bite", 0)
+
+	resets, drops, crashes, truncs := 0, 0, 0, 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		host := "host" + string(rune('a'+i%26)) + ".example"
+		cf := a.NetTap("baseline").ConnFaults(host, float64(i))
+		if cf.ResetAfter > 0 {
+			resets++
+			if cf.ResetAfter < 1 || cf.ResetAfter > 4 {
+				t.Fatalf("reset budget %d outside handshake range", cf.ResetAfter)
+			}
+		}
+		if cf.DropCaptureRecord(i % 8) {
+			drops++
+		}
+		rf := p.ForApp("bite"+string(rune('a'+i%26)), i).Run("baseline")
+		if _, ok := rf.CrashTime(30); ok {
+			crashes++
+		}
+		if w, ok := rf.TruncatedWindow(30); ok {
+			truncs++
+			if w <= 0 || w >= 30 {
+				t.Fatalf("truncated window %.2f out of range", w)
+			}
+		}
+	}
+	check := func(name string, got int) {
+		// 20% ± generous tolerance on 500 samples.
+		if got < n/10 || got > n*3/10 {
+			t.Fatalf("%s rate implausible: %d/%d", name, got, n)
+		}
+	}
+	check("reset", resets)
+	check("drop", drops)
+	check("crash", crashes)
+	check("trunc", truncs)
+}

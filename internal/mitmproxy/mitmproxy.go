@@ -41,14 +41,22 @@ func (c *ConnLog) Dest() string {
 	return c.Host
 }
 
+// ForgeFaults decides transient leaf-forging failures — the fault-injection
+// layer's model of mitmproxy's occasional on-the-fly certificate generation
+// errors. Implementations must be deterministic and concurrency-safe.
+type ForgeFaults interface {
+	ForgeFails(host string) bool
+}
+
 // Proxy forges certificates from CA and relays intercepted traffic.
 type Proxy struct {
 	ca  *pki.Authority
 	rng *detrand.Source
 
-	mu        sync.Mutex
-	leafCache map[string]pki.Chain
-	logs      []*ConnLog
+	mu          sync.Mutex
+	leafCache   map[string]pki.Chain
+	logs        []*ConnLog
+	forgeFaults ForgeFaults
 }
 
 // New creates a proxy around an issuing CA. The CA certificate is what a
@@ -87,11 +95,24 @@ func (p *Proxy) ResetLogs() {
 	p.logs = nil
 }
 
+// SetForgeFaults installs (or with nil removes) the transient forging-fault
+// decider consulted on every leaf request, ahead of the leaf cache — so a
+// faulted host fails even when a forged chain is already cached, exactly
+// like a proxy worker dying mid-handshake.
+func (p *Proxy) SetForgeFaults(f ForgeFaults) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.forgeFaults = f
+}
+
 // forgedChain returns (building and caching if needed) the forged chain for
 // host: a leaf issued by the proxy CA plus the CA certificate.
 func (p *Proxy) forgedChain(host string) (pki.Chain, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.forgeFaults != nil && p.forgeFaults.ForgeFails(host) {
+		return nil, fmt.Errorf("mitmproxy: transient forge failure for %q", host)
+	}
 	if c, ok := p.leafCache[host]; ok {
 		return c, nil
 	}

@@ -1,0 +1,191 @@
+package netem
+
+import (
+	"errors"
+	"testing"
+
+	"pinscope/internal/tlswire"
+)
+
+// faultServer echoes nothing; it drains records until the peer goes away and
+// reports how many it received.
+func faultServer(got *int) Handler {
+	return func(tr tlswire.Transport) {
+		for {
+			if _, err := tr.Recv(); err != nil {
+				return
+			}
+			*got++
+		}
+	}
+}
+
+func TestInjectedResetObservedServerSideOnly(t *testing.T) {
+	// A mid-stream injected RST must look like a spoofed/middlebox reset on
+	// the trace: the teardown arrives from the server direction, the client
+	// never records a close of its own, and the lost record is not captured.
+	n := New()
+	received := 0
+	n.Listen("rst.example.com", faultServer(&received))
+	cap := NewCapture()
+	tr, err := n.Dial("rst.example.com", DialOpts{
+		Capture: cap,
+		Faults:  ConnFaults{ResetAfter: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(tlswire.Record{Length: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(tlswire.Record{Length: 2}); err != nil {
+		t.Fatal(err)
+	}
+	err = tr.Send(tlswire.Record{Length: 3})
+	var pe *tlswire.PeerClosedError
+	if !errors.As(err, &pe) || pe.Flag != tlswire.CloseRST {
+		t.Fatalf("third send past the budget: %v", err)
+	}
+	tr.Close(tlswire.CloseFIN) // idempotent; the reset already closed us
+	n.WaitIdle()
+
+	fl := cap.Flows()[0]
+	if got := len(fl.Records()); got != 2 {
+		t.Fatalf("captured %d records, want 2 (the reset record is lost)", got)
+	}
+	clientClose, serverClose := fl.CloseFlags()
+	if clientClose != tlswire.CloseNone {
+		t.Fatalf("client close %s, want none (client never tore down)", clientClose)
+	}
+	if serverClose != tlswire.CloseRST {
+		t.Fatalf("server close %s, want RST", serverClose)
+	}
+	if received != 2 {
+		t.Fatalf("server received %d records, want 2", received)
+	}
+}
+
+func TestCaptureDropLeavesDeliveryIntact(t *testing.T) {
+	// A tap drop is pure observation loss: the endpoints exchange every
+	// record, the capture just misses some. Drop decisions are index-stable
+	// against the full record stream.
+	n := New()
+	received := 0
+	n.Listen("drop.example.com", faultServer(&received))
+	cap := NewCapture()
+	tr, err := n.Dial("drop.example.com", DialOpts{
+		Capture: cap,
+		Faults:  ConnFaults{DropCaptureRecord: func(i int) bool { return i == 1 }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := tr.Send(tlswire.Record{Length: 10 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Close(tlswire.CloseFIN)
+	n.WaitIdle()
+
+	if received != 3 {
+		t.Fatalf("server received %d records, want 3 (delivery must be unaffected)", received)
+	}
+	recs := cap.Flows()[0].Records()
+	if len(recs) != 2 || recs[0].Length != 10 || recs[1].Length != 12 {
+		t.Fatalf("captured %+v, want records 10 and 12 with 11 dropped", recs)
+	}
+	clientClose, _ := cap.Flows()[0].CloseFlags()
+	if clientClose != tlswire.CloseFIN {
+		t.Fatalf("client close %s; drops must not hide the teardown", clientClose)
+	}
+}
+
+func TestCaptureTailCutHidesLaterRecordsAndCloses(t *testing.T) {
+	// Once the capture window cuts off, later records AND the teardown go
+	// unobserved — the flow ends inconclusive even though the connection
+	// closed in an orderly way.
+	n := New()
+	received := 0
+	n.Listen("cut.example.com", faultServer(&received))
+	cap := NewCapture()
+	tr, err := n.Dial("cut.example.com", DialOpts{
+		Capture: cap,
+		Faults:  ConnFaults{CaptureTailAfter: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := tr.Send(tlswire.Record{Length: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.Close(tlswire.CloseFIN)
+	n.WaitIdle()
+
+	if received != 4 {
+		t.Fatalf("server received %d records, want 4", received)
+	}
+	fl := cap.Flows()[0]
+	if got := len(fl.Records()); got != 2 {
+		t.Fatalf("captured %d records, want 2", got)
+	}
+	clientClose, serverClose := fl.CloseFlags()
+	if clientClose != tlswire.CloseNone || serverClose != tlswire.CloseNone {
+		t.Fatalf("closes %s/%s observed after the window cut", clientClose, serverClose)
+	}
+}
+
+// tapLateDials faults dials from logical second 1 on with a one-record
+// reset budget; deterministic in (host, at) as the interface requires.
+type tapLateDials struct{}
+
+func (tapLateDials) ConnFaults(host string, at float64) ConnFaults {
+	if at >= 1 {
+		return ConnFaults{ResetAfter: 1}
+	}
+	return ConnFaults{}
+}
+
+func TestFaultTapConsultedOnDialNotDialDirect(t *testing.T) {
+	// The network-wide tap faults Dials; DialDirect legs (the proxy's
+	// upstream side, beyond the monitoring point) are never faulted.
+	n := New()
+	n.Listen("tap.example.com", func(tr tlswire.Transport) {
+		for {
+			if _, err := tr.Recv(); err != nil {
+				return
+			}
+		}
+	})
+	n.SetFaultTap(tapLateDials{})
+
+	send3 := func(tr tlswire.Transport) error {
+		for i := 0; i < 3; i++ {
+			if err := tr.Send(tlswire.Record{Length: i}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tr1, _ := n.Dial("tap.example.com", DialOpts{At: 0})
+	if err := send3(tr1); err != nil {
+		t.Fatalf("unfaulted dial: %v", err)
+	}
+	tr1.Close(tlswire.CloseFIN)
+	tr2, _ := n.Dial("tap.example.com", DialOpts{At: 1})
+	if err := send3(tr2); err == nil {
+		t.Fatal("faulted dial survived past its reset budget")
+	}
+	tr2.Close(tlswire.CloseFIN)
+	trd, err := n.DialDirect("tap.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := send3(trd); err != nil {
+		t.Fatalf("DialDirect leg was faulted: %v", err)
+	}
+	trd.Close(tlswire.CloseFIN)
+	n.WaitIdle()
+}

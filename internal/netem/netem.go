@@ -32,6 +32,13 @@ type Flow struct {
 	records     []tlswire.Summary
 	clientClose tlswire.CloseFlag
 	serverClose tlswire.CloseFlag
+
+	// Monitoring-point fault injection: seen counts every record offered to
+	// the tap (dropped or not) so drop decisions are index-stable; tailCut
+	// is set once the tap stops recording (truncated capture).
+	faults  ConnFaults
+	seen    int
+	tailCut bool
 }
 
 // Records returns a snapshot of the captured record summaries.
@@ -102,12 +109,26 @@ func (f *Flow) CloseFlags() (client, server tlswire.CloseFlag) {
 func (f *Flow) addRecord(fromClient bool, r tlswire.Record) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	idx := f.seen
+	f.seen++
+	if f.faults.CaptureTailAfter > 0 && idx >= f.faults.CaptureTailAfter {
+		// Monitoring stopped mid-flow (window cut / pcap truncation): the
+		// record crosses but is never captured, nor is any later close.
+		f.tailCut = true
+		return
+	}
+	if f.faults.DropCaptureRecord != nil && f.faults.DropCaptureRecord(idx) {
+		return // tap drop: delivery unaffected, observation lost
+	}
 	f.records = append(f.records, r.Summarize(fromClient))
 }
 
 func (f *Flow) addClose(fromClient bool, flag tlswire.CloseFlag) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.tailCut {
+		return // capture ended before the teardown was observed
+	}
 	if fromClient {
 		if f.clientClose == tlswire.CloseNone {
 			f.clientClose = flag
@@ -153,6 +174,43 @@ func (c *Capture) newFlow(dst string, at float64) *Flow {
 // Handler serves one inbound connection.
 type Handler func(t tlswire.Transport)
 
+// ConnFaults are the deterministic fault decisions for one connection. The
+// zero value injects nothing.
+type ConnFaults struct {
+	// ResetAfter, when > 0, tears the connection down with a TCP RST once
+	// that many records have crossed it — small values kill the handshake
+	// mid-flight, the paper's confounding connection failures (§4.2.2).
+	ResetAfter int
+	// DropCaptureRecord, when non-nil, reports whether the monitoring tap
+	// misses record index i. Delivery is unaffected: the endpoints see the
+	// record, the capture does not (pcap drop at the hotspot).
+	DropCaptureRecord func(i int) bool
+	// CaptureTailAfter, when > 0, stops the tap recording after that many
+	// records; later records AND close flags go unobserved, yielding the
+	// truncated inconclusive flows of a capture window cut.
+	CaptureTailAfter int
+}
+
+func (cf ConnFaults) merge(other ConnFaults) ConnFaults {
+	if cf.ResetAfter == 0 {
+		cf.ResetAfter = other.ResetAfter
+	}
+	if cf.DropCaptureRecord == nil {
+		cf.DropCaptureRecord = other.DropCaptureRecord
+	}
+	if cf.CaptureTailAfter == 0 {
+		cf.CaptureTailAfter = other.CaptureTailAfter
+	}
+	return cf
+}
+
+// FaultTap decides per-connection fault injection for dials on a network.
+// Implementations must be safe for concurrent use and deterministic in
+// (host, at) so studies stay reproducible.
+type FaultTap interface {
+	ConnFaults(host string, at float64) ConnFaults
+}
+
 // Interceptor sits in front of every intercepted dial; the MITM proxy
 // implements it. It must eventually close clientSide.
 type Interceptor interface {
@@ -164,6 +222,7 @@ type Network struct {
 	mu          sync.Mutex
 	servers     map[string]Handler
 	interceptor Interceptor
+	faultTap    FaultTap
 	wg          sync.WaitGroup
 }
 
@@ -187,6 +246,15 @@ func (n *Network) SetInterceptor(i Interceptor) {
 	n.interceptor = i
 }
 
+// SetFaultTap installs (or with nil removes) the fault-injection tap
+// consulted on every subsequent Dial. DialDirect legs — the proxy's
+// upstream side, beyond the monitoring point — are never faulted.
+func (n *Network) SetFaultTap(t FaultTap) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faultTap = t
+}
+
 // HasHost reports whether host is served.
 func (n *Network) HasHost(host string) bool {
 	n.mu.Lock()
@@ -202,6 +270,9 @@ type DialOpts struct {
 	// Capture, when non-nil, records the client-side leg of this
 	// connection.
 	Capture *Capture
+	// Faults injects per-connection faults on top of the network's fault
+	// tap; caller-set fields win over tap decisions.
+	Faults ConnFaults
 }
 
 // Dial opens a connection to host, routed through the interceptor if one
@@ -210,6 +281,7 @@ type DialOpts struct {
 func (n *Network) Dial(host string, opts DialOpts) (tlswire.Transport, error) {
 	n.mu.Lock()
 	interceptor := n.interceptor
+	tap := n.faultTap
 	handler, ok := n.servers[host]
 	n.mu.Unlock()
 
@@ -217,11 +289,21 @@ func (n *Network) Dial(host string, opts DialOpts) (tlswire.Transport, error) {
 		return nil, fmt.Errorf("netem: no route to host %q", host)
 	}
 
+	faults := opts.Faults
+	if tap != nil {
+		faults = faults.merge(tap.ConnFaults(host, opts.At))
+	}
 	var flow *Flow
 	if opts.Capture != nil {
 		flow = opts.Capture.newFlow(host, opts.At)
+		flow.faults = faults
 	}
 	client, server := newPipePair(flow)
+	if faults.ResetAfter > 0 {
+		st := &resetState{budget: faults.ResetAfter}
+		client.reset = st
+		server.reset = st
+	}
 
 	n.wg.Add(1)
 	if interceptor != nil {
@@ -266,6 +348,25 @@ func (n *Network) WaitIdle() { n.wg.Wait() }
 
 const pipeBuf = 128
 
+// resetState is the shared record budget of a connection carrying an
+// injected mid-stream RST; both pipe ends draw from it.
+type resetState struct {
+	mu     sync.Mutex
+	budget int
+}
+
+// spend consumes one record from the budget and reports whether the
+// connection must be reset instead of delivering it.
+func (r *resetState) spend() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.budget <= 0 {
+		return true
+	}
+	r.budget--
+	return false
+}
+
 type pipe struct {
 	fromClient bool
 	out        chan tlswire.Record
@@ -273,6 +374,8 @@ type pipe struct {
 
 	localDone chan struct{}
 	peerDone  chan struct{}
+
+	reset *resetState
 
 	mu        sync.Mutex
 	localFlag tlswire.CloseFlag
@@ -312,6 +415,20 @@ func (p *pipe) Send(r tlswire.Record) error {
 		return &tlswire.PeerClosedError{Flag: p.peer.localFlagLocked()}
 	default:
 	}
+	if p.reset != nil && p.reset.spend() {
+		// Injected network reset: the record is lost and both ends go down
+		// (closing wakes any peer blocked in Recv, so no goroutine strands).
+		// The monitoring point sees the RST arrive from the server
+		// direction — the client never sent a teardown of its own, so the
+		// flow stays inconclusive instead of mimicking a client-side pin
+		// rejection, exactly like a spoofed/middlebox RST on a real trace.
+		if p.flow != nil {
+			p.flow.addClose(false, tlswire.CloseRST)
+		}
+		p.peer.close(tlswire.CloseRST, false)
+		p.close(tlswire.CloseRST, false)
+		return &tlswire.PeerClosedError{Flag: tlswire.CloseRST}
+	}
 	if p.flow != nil {
 		p.flow.addRecord(p.fromClient, r)
 	}
@@ -345,7 +462,12 @@ func (p *pipe) Recv() (tlswire.Record, error) {
 	}
 }
 
-func (p *pipe) Close(flag tlswire.CloseFlag) error {
+func (p *pipe) Close(flag tlswire.CloseFlag) error { return p.close(flag, true) }
+
+// close shuts the pipe end down; record controls whether the monitoring
+// point observes the teardown (injected resets record their own
+// server-direction observation instead).
+func (p *pipe) close(flag tlswire.CloseFlag, record bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	select {
@@ -354,7 +476,7 @@ func (p *pipe) Close(flag tlswire.CloseFlag) error {
 	default:
 	}
 	p.localFlag = flag
-	if p.flow != nil {
+	if record && p.flow != nil {
 		p.flow.addClose(p.fromClient, flag)
 	}
 	close(p.localDone)

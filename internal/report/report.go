@@ -369,6 +369,52 @@ func Ablations(rows []core.AblationResult) string {
 	return "Methodology ablations\n\n" + t.String()
 }
 
+// Robustness renders the resilient runner's retry/quarantine/degradation
+// accounting.
+func Robustness(s *core.Study) string {
+	st := s.Robustness()
+	var b strings.Builder
+	b.WriteString("Study robustness (fault injection, retries, quarantine)\n\n")
+	if s.Cfg.Faults.Enabled() {
+		r := s.Cfg.Faults.Rates()
+		fmt.Fprintf(&b, "  fault rates: reset %.0f%%, record drop %.0f%%, capture trunc %.0f%%,\n",
+			r.ConnReset*100, r.RecordDrop*100, r.CaptureTrunc*100)
+		fmt.Fprintf(&b, "               app crash %.0f%%, decrypt fail %.0f%%, forge fail %.0f%%\n",
+			r.AppCrash*100, r.DecryptFail*100, r.ForgeFail*100)
+		fmt.Fprintf(&b, "  retry budget per app:    %d\n\n", s.Cfg.Retries)
+	} else {
+		b.WriteString("  fault injection disabled (clean run)\n\n")
+	}
+	fmt.Fprintf(&b, "  apps studied:            %d\n", st.Apps)
+	fmt.Fprintf(&b, "  measurement attempts:    %d\n", st.Attempts)
+	fmt.Fprintf(&b, "  apps retried:            %d (%s)\n", st.Retried, pct(st.Retried, st.Apps))
+	fmt.Fprintf(&b, "  apps quarantined:        %d (%s)\n", st.Quarantined, pct(st.Quarantined, st.Apps))
+	fmt.Fprintf(&b, "  confidence: full %d, dynamic-only %d, static-only %d, none %d\n",
+		st.Full, st.DynamicOnly, st.StaticOnly, st.None)
+	fmt.Fprintf(&b, "  iOS Common delayed re-run kept: %d\n", st.DelayedRerunKept)
+	return b.String()
+}
+
+// Chaos renders a chaos sweep: per fault rate, the robustness accounting
+// and the largest drift of any Table 3 dynamic prevalence from the
+// fault-free reference.
+func Chaos(points []core.ChaosPoint) string {
+	t := &table{header: []string{"Fault rate", "Apps", "Attempts", "Retried", "Quarantined", "Degraded", "Max |drift| (pp)"}}
+	for _, p := range points {
+		degraded := p.Stats.DynamicOnly + p.Stats.StaticOnly + p.Stats.None
+		t.add(
+			fmt.Sprintf("%.0f%%", p.Rate*100),
+			fmt.Sprintf("%d", p.Stats.Apps),
+			fmt.Sprintf("%d", p.Stats.Attempts),
+			fmt.Sprintf("%d", p.Stats.Retried),
+			fmt.Sprintf("%d", p.Stats.Quarantined),
+			fmt.Sprintf("%d", degraded),
+			fmt.Sprintf("%.2f", p.MaxAbsDriftPP),
+		)
+	}
+	return "Chaos sweep: Table 3 dynamic-prevalence drift under rising fault rates\n\n" + t.String()
+}
+
 // Full renders the entire study.
 func Full(s *core.Study) string {
 	sections := []string{
@@ -379,6 +425,12 @@ func Full(s *core.Study) string {
 		Table6(s), CertAnalysis(s), Table7(s, table7MinApps(s)),
 		Table8(s), Table9(s), Circumvention(s), Misconfigs(s),
 		Interaction(s, interactionSampleFor(s)),
+	}
+	// Only faulted runs carry robustness information worth a section;
+	// omitting it on clean runs keeps their report byte-identical to
+	// pre-fault-injection builds.
+	if s.Cfg.Faults.Enabled() {
+		sections = append(sections, Robustness(s))
 	}
 	return strings.Join(sections, "\n"+strings.Repeat("=", 72)+"\n\n")
 }

@@ -389,7 +389,7 @@ func ServerHandshake(t Transport, cfg0 *ServerConfig) (*Conn, *HelloInfo, error)
 				for i := 0; i < cfg.SessionTickets; i++ {
 					if err := t.Send(Record{
 						WireType: RecAppData,
-						Length:   recordHeaderLen + 4 + 180 + tls13InnerType + aeadOverhead,
+						Length:   SessionTicketWireLen,
 						inner:    RecHandshake,
 						hsKind:   hsNewSessionTicket,
 					}); err != nil {

@@ -198,6 +198,19 @@ const (
 	// finishedLen is the on-wire length of an encrypted Finished message
 	// (32-byte verify_data under SHA-256 transcripts).
 	finishedWireLen = recordHeaderLen + 4 + 32 + tls13InnerType + aeadOverhead
+
+	// FinishedWireLen exports the Finished record length for the detector's
+	// record-size fingerprinting (§4.2.2 style): the client's first encrypted
+	// record on every successful TLS 1.3 connection has exactly this length.
+	FinishedWireLen = finishedWireLen
+
+	// SessionTicketWireLen is the on-wire length of a NewSessionTicket
+	// record (4-byte handshake header + 180-byte ticket body). Tickets,
+	// Finished, and alerts are the only server records that follow the
+	// certificate flight on connections the client never used, and all
+	// three have fixed lengths — so a later server record of any other
+	// length fingerprints an application response.
+	SessionTicketWireLen = recordHeaderLen + 4 + 180 + tls13InnerType + aeadOverhead
 )
 
 // HelloInfo is the observable content of a ClientHello: everything here is

@@ -26,6 +26,7 @@ import (
 
 	"pinscope/internal/appmodel"
 	"pinscope/internal/core"
+	"pinscope/internal/faultinject"
 	"pinscope/internal/report"
 	"pinscope/internal/worldgen"
 )
@@ -43,6 +44,15 @@ type Config struct {
 	Window float64
 	// Workers caps parallelism (zero → GOMAXPROCS).
 	Workers int
+	// FaultRate, when positive, injects deterministic operational faults
+	// (connection resets, capture drops/truncation, app crashes, decryption
+	// and proxy-forge failures) into every pipeline layer at this uniform
+	// per-class probability. Zero keeps the study byte-identical to a
+	// fault-free build.
+	FaultRate float64
+	// Retries bounds extra per-app measurement attempts under faults
+	// (zero → 2 when FaultRate > 0; ignored otherwise).
+	Retries int
 }
 
 // PaperConfig reproduces the paper-scale study (≈5,000 unique apps).
@@ -103,7 +113,15 @@ func (c Config) toCore() core.Config {
 	if win == 0 {
 		win = 30
 	}
-	return core.Config{Params: p, Window: win, Workers: c.Workers}
+	cc := core.Config{Params: p, Window: win, Workers: c.Workers}
+	if c.FaultRate > 0 {
+		cc.Faults = faultinject.NewPlan(p.Seed, faultinject.Uniform(c.FaultRate))
+		cc.Retries = c.Retries
+		if cc.Retries == 0 {
+			cc.Retries = 2
+		}
+	}
+	return cc
 }
 
 // Platform identifies a mobile OS in the public API.
@@ -149,6 +167,7 @@ const (
 	SecCircumvention Section = "circumvention"
 	SecMisconfigs    Section = "misconfigs"
 	SecInteraction   Section = "interaction"
+	SecRobustness    Section = "robustness"
 )
 
 // Sections lists all renderable sections in paper order.
@@ -157,7 +176,7 @@ func Sections() []Section {
 		SecTable1, SecTable2, SecTable3, SecTable4, SecTable5,
 		SecFigure2, SecFigure3, SecFigure4, SecFigure5,
 		SecTable6, SecCertAnalysis, SecTable7, SecTable8, SecTable9,
-		SecCircumvention, SecMisconfigs, SecInteraction,
+		SecCircumvention, SecMisconfigs, SecInteraction, SecRobustness,
 	}
 }
 
@@ -199,6 +218,8 @@ func (st *Study) Report(sec Section) (string, error) {
 		return report.Misconfigs(s), nil
 	case SecInteraction:
 		return report.Interaction(s, interactionSample(s)), nil
+	case SecRobustness:
+		return report.Robustness(s), nil
 	}
 	return "", fmt.Errorf("pinscope: unknown section %q", sec)
 }
@@ -372,4 +393,16 @@ func (st *Study) Ablations(sample int) (string, error) {
 		return "", err
 	}
 	return report.Ablations(rows), nil
+}
+
+// ChaosReport runs the full study once per fault rate (plus a fault-free
+// reference) and renders how far the Table 3 dynamic prevalences drift as
+// operational faults rise — the robustness envelope of the methodology.
+// Each point is a complete study on a fresh world; budget accordingly.
+func ChaosReport(cfg Config, rates []float64) (string, error) {
+	points, err := core.ChaosSweep(cfg.toCore(), rates)
+	if err != nil {
+		return "", err
+	}
+	return report.Chaos(points), nil
 }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — the repo's one-command health gate: build, vet, full test
+# suite, then a race-detector pass over the packages with real concurrency
+# (the study runner's worker pool, the record pipes, the flow tap).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (concurrent packages)"
+go test -race ./internal/core ./internal/netem ./internal/dynamicanalysis
+
+echo "OK"
