@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench chaos
+.PHONY: build test check bench chaos export serve
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,13 @@ bench:
 # benchmark; see EXPERIMENTS.md for the expected drift envelope).
 chaos:
 	$(GO) test . -run NONE -bench BenchmarkChaosSweep -benchtime 1x -v
+
+# export regenerates the committed paper-scale snapshot that pinscoped
+# serves and the serving benchmarks load.
+export:
+	$(GO) run ./cmd/pinstudy -scale paper -export dataset_paper_scale.json
+
+# serve runs the pinning-intelligence query service over the committed
+# snapshot. SIGHUP or POST /v1/reload swaps the snapshot in place.
+serve:
+	$(GO) run ./cmd/pinscoped -data dataset_paper_scale.json

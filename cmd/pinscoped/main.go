@@ -1,0 +1,105 @@
+// Command pinscoped serves pinning intelligence from exported study
+// snapshots (pinstudy -export output) as a long-running HTTP service:
+// per-app verdicts, reverse pin-hash lookups, per-destination pinner lists
+// and cached aggregate tables.
+//
+// Usage:
+//
+//	pinstudy -scale paper -export snapshot.json
+//	pinscoped -data snapshot.json [-data more.json] [-addr :8093]
+//
+//	curl localhost:8093/v1/app/android/com.example.app
+//	curl localhost:8093/v1/pins?spki=sha256:...
+//	curl localhost:8093/v1/dest/api.example.com
+//	curl localhost:8093/v1/tables/1?format=text
+//	curl localhost:8093/v1/stats
+//	curl -X POST localhost:8093/v1/reload     # or: kill -HUP <pid>
+//
+// -selftest runs the export → load → query closed loop against an
+// in-process listener and exits non-zero on any wrong answer; see
+// selftest.go.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pinscope/internal/pinserve"
+)
+
+func main() {
+	var paths []string
+	flag.Func("data", "snapshot JSON file (repeatable; later files override earlier apps)",
+		func(v string) error {
+			for _, p := range strings.Split(v, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					paths = append(paths, p)
+				}
+			}
+			return nil
+		})
+	addr := flag.String("addr", ":8093", "listen address")
+	maxInFlight := flag.Int("max-inflight", 256, "bounded request concurrency")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request timeout")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown drain budget")
+	selftest := flag.Bool("selftest", false, "run the export→load→query closed loop and exit")
+	selftestSeed := flag.Int64("selftest-seed", 1, "world seed for the selftest mini study (no -data)")
+	selftestClients := flag.Int("selftest-clients", 8, "closed-loop client goroutines in -selftest")
+	selftestOps := flag.Int("selftest-ops", 40000, "total selftest lookups across all clients")
+	flag.Parse()
+
+	if *selftest {
+		if err := runSelftest(paths, *selftestSeed, *selftestClients, *selftestOps); err != nil {
+			fmt.Fprintf(os.Stderr, "pinscoped: selftest FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "pinscoped: at least one -data snapshot is required (or -selftest)")
+		os.Exit(2)
+	}
+	srv, err := pinserve.New(pinserve.Options{
+		Paths:          paths,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pinscoped: %v\n", err)
+		os.Exit(1)
+	}
+	st := srv.Index().Stats()
+	fmt.Fprintf(os.Stderr, "pinscoped: loaded %d snapshot(s): %d apps, %d destinations, %d unique pins (build %.1fms)\n",
+		st.Snapshots, st.Apps, st.Destinations, st.UniquePins, float64(st.BuildMicros)/1000)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// SIGHUP swaps in freshly re-read snapshots with zero downtime; a
+	// failed reload logs and keeps the old index serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "pinscoped: reload failed (still serving previous snapshot): %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "pinscoped: snapshot reloaded: %d apps\n", srv.Index().Stats().Apps)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "pinscoped: serving on %s\n", *addr)
+	if err := srv.ListenAndServe(ctx, *addr, *grace); err != nil {
+		fmt.Fprintf(os.Stderr, "pinscoped: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "pinscoped: drained, bye")
+}

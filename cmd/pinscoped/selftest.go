@@ -1,0 +1,322 @@
+package main
+
+// selftest.go is the closed-loop proof that the serving layer answers the
+// snapshot truthfully under concurrency: export → load → query. With no
+// -data it runs a mini study in-process, exports it through the real JSON
+// path, and re-loads the file; with -data it drives the given snapshots
+// (e.g. the committed paper-scale dataset). Client goroutines then replay
+// a deterministic query plan — hits validated field-by-field against the
+// dataset, misses expecting 404, malformed ids expecting 400 — with a
+// zero-downtime reload fired mid-flight, and the run reports throughput
+// and latency percentiles from /v1/stats.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pinscope"
+	"pinscope/internal/core"
+	"pinscope/internal/pinserve"
+)
+
+// selftestCase is one deterministic request with its answer validator.
+type selftestCase struct {
+	method string
+	path   string
+	check  func(status int, body []byte) error
+}
+
+func runSelftest(paths []string, seed int64, clients, totalOps int) error {
+	datasets, cleanup, err := selftestDatasets(paths, seed)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	srv, err := pinserve.New(pinserve.Options{Paths: paths})
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		if err := srv.Load(datasets...); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln, time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	cases := buildCases(datasets)
+	fmt.Fprintf(os.Stderr, "pinscoped: selftest: %d apps, %d query cases, %d clients, %d ops on %s\n",
+		srv.Index().Stats().Apps, len(cases), clients, totalOps, base)
+
+	if clients < 1 {
+		clients = 1
+	}
+	perClient := totalOps / clients
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; i < perClient; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				// Client 0 exercises the zero-downtime reload mid-flight;
+				// everyone else keeps querying straight through it.
+				if c == 0 && i == perClient/2 {
+					if err := doCase(client, base, selftestCase{method: "POST", path: "/v1/reload",
+						check: expectStatus(http.StatusOK)}); err != nil {
+						fail(fmt.Errorf("mid-flight reload: %w", err))
+						return
+					}
+				}
+				tc := cases[(c*7919+i)%len(cases)]
+				if err := doCase(client, base, tc); err != nil {
+					fail(fmt.Errorf("client %d op %d %s: %w", c, i, tc.path, err))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if first != nil {
+		return first
+	}
+
+	// Pull the service's own accounting for the report.
+	stats, err := fetchStats(base)
+	if err != nil {
+		return err
+	}
+	ops := clients * perClient
+	fmt.Printf("pinscoped selftest: OK\n")
+	fmt.Printf("  lookups:      %d in %s (%.0f lookups/sec, %d clients)\n",
+		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds(), clients)
+	for _, ep := range stats.Endpoints {
+		fmt.Printf("  %-12s %7d reqs  p50 ≤%dµs  p99 ≤%dµs  (4xx %d expected)\n",
+			ep.Endpoint, ep.Requests, ep.P50Micros, ep.P99Micros, ep.Errors4xx)
+	}
+	fmt.Printf("  reloads mid-flight: %d, snapshot apps: %d\n", stats.Reloads, stats.Snapshot.Apps)
+
+	cancel()
+	return <-done
+}
+
+// selftestDatasets loads -data snapshots, or generates one via a mini
+// study exported through the real file path.
+func selftestDatasets(paths []string, seed int64) ([]*core.ExportedDataset, func(), error) {
+	cleanup := func() {}
+	if len(paths) > 0 {
+		var out []*core.ExportedDataset
+		for _, p := range paths {
+			ds, err := core.LoadExportedDataset(p)
+			if err != nil {
+				return nil, cleanup, err
+			}
+			out = append(out, ds)
+		}
+		return out, cleanup, nil
+	}
+	fmt.Fprintf(os.Stderr, "pinscoped: selftest: running mini study (seed %d) and exporting...\n", seed)
+	study, err := pinscope.Run(pinscope.MiniConfig(seed))
+	if err != nil {
+		return nil, cleanup, err
+	}
+	dir, err := os.MkdirTemp("", "pinscoped-selftest")
+	if err != nil {
+		return nil, cleanup, err
+	}
+	cleanup = func() { os.RemoveAll(dir) }
+	path := filepath.Join(dir, "snapshot.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, cleanup, err
+	}
+	if err := study.ExportDataset(f); err != nil {
+		f.Close()
+		return nil, cleanup, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, cleanup, err
+	}
+	ds, err := core.LoadExportedDataset(path)
+	if err != nil {
+		return nil, cleanup, err
+	}
+	return []*core.ExportedDataset{ds}, cleanup, nil
+}
+
+// buildCases derives the deterministic query plan from the dataset: every
+// app's verdict, every pinned app's destinations and pins, plus fixed
+// miss/malformed/table/health cases.
+func buildCases(datasets []*core.ExportedDataset) []selftestCase {
+	var cases []selftestCase
+	appCase := func(a core.ExportedApp) selftestCase {
+		want := a
+		return selftestCase{method: "GET",
+			path: "/v1/app/" + want.Platform + "/" + url.PathEscape(want.ID),
+			check: func(status int, body []byte) error {
+				if status != http.StatusOK {
+					return fmt.Errorf("status %d", status)
+				}
+				var got core.ExportedApp
+				if err := json.Unmarshal(body, &got); err != nil {
+					return err
+				}
+				if got.Name != want.Name || got.PinsDynamic != want.PinsDynamic ||
+					len(got.PinnedDomains) != len(want.PinnedDomains) {
+					return fmt.Errorf("answer drifted from snapshot: got %q/%v, want %q/%v",
+						got.Name, got.PinsDynamic, want.Name, want.PinsDynamic)
+				}
+				return nil
+			}}
+	}
+	for _, ds := range datasets {
+		for _, a := range ds.Apps {
+			cases = append(cases, appCase(a))
+			key := pinserve.AppKey(a.Platform, a.ID)
+			for _, d := range a.PinnedDomains {
+				host, appKey := d, key
+				cases = append(cases, selftestCase{method: "GET",
+					path: "/v1/dest/" + url.PathEscape(host),
+					check: func(status int, body []byte) error {
+						if status != http.StatusOK {
+							return fmt.Errorf("status %d", status)
+						}
+						var di pinserve.DestInfo
+						if err := json.Unmarshal(body, &di); err != nil {
+							return err
+						}
+						for _, k := range di.PinnedBy {
+							if k == appKey {
+								return nil
+							}
+						}
+						return fmt.Errorf("pinner %s missing from %s", appKey, host)
+					}})
+			}
+			for _, pin := range a.PinSPKIHashes {
+				spki, appKey := pin, key
+				cases = append(cases, selftestCase{method: "GET",
+					path: "/v1/pins?spki=" + url.QueryEscape(spki),
+					check: func(status int, body []byte) error {
+						if status != http.StatusOK {
+							return fmt.Errorf("status %d", status)
+						}
+						var resp struct {
+							Apps []struct {
+								Key string `json:"key"`
+							} `json:"apps"`
+						}
+						if err := json.Unmarshal(body, &resp); err != nil {
+							return err
+						}
+						for _, m := range resp.Apps {
+							if m.Key == appKey {
+								return nil
+							}
+						}
+						return fmt.Errorf("app %s missing from pin %s", appKey, spki)
+					}})
+			}
+		}
+	}
+	// Misses, malformed ids, cached tables, health.
+	cases = append(cases,
+		selftestCase{method: "GET", path: "/v1/app/android/com.does.not.exist",
+			check: expectStatus(http.StatusNotFound)},
+		selftestCase{method: "GET", path: "/v1/app/windows/com.example",
+			check: expectStatus(http.StatusBadRequest)},
+		selftestCase{method: "GET", path: "/v1/dest/never-seen.example.org",
+			check: expectStatus(http.StatusNotFound)},
+		selftestCase{method: "GET", path: "/v1/pins?spki=sha256:0000000000000000000000000000000000000000000000000000000000000000",
+			check: expectStatus(http.StatusOK)},
+		selftestCase{method: "GET", path: "/v1/tables/1", check: expectStatus(http.StatusOK)},
+		selftestCase{method: "GET", path: "/v1/tables/2", check: expectStatus(http.StatusOK)},
+		selftestCase{method: "GET", path: "/v1/tables/3?format=text", check: expectStatus(http.StatusOK)},
+		selftestCase{method: "GET", path: "/v1/tables/9", check: expectStatus(http.StatusNotFound)},
+		selftestCase{method: "GET", path: "/v1/healthz", check: expectStatus(http.StatusOK)},
+	)
+	return cases
+}
+
+func expectStatus(want int) func(int, []byte) error {
+	return func(status int, body []byte) error {
+		if status != want {
+			return fmt.Errorf("status %d, want %d (%.120s)", status, want, body)
+		}
+		return nil
+	}
+}
+
+func doCase(client *http.Client, base string, tc selftestCase) error {
+	req, err := http.NewRequest(tc.method, base+tc.path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	return tc.check(resp.StatusCode, body)
+}
+
+func fetchStats(base string) (*statsPayload, error) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st statsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// statsPayload mirrors the fields of /v1/stats the selftest reports.
+type statsPayload struct {
+	Reloads  int64 `json:"reloads"`
+	Snapshot struct {
+		Apps int `json:"apps"`
+	} `json:"snapshot"`
+	Endpoints []pinserve.EndpointStats `json:"endpoints"`
+}

@@ -1,0 +1,154 @@
+package core
+
+// aggregate.go recomputes the report-layer tables from a released snapshot
+// alone — no world, no per-app results. This is the computation a serving
+// layer caches at snapshot-load time: the Table 3 prevalence cells, the
+// Table 4/5 category leaders and the Table 6 PKI classification, derived
+// purely from the exported verdicts the way downstream consumers (and
+// cmd/pinreport) see them.
+
+import (
+	"sort"
+
+	"pinscope/internal/stats"
+)
+
+// SnapshotCell is one dataset/platform prevalence cell recomputed from
+// released verdicts (the Table 3 counterpart).
+type SnapshotCell struct {
+	Dataset        string `json:"dataset"`
+	Platform       string `json:"platform"`
+	Apps           int    `json:"apps"`
+	Dynamic        int    `json:"dynamic"`
+	StaticEmbedded int    `json:"static_embedded"`
+	// NSCPinSets is -1 on iOS (not applicable).
+	NSCPinSets int `json:"nsc_pin_sets"`
+}
+
+// SnapshotCategory is one category's pinning rate on a platform (the
+// Table 4/5 counterpart).
+type SnapshotCategory struct {
+	Platform string  `json:"platform"`
+	Category string  `json:"category"`
+	Apps     int     `json:"apps"`
+	Pinning  int     `json:"pinning"`
+	Pct      float64 `json:"pct"`
+}
+
+// SnapshotPKI classifies the snapshot's pinned destinations (the Table 6
+// counterpart; the export does not retain the per-platform split).
+type SnapshotPKI struct {
+	Destinations int `json:"pinned_destinations"`
+	DefaultPKI   int `json:"default_pki"`
+	CustomPKI    int `json:"custom_pki"`
+	SelfSigned   int `json:"self_signed"`
+	Unavailable  int `json:"unavailable"`
+}
+
+// SnapshotAggregates bundles every table derivable from a snapshot.
+type SnapshotAggregates struct {
+	Prevalence []SnapshotCell     `json:"prevalence"`
+	Categories []SnapshotCategory `json:"categories"`
+	PKI        SnapshotPKI        `json:"pki"`
+}
+
+// snapshotCategoryMinApps filters single-app categories that would report
+// 100%, mirroring the report layer's noise floor.
+const snapshotCategoryMinApps = 2
+
+// Aggregate recomputes the cached tables from the exported verdicts.
+func (ds *ExportedDataset) Aggregate() *SnapshotAggregates {
+	agg := &SnapshotAggregates{}
+
+	// Prevalence: dataset × platform in report order.
+	cells := map[string]*SnapshotCell{}
+	for _, a := range ds.Apps {
+		for _, d := range a.Datasets {
+			key := d + "/" + a.Platform
+			c := cells[key]
+			if c == nil {
+				c = &SnapshotCell{Dataset: d, Platform: a.Platform, NSCPinSets: -1}
+				if a.Platform == "android" {
+					c.NSCPinSets = 0
+				}
+				cells[key] = c
+			}
+			c.Apps++
+			if a.PinsDynamic {
+				c.Dynamic++
+			}
+			if a.StaticMaterial {
+				c.StaticEmbedded++
+			}
+			if a.NSCPinSet && c.NSCPinSets >= 0 {
+				c.NSCPinSets++
+			}
+		}
+	}
+	for _, d := range []string{"Common", "Popular", "Random"} {
+		for _, p := range []string{"android", "ios"} {
+			if c := cells[d+"/"+p]; c != nil {
+				agg.Prevalence = append(agg.Prevalence, *c)
+				delete(cells, d+"/"+p)
+			}
+		}
+	}
+	// Any non-standard dataset names follow, in sorted order.
+	rest := make([]string, 0, len(cells))
+	for k := range cells {
+		rest = append(rest, k)
+	}
+	sort.Strings(rest)
+	for _, k := range rest {
+		agg.Prevalence = append(agg.Prevalence, *cells[k])
+	}
+
+	// Categories: unique apps per platform/category, pinning rates.
+	type catKey struct{ platform, category string }
+	perCat := map[catKey]*SnapshotCategory{}
+	for _, a := range ds.Apps {
+		k := catKey{a.Platform, a.Category}
+		c := perCat[k]
+		if c == nil {
+			c = &SnapshotCategory{Platform: a.Platform, Category: a.Category}
+			perCat[k] = c
+		}
+		c.Apps++
+		if a.PinsDynamic {
+			c.Pinning++
+		}
+	}
+	for _, c := range perCat {
+		if c.Pinning == 0 || c.Apps < snapshotCategoryMinApps {
+			continue
+		}
+		c.Pct = stats.Percent(c.Pinning, c.Apps)
+		agg.Categories = append(agg.Categories, *c)
+	}
+	sort.Slice(agg.Categories, func(i, j int) bool {
+		a, b := agg.Categories[i], agg.Categories[j]
+		if a.Platform != b.Platform {
+			return a.Platform < b.Platform
+		}
+		if a.Pct != b.Pct {
+			return a.Pct > b.Pct
+		}
+		return a.Category < b.Category
+	})
+
+	// PKI classification of pinned destinations.
+	for _, d := range ds.Destinations {
+		agg.PKI.Destinations++
+		switch {
+		case d.Unavailable:
+			agg.PKI.Unavailable++
+		case d.DefaultPKI:
+			agg.PKI.DefaultPKI++
+		case d.SelfSigned:
+			agg.PKI.SelfSigned++
+		default:
+			agg.PKI.CustomPKI++
+		}
+	}
+	return agg
+}

@@ -7,14 +7,25 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
+	"os"
 	"sort"
 
 	"pinscope/internal/pii"
 )
 
+// DatasetVersion is the current export format version. WriteJSON stamps it;
+// ReadJSON accepts any version up to it. Exports written before the field
+// existed decode as version 0 and stay loadable.
+const DatasetVersion = 1
+
 // ExportedDataset is the JSON shape of a released study.
 type ExportedDataset struct {
+	// Version is the export format version (see DatasetVersion).
+	Version int `json:"version"`
+
 	// Meta reproduces the run: the seed and sizes regenerate the world.
 	Meta struct {
 		Seed        int64   `json:"seed"`
@@ -43,6 +54,10 @@ type ExportedApp struct {
 	NSCPinSet      bool     `json:"nsc_pin_set"`
 	StaticCerts    int      `json:"static_certs"`
 	StaticPins     int      `json:"static_pins"`
+	// PinSPKIHashes are the canonical keys ("sha256:<hex>") of the distinct
+	// pins found in the package — the reverse-lookup handle a pinning
+	// intelligence service needs to answer "who ships this pin".
+	PinSPKIHashes []string `json:"pin_spki_hashes,omitempty"`
 
 	WeakCipherAny    bool `json:"weak_cipher_any_conn"`
 	WeakCipherPinned bool `json:"weak_cipher_pinned_conn"`
@@ -64,7 +79,7 @@ type ExportedProbe struct {
 
 // Export builds the dataset structure.
 func (s *Study) Export() *ExportedDataset {
-	out := &ExportedDataset{}
+	out := &ExportedDataset{Version: DatasetVersion}
 	out.Meta.Seed = s.Cfg.Params.Seed
 	out.Meta.CommonSize = s.Cfg.Params.CommonSize
 	out.Meta.PopularSize = s.Cfg.Params.PopularSize
@@ -105,6 +120,10 @@ func (s *Study) Export() *ExportedDataset {
 			ea.NSCPinSet = r.Static.NSCHasPins
 			ea.StaticCerts = len(r.Static.Certs)
 			ea.StaticPins = len(r.Static.Pins)
+			for _, p := range r.Static.UniquePins() {
+				ea.PinSPKIHashes = append(ea.PinSPKIHashes, p.Key())
+			}
+			sort.Strings(ea.PinSPKIHashes)
 		}
 		for d, ok := range r.CircumventedDests {
 			if ok {
@@ -154,11 +173,41 @@ func (s *Study) WriteJSON(w io.Writer) error {
 	return enc.Encode(s.Export())
 }
 
-// LoadDataset parses a previously exported dataset.
-func LoadDataset(r io.Reader) (*ExportedDataset, error) {
+// ReadJSON is the strict inverse of WriteJSON: it rejects unknown fields
+// and future format versions, so a snapshot consumer fails loudly on a
+// malformed or newer-format file instead of silently serving partial data.
+func ReadJSON(r io.Reader) (*ExportedDataset, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
 	var ds ExportedDataset
-	if err := json.NewDecoder(r).Decode(&ds); err != nil {
-		return nil, err
+	if err := dec.Decode(&ds); err != nil {
+		return nil, fmt.Errorf("core: decode dataset: %w", err)
+	}
+	if ds.Version > DatasetVersion {
+		return nil, fmt.Errorf("core: dataset format version %d is newer than supported %d",
+			ds.Version, DatasetVersion)
+	}
+	if len(ds.Apps) == 0 {
+		return nil, errors.New("core: dataset contains no apps")
 	}
 	return &ds, nil
+}
+
+// LoadDataset parses a previously exported dataset.
+func LoadDataset(r io.Reader) (*ExportedDataset, error) {
+	return ReadJSON(r)
+}
+
+// LoadExportedDataset reads one exported snapshot file.
+func LoadExportedDataset(path string) (*ExportedDataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ds, nil
 }

@@ -1,0 +1,132 @@
+package core
+
+// export_test.go covers the snapshot format contract: version stamping,
+// the strict reader's error surface, the file loader, and the snapshot
+// aggregates that the serving layer caches.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONStampsVersion(t *testing.T) {
+	s := expShared(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Version != DatasetVersion {
+		t.Fatalf("exported version %d, want %d", ds.Version, DatasetVersion)
+	}
+}
+
+func TestExportCarriesPinHashes(t *testing.T) {
+	s := expShared(t)
+	ds := s.Export()
+	apps, hashes := 0, 0
+	for _, a := range ds.Apps {
+		if a.StaticPins > 0 {
+			apps++
+			if len(a.PinSPKIHashes) == 0 {
+				t.Fatalf("app %s has %d static pins but no exported hashes", a.ID, a.StaticPins)
+			}
+		}
+		for _, h := range a.PinSPKIHashes {
+			hashes++
+			if !strings.Contains(h, ":") {
+				t.Fatalf("pin hash %q is not in canonical alg:hex form", h)
+			}
+		}
+	}
+	if apps == 0 || hashes == 0 {
+		t.Fatalf("no pin hashes exported (%d apps with pins)", apps)
+	}
+}
+
+func TestReadJSONStrict(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"meta":{},"apps":[{"id":"a","platform":"android","bogus_field":1}]}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version":99,"meta":{},"apps":[{"id":"a","platform":"android"}]}`)); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"meta":{},"apps":[]}`)); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	// Legacy exports (no version field) decode as version 0 and load.
+	ds, err := ReadJSON(strings.NewReader(`{"meta":{"seed":7},"apps":[{"id":"a","name":"A","developer":"d","platform":"android","category":"Tools","datasets":["Popular"],"pins_dynamic":false,"static_cert_material":false,"nsc_pin_set":false,"static_certs":0,"static_pins":0,"weak_cipher_any_conn":false,"weak_cipher_pinned_conn":false}],"pinned_destinations":[]}`))
+	if err != nil {
+		t.Fatalf("legacy dataset rejected: %v", err)
+	}
+	if ds.Version != 0 || ds.Meta.Seed != 7 {
+		t.Fatalf("legacy decode: version %d seed %d", ds.Version, ds.Meta.Seed)
+	}
+}
+
+func TestLoadExportedDatasetFile(t *testing.T) {
+	s := expShared(t)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadExportedDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Apps) == 0 {
+		t.Fatal("file round trip lost apps")
+	}
+	if _, err := LoadExportedDataset(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSnapshotAggregatesAgreeWithStudy(t *testing.T) {
+	s := expShared(t)
+	agg := s.Export().Aggregate()
+	if len(agg.Prevalence) == 0 {
+		t.Fatal("no prevalence cells")
+	}
+	// The snapshot's prevalence cells must equal Table 3 computed on the
+	// live study.
+	want := map[string]Table3Cell{}
+	for _, c := range s.Table3() {
+		want[c.Cell.Dataset+"/"+string(c.Cell.Platform)] = c
+	}
+	for _, c := range agg.Prevalence {
+		w, ok := want[c.Dataset+"/"+c.Platform]
+		if !ok {
+			t.Fatalf("unexpected cell %s/%s", c.Dataset, c.Platform)
+		}
+		if c.Apps != w.N || c.Dynamic != w.Dynamic || c.StaticEmbedded != w.StaticEmbedded || c.NSCPinSets != w.NSCPins {
+			t.Fatalf("cell %s/%s: snapshot %+v vs study %+v", c.Dataset, c.Platform, c, w)
+		}
+	}
+	// PKI classification must cover every exported destination exactly once.
+	p := agg.PKI
+	if p.Destinations != len(s.Export().Destinations) {
+		t.Fatalf("PKI covers %d of %d destinations", p.Destinations, len(s.Export().Destinations))
+	}
+	if p.DefaultPKI+p.CustomPKI+p.SelfSigned+p.Unavailable != p.Destinations {
+		t.Fatalf("PKI classes don't partition: %+v", p)
+	}
+	for _, c := range agg.Categories {
+		if c.Pinning == 0 || c.Apps < snapshotCategoryMinApps || c.Pinning > c.Apps {
+			t.Fatalf("bad category row %+v", c)
+		}
+	}
+}

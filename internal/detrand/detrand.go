@@ -95,12 +95,12 @@ func (s *Source) Intn(n int) int {
 		panic("detrand: Intn with non-positive n")
 	}
 	// Rejection sampling to avoid modulo bias.
-	max := uint64(n)
-	limit := math.MaxUint64 - math.MaxUint64%max
+	bound := uint64(n)
+	limit := math.MaxUint64 - math.MaxUint64%bound
 	for {
 		v := s.Uint64()
 		if v < limit {
-			return int(v % max)
+			return int(v % bound)
 		}
 	}
 }

@@ -1,0 +1,117 @@
+package pinserve
+
+// bench_test.go measures the serving hot path on the committed paper-scale
+// snapshot (~5k apps). BenchmarkPinserveLookup drives complete HTTP
+// request handling (mux, middleware, JSON encoding) across a mixed query
+// plan; the acceptance bar is ≥100k lookups/sec. BenchmarkIndexLookup
+// isolates the raw index.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pinscope/internal/core"
+)
+
+const paperSnapshot = "../../dataset_paper_scale.json"
+
+func loadPaperIndex(b *testing.B) (*Server, []*core.ExportedDataset) {
+	b.Helper()
+	ds, err := core.LoadExportedDataset(paperSnapshot)
+	if err != nil {
+		b.Skipf("paper-scale snapshot unavailable: %v", err)
+	}
+	s, err := New(Options{MaxInFlight: 1024, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Load(ds); err != nil {
+		b.Fatal(err)
+	}
+	return s, []*core.ExportedDataset{ds}
+}
+
+// benchPlan builds the mixed lookup mix: every app, every pinned
+// destination, every pin hash, plus the aggregate tables.
+func benchPlan(datasets []*core.ExportedDataset) []string {
+	var paths []string
+	for _, ds := range datasets {
+		for i := range ds.Apps {
+			a := &ds.Apps[i]
+			paths = append(paths, "/v1/app/"+a.Platform+"/"+a.ID)
+			for _, d := range a.PinnedDomains {
+				paths = append(paths, "/v1/dest/"+d)
+			}
+			for _, p := range a.PinSPKIHashes {
+				paths = append(paths, "/v1/pins?spki="+p)
+			}
+		}
+	}
+	paths = append(paths, "/v1/tables/1", "/v1/tables/2", "/v1/tables/3", "/v1/healthz")
+	return paths
+}
+
+func BenchmarkPinserveLookup(b *testing.B) {
+	s, datasets := loadPaperIndex(b)
+	h := s.Handler()
+	paths := benchPlan(datasets)
+	reqs := make([]*http.Request, len(paths))
+	for i, p := range paths {
+		reqs[i] = httptest.NewRequest("GET", p, nil)
+	}
+	var cursor atomic.Int64
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(cursor.Add(1)) % len(reqs)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, reqs[i])
+			if rec.Code != http.StatusOK {
+				b.Fatalf("%s: %d", paths[i], rec.Code)
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "lookups/s")
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	s, datasets := loadPaperIndex(b)
+	ix := s.Index()
+	type q struct{ platform, id string }
+	var qs []q
+	for _, ds := range datasets {
+		for _, a := range ds.Apps {
+			qs = append(qs, q{a.Platform, a.ID})
+		}
+	}
+	b.ResetTimer()
+	var cursor atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(cursor.Add(1)) % len(qs)
+			if ix.App(qs[i].platform, qs[i].id) == nil {
+				b.Fatalf("miss on %v", qs[i])
+			}
+		}
+	})
+}
+
+// BenchmarkIndexBuild measures snapshot-swap cost (the reload path).
+func BenchmarkIndexBuild(b *testing.B) {
+	_, datasets := loadPaperIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := Build(datasets...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ix.Stats().Apps == 0 {
+			b.Fatal("empty build")
+		}
+	}
+}

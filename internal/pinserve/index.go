@@ -1,0 +1,352 @@
+// Package pinserve is the serving layer over released study snapshots: it
+// loads one or more exported datasets (core.WriteJSON shape) into an
+// immutable, shard-by-appID in-memory index and answers the pinning
+// intelligence queries auditors and platform owners ask — per-app verdicts,
+// reverse pin-hash lookups, per-destination pinner lists, and the aggregate
+// tables cached at snapshot-build time.
+//
+// An Index is never mutated after Build returns; the Server swaps whole
+// indexes atomically (see server.go), so readers are lock-free.
+package pinserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"pinscope/internal/core"
+	"pinscope/internal/report"
+)
+
+// shardCount splits the app map. Power of two so shardFor is a mask; 64
+// keeps shards around a hundred entries at paper scale (~5k unique apps)
+// and lets the loader populate them in parallel-friendly batches without
+// one giant map dominating rebuild time.
+const shardCount = 64
+
+// AppKey is the canonical "platform/id" identity used across the study.
+func AppKey(platform, id string) string { return platform + "/" + id }
+
+func shardFor(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() & (shardCount - 1))
+}
+
+// DestInfo is everything the snapshot knows about one destination host.
+type DestInfo struct {
+	Host string `json:"host"`
+	// Probe is the destination's PKI classification, when it was probed
+	// (only destinations seen pinned at study time are).
+	Probe *core.ExportedProbe `json:"probe,omitempty"`
+	// PinnedBy / CircumventedBy list app keys ("platform/id"), sorted.
+	PinnedBy       []string `json:"pinned_by,omitempty"`
+	CircumventedBy []string `json:"circumvented_by,omitempty"`
+}
+
+// IndexStats summarizes a built index for /v1/healthz and /v1/stats.
+type IndexStats struct {
+	Snapshots    int   `json:"snapshots"`
+	Apps         int   `json:"apps"`
+	Destinations int   `json:"destinations"`
+	UniquePins   int   `json:"unique_pins"`
+	Replaced     int   `json:"replaced_apps"`
+	BuildMicros  int64 `json:"build_micros"`
+}
+
+// cachedTable is one aggregate endpoint's pre-rendered payloads.
+type cachedTable struct {
+	JSON []byte
+	Text string
+}
+
+// appEntry pairs an app with its response body, marshaled once at build
+// time — the index is immutable, so the serving hot path is a shard-map
+// lookup plus a byte write.
+type appEntry struct {
+	app  *core.ExportedApp
+	json []byte
+}
+
+// destEntry likewise pre-renders a destination's response.
+type destEntry struct {
+	info *DestInfo
+	json []byte
+}
+
+// Index is an immutable queryable view over one or more snapshots.
+type Index struct {
+	shards  [shardCount]map[string]*appEntry
+	byPin   map[string][]string // canonical pin key -> sorted app keys
+	pinJSON map[string][]byte   // canonical pin key -> /v1/pins response
+	byDest  map[string]*destEntry
+	tables  []cachedTable // tables[n-1] serves /v1/tables/{n}
+	stats   IndexStats
+}
+
+// NormalizePin canonicalizes a pin key for lookup: trimmed, lower-cased,
+// and with the "sha256/": separator variant folded to "sha256:".
+func NormalizePin(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i] + ":" + s[i+1:]
+	}
+	return s
+}
+
+// Build assembles an index from loaded datasets. When the same app appears
+// in several snapshots the later one wins — the multi-snapshot contract is
+// "base release plus incremental re-measurements", so order is meaningful.
+func Build(datasets ...*core.ExportedDataset) (*Index, error) {
+	if len(datasets) == 0 {
+		return nil, errors.New("pinserve: no datasets to index")
+	}
+	start := time.Now()
+	ix := &Index{
+		byPin:   map[string][]string{},
+		pinJSON: map[string][]byte{},
+		byDest:  map[string]*destEntry{},
+	}
+	for i := range ix.shards {
+		ix.shards[i] = map[string]*appEntry{}
+	}
+	for _, ds := range datasets {
+		if ds == nil {
+			return nil, errors.New("pinserve: nil dataset")
+		}
+		ix.stats.Snapshots++
+		for i := range ds.Apps {
+			a := &ds.Apps[i]
+			if a.ID == "" || a.Platform == "" {
+				return nil, fmt.Errorf("pinserve: app %d of snapshot %d has empty identity", i, ix.stats.Snapshots)
+			}
+			key := AppKey(a.Platform, a.ID)
+			sh := ix.shards[shardFor(key)]
+			if _, dup := sh[key]; dup {
+				ix.stats.Replaced++
+			}
+			sh[key] = &appEntry{app: a}
+		}
+		for i := range ds.Destinations {
+			p := &ds.Destinations[i]
+			ix.dest(p.Host).info.Probe = p
+		}
+	}
+
+	// Inverted maps are built off the post-override shard contents, so a
+	// replaced app's pins and destinations never leak into answers.
+	for _, sh := range ix.shards {
+		for key, e := range sh {
+			ix.stats.Apps++
+			for _, pin := range e.app.PinSPKIHashes {
+				k := NormalizePin(pin)
+				ix.byPin[k] = append(ix.byPin[k], key)
+			}
+			for _, d := range e.app.PinnedDomains {
+				de := ix.dest(d)
+				de.info.PinnedBy = append(de.info.PinnedBy, key)
+			}
+			for _, d := range e.app.CircumventedDomains {
+				de := ix.dest(d)
+				de.info.CircumventedBy = append(de.info.CircumventedBy, key)
+			}
+		}
+	}
+	for _, keys := range ix.byPin {
+		sort.Strings(keys)
+	}
+	for _, de := range ix.byDest {
+		sort.Strings(de.info.PinnedBy)
+		sort.Strings(de.info.CircumventedBy)
+	}
+	ix.stats.Destinations = len(ix.byDest)
+	ix.stats.UniquePins = len(ix.byPin)
+
+	if err := ix.renderResponses(); err != nil {
+		return nil, err
+	}
+	if err := ix.buildTables(datasets); err != nil {
+		return nil, err
+	}
+	ix.stats.BuildMicros = time.Since(start).Microseconds()
+	return ix, nil
+}
+
+// renderResponses pre-marshals every hit response. An immutable index can
+// pay the serialization cost once per snapshot swap instead of once per
+// request, which is what keeps the hot path at a map probe plus a write.
+func (ix *Index) renderResponses() error {
+	for _, sh := range ix.shards {
+		for _, e := range sh {
+			js, err := json.Marshal(e.app)
+			if err != nil {
+				return fmt.Errorf("pinserve: render app %s: %w", e.app.ID, err)
+			}
+			e.json = js
+		}
+	}
+	for host, de := range ix.byDest {
+		js, err := json.Marshal(de.info)
+		if err != nil {
+			return fmt.Errorf("pinserve: render dest %s: %w", host, err)
+		}
+		de.json = js
+	}
+	for pin, keys := range ix.byPin {
+		matches := make([]PinMatch, 0, len(keys))
+		for _, k := range keys {
+			m := PinMatch{Key: k}
+			if a := ix.AppByKey(k); a != nil {
+				m.Name, m.Developer = a.Name, a.Developer
+			}
+			matches = append(matches, m)
+		}
+		js, err := json.Marshal(PinAnswer{SPKI: pin, Count: len(matches), Apps: matches})
+		if err != nil {
+			return fmt.Errorf("pinserve: render pin %s: %w", pin, err)
+		}
+		ix.pinJSON[pin] = js
+	}
+	return nil
+}
+
+// buildTables caches the aggregate endpoints. Aggregation runs over the
+// deduplicated index contents (not the raw snapshot concatenation), so the
+// tables agree with what the lookup endpoints answer.
+func (ix *Index) buildTables(datasets []*core.ExportedDataset) error {
+	merged := &core.ExportedDataset{Version: core.DatasetVersion}
+	merged.Meta = datasets[len(datasets)-1].Meta
+	for _, sh := range ix.shards {
+		for _, e := range sh {
+			merged.Apps = append(merged.Apps, *e.app)
+		}
+	}
+	for _, de := range ix.byDest {
+		if de.info.Probe != nil {
+			merged.Destinations = append(merged.Destinations, *de.info.Probe)
+		}
+	}
+	agg := merged.Aggregate()
+	for _, tb := range []struct {
+		data any
+		text string
+	}{
+		{struct {
+			Table string              `json:"table"`
+			Cells []core.SnapshotCell `json:"cells"`
+		}{"prevalence", agg.Prevalence}, report.SnapshotPrevalence(agg)},
+		{struct {
+			Table      string                  `json:"table"`
+			Categories []core.SnapshotCategory `json:"categories"`
+		}{"categories", agg.Categories}, report.SnapshotCategories(agg)},
+		{struct {
+			Table string           `json:"table"`
+			PKI   core.SnapshotPKI `json:"pki"`
+		}{"pki", agg.PKI}, report.SnapshotPKI(agg)},
+	} {
+		js, err := json.Marshal(tb.data)
+		if err != nil {
+			return fmt.Errorf("pinserve: cache table: %w", err)
+		}
+		ix.tables = append(ix.tables, cachedTable{JSON: js, Text: tb.text})
+	}
+	return nil
+}
+
+func (ix *Index) dest(host string) *destEntry {
+	de := ix.byDest[host]
+	if de == nil {
+		de = &destEntry{info: &DestInfo{Host: host}}
+		ix.byDest[host] = de
+	}
+	return de
+}
+
+// PinMatch is one reverse-lookup hit.
+type PinMatch struct {
+	Key       string `json:"key"`
+	Name      string `json:"name"`
+	Developer string `json:"developer"`
+}
+
+// PinAnswer is the /v1/pins response body.
+type PinAnswer struct {
+	SPKI  string     `json:"spki"`
+	Count int        `json:"count"`
+	Apps  []PinMatch `json:"apps"`
+}
+
+// App returns one app's exported verdict, or nil.
+func (ix *Index) App(platform, id string) *core.ExportedApp {
+	key := AppKey(platform, id)
+	if e := ix.shards[shardFor(key)][key]; e != nil {
+		return e.app
+	}
+	return nil
+}
+
+// AppJSON returns the pre-rendered response body for an app.
+func (ix *Index) AppJSON(platform, id string) ([]byte, bool) {
+	key := AppKey(platform, id)
+	if e := ix.shards[shardFor(key)][key]; e != nil {
+		return e.json, true
+	}
+	return nil, false
+}
+
+// AppByKey resolves a "platform/id" key.
+func (ix *Index) AppByKey(key string) *core.ExportedApp {
+	if e := ix.shards[shardFor(key)][key]; e != nil {
+		return e.app
+	}
+	return nil
+}
+
+// AppsForPin returns the keys of apps shipping the pin (any accepted
+// spelling), sorted. The returned slice is shared — callers must not
+// mutate it.
+func (ix *Index) AppsForPin(spki string) []string {
+	return ix.byPin[NormalizePin(spki)]
+}
+
+// PinJSON returns the pre-rendered /v1/pins response for a pin with at
+// least one shipper.
+func (ix *Index) PinJSON(spki string) ([]byte, bool) {
+	js, ok := ix.pinJSON[NormalizePin(spki)]
+	return js, ok
+}
+
+// Dest returns a destination's info, or nil if the snapshot never saw the
+// host pinned, circumvented or probed.
+func (ix *Index) Dest(host string) *DestInfo {
+	if de := ix.byDest[host]; de != nil {
+		return de.info
+	}
+	return nil
+}
+
+// DestJSON returns the pre-rendered response body for a destination.
+func (ix *Index) DestJSON(host string) ([]byte, bool) {
+	if de := ix.byDest[host]; de != nil {
+		return de.json, true
+	}
+	return nil, false
+}
+
+// Table returns the cached aggregate payloads for table n (1-based).
+func (ix *Index) Table(n int) (cachedTable, bool) {
+	if n < 1 || n > len(ix.tables) {
+		return cachedTable{}, false
+	}
+	return ix.tables[n-1], true
+}
+
+// Tables reports how many aggregate tables are cached.
+func (ix *Index) Tables() int { return len(ix.tables) }
+
+// Stats returns the index summary.
+func (ix *Index) Stats() IndexStats { return ix.stats }

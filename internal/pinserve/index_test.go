@@ -1,0 +1,181 @@
+package pinserve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pinscope/internal/core"
+)
+
+// testDataset is a small hand-built snapshot with every lookup surface
+// populated: a pinning Android app, a clean Android app, and an iOS app
+// sharing one pin hash with the first.
+func testDataset() *core.ExportedDataset {
+	ds := &core.ExportedDataset{Version: core.DatasetVersion}
+	ds.Meta.Seed = 42
+	ds.Apps = []core.ExportedApp{
+		{
+			ID: "com.bank.app", Name: "Bank", Developer: "Bank Inc",
+			Platform: "android", Category: "Finance", Datasets: []string{"Popular"},
+			PinsDynamic:   true,
+			PinnedDomains: []string{"api.bank.com", "cdn.bank.com"},
+			StaticPins:    1,
+			PinSPKIHashes: []string{"sha256:00ff"},
+			CircumventedDomains: []string{
+				"api.bank.com",
+			},
+		},
+		{
+			ID: "com.game.app", Name: "Game", Developer: "Game Co",
+			Platform: "android", Category: "Games", Datasets: []string{"Random"},
+		},
+		{
+			ID: "id.bank.ios", Name: "Bank", Developer: "Bank Inc",
+			Platform: "ios", Category: "Finance", Datasets: []string{"Popular"},
+			PinsDynamic:   true,
+			PinnedDomains: []string{"api.bank.com"},
+			StaticPins:    1,
+			PinSPKIHashes: []string{"sha256:00FF"},
+		},
+		{
+			ID: "com.also.finance", Name: "Ledger", Developer: "L",
+			Platform: "android", Category: "Finance", Datasets: []string{"Popular"},
+		},
+	}
+	ds.Destinations = []core.ExportedProbe{
+		{Host: "api.bank.com", CustomPKI: true, LeafCN: "api.bank.com", ChainLen: 2},
+		{Host: "cdn.bank.com", DefaultPKI: true, ChainLen: 3},
+	}
+	return ds
+}
+
+func TestIndexLookups(t *testing.T) {
+	ix, err := Build(testDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.Apps != 4 || st.Snapshots != 1 || st.Destinations != 2 || st.UniquePins != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	a := ix.App("android", "com.bank.app")
+	if a == nil || a.Name != "Bank" || !a.PinsDynamic {
+		t.Fatalf("app lookup: %+v", a)
+	}
+	if ix.App("android", "com.missing") != nil {
+		t.Fatal("phantom app")
+	}
+	if ix.App("ios", "com.bank.app") != nil {
+		t.Fatal("platform not part of the key")
+	}
+
+	// Pin lookup normalizes case and the sha256/ spelling.
+	for _, q := range []string{"sha256:00ff", "SHA256:00FF", "sha256/00ff", "  sha256:00ff "} {
+		keys := ix.AppsForPin(q)
+		if len(keys) != 2 || keys[0] != "android/com.bank.app" || keys[1] != "ios/id.bank.ios" {
+			t.Fatalf("pin %q -> %v", q, keys)
+		}
+	}
+	if len(ix.AppsForPin("sha256:dead")) != 0 {
+		t.Fatal("phantom pin match")
+	}
+
+	d := ix.Dest("api.bank.com")
+	if d == nil || d.Probe == nil || !d.Probe.CustomPKI {
+		t.Fatalf("dest probe: %+v", d)
+	}
+	if len(d.PinnedBy) != 2 || d.PinnedBy[0] != "android/com.bank.app" || d.PinnedBy[1] != "ios/id.bank.ios" {
+		t.Fatalf("pinned_by: %v", d.PinnedBy)
+	}
+	if len(d.CircumventedBy) != 1 || d.CircumventedBy[0] != "android/com.bank.app" {
+		t.Fatalf("circumvented_by: %v", d.CircumventedBy)
+	}
+	if ix.Dest("nope.example.com") != nil {
+		t.Fatal("phantom destination")
+	}
+}
+
+func TestIndexCachedTables(t *testing.T) {
+	ix, err := Build(testDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tables() != 3 {
+		t.Fatalf("%d tables cached", ix.Tables())
+	}
+	tb, ok := ix.Table(1)
+	if !ok {
+		t.Fatal("table 1 missing")
+	}
+	var prev struct {
+		Cells []core.SnapshotCell `json:"cells"`
+	}
+	if err := json.Unmarshal(tb.JSON, &prev); err != nil {
+		t.Fatal(err)
+	}
+	// Popular/android: com.bank.app + com.also.finance, one dynamic pinner.
+	found := false
+	for _, c := range prev.Cells {
+		if c.Dataset == "Popular" && c.Platform == "android" {
+			found = true
+			if c.Apps != 2 || c.Dynamic != 1 {
+				t.Fatalf("cell %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("Popular/android cell missing: %+v", prev.Cells)
+	}
+	if tb.Text == "" {
+		t.Fatal("no cached text rendering")
+	}
+	if _, ok := ix.Table(0); ok {
+		t.Fatal("table 0 exists")
+	}
+	if _, ok := ix.Table(4); ok {
+		t.Fatal("table 4 exists")
+	}
+}
+
+func TestIndexMultiSnapshotOverride(t *testing.T) {
+	base := testDataset()
+	patch := &core.ExportedDataset{Version: core.DatasetVersion}
+	patch.Apps = []core.ExportedApp{{
+		ID: "com.bank.app", Name: "Bank v2", Developer: "Bank Inc",
+		Platform: "android", Category: "Finance", Datasets: []string{"Popular"},
+		// The re-measurement no longer sees pinning at all.
+	}}
+	ix, err := Build(base, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	if st.Apps != 4 || st.Replaced != 1 || st.Snapshots != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if a := ix.App("android", "com.bank.app"); a.Name != "Bank v2" || a.PinsDynamic {
+		t.Fatalf("override lost: %+v", a)
+	}
+	// The replaced app's pins and pinner entries must not leak.
+	if keys := ix.AppsForPin("sha256:00ff"); len(keys) != 1 || keys[0] != "ios/id.bank.ios" {
+		t.Fatalf("stale pin entries: %v", keys)
+	}
+	if d := ix.Dest("api.bank.com"); len(d.PinnedBy) != 1 || d.PinnedBy[0] != "ios/id.bank.ios" {
+		t.Fatalf("stale pinner list: %+v", d.PinnedBy)
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(); err == nil {
+		t.Fatal("empty build accepted")
+	}
+	if _, err := Build(nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	bad := &core.ExportedDataset{}
+	bad.Apps = []core.ExportedApp{{Name: "anonymous"}}
+	if _, err := Build(bad); err == nil {
+		t.Fatal("empty identity accepted")
+	}
+}

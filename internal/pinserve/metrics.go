@@ -1,0 +1,134 @@
+package pinserve
+
+// metrics.go instruments every endpoint with lock-free request counters
+// and a fixed-bucket latency histogram (power-of-two microsecond bounds),
+// from which /v1/stats derives p50/p99 without retaining samples.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// bucketCount covers 1µs .. ~8.4s in power-of-two steps; the last bucket
+// is the overflow.
+const bucketCount = 24
+
+// bucketBound returns bucket i's inclusive upper bound in microseconds.
+func bucketBound(i int) int64 { return 1 << i }
+
+type endpointMetrics struct {
+	requests  atomic.Int64
+	errors4xx atomic.Int64
+	errors5xx atomic.Int64
+	sumMicros atomic.Int64
+	buckets   [bucketCount]atomic.Int64
+}
+
+func (m *endpointMetrics) record(status int, d time.Duration) {
+	m.requests.Add(1)
+	switch {
+	case status >= 500:
+		m.errors5xx.Add(1)
+	case status >= 400:
+		m.errors4xx.Add(1)
+	}
+	us := d.Microseconds()
+	m.sumMicros.Add(us)
+	b := 0
+	for b < bucketCount-1 && us > bucketBound(b) {
+		b++
+	}
+	m.buckets[b].Add(1)
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile
+// observation — an over-estimate by at most one bucket width (2x).
+func (m *endpointMetrics) quantile(q float64) int64 {
+	total := int64(0)
+	var counts [bucketCount]int64
+	for i := range counts {
+		counts[i] = m.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(float64(total)*q + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	seen := int64(0)
+	for i, c := range counts {
+		seen += c
+		if seen >= target {
+			return bucketBound(i)
+		}
+	}
+	return bucketBound(bucketCount - 1)
+}
+
+// EndpointStats is one endpoint's /v1/stats entry.
+type EndpointStats struct {
+	Endpoint   string  `json:"endpoint"`
+	Requests   int64   `json:"requests"`
+	Errors4xx  int64   `json:"errors_4xx"`
+	Errors5xx  int64   `json:"errors_5xx"`
+	MeanMicros float64 `json:"mean_micros"`
+	P50Micros  int64   `json:"p50_micros"`
+	P99Micros  int64   `json:"p99_micros"`
+}
+
+// metrics is the per-server registry. Endpoints register once at mux
+// construction, so the read path only touches atomics.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: map[string]*endpointMetrics{}}
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[name]
+	if em == nil {
+		em = &endpointMetrics{}
+		m.endpoints[name] = em
+	}
+	return em
+}
+
+func (m *metrics) snapshot() []EndpointStats {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for n := range m.endpoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ems := make([]*endpointMetrics, len(names))
+	for i, n := range names {
+		ems[i] = m.endpoints[n]
+	}
+	m.mu.Unlock()
+
+	out := make([]EndpointStats, 0, len(names))
+	for i, em := range ems {
+		st := EndpointStats{
+			Endpoint:  names[i],
+			Requests:  em.requests.Load(),
+			Errors4xx: em.errors4xx.Load(),
+			Errors5xx: em.errors5xx.Load(),
+			P50Micros: em.quantile(0.50),
+			P99Micros: em.quantile(0.99),
+		}
+		if st.Requests > 0 {
+			st.MeanMicros = float64(em.sumMicros.Load()) / float64(st.Requests)
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package pinserve
+
+// roundtrip_test.go closes the loop the subsystem exists for: a study is
+// exported through the real JSON writer, read back with the strict reader,
+// indexed, and the index must answer identically to the live study for
+// every app.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"pinscope/internal/core"
+)
+
+var (
+	rtOnce  sync.Once
+	rtStudy *core.Study
+	rtErr   error
+)
+
+func rtShared(t *testing.T) *core.Study {
+	t.Helper()
+	rtOnce.Do(func() {
+		rtStudy, rtErr = core.Run(core.TestConfig(777))
+	})
+	if rtErr != nil {
+		t.Fatal(rtErr)
+	}
+	return rtStudy
+}
+
+func TestRoundTripIndexAnswers(t *testing.T) {
+	s := rtShared(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := core.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stats().Apps != len(ds.Apps) {
+		t.Fatalf("index holds %d of %d apps", ix.Stats().Apps, len(ds.Apps))
+	}
+
+	pinners := 0
+	for _, want := range ds.Apps {
+		got := ix.App(want.Platform, want.ID)
+		if got == nil {
+			t.Fatalf("app %s/%s lost in round trip", want.Platform, want.ID)
+		}
+		if got.Name != want.Name || got.PinsDynamic != want.PinsDynamic ||
+			got.StaticMaterial != want.StaticMaterial || got.NSCPinSet != want.NSCPinSet {
+			t.Fatalf("verdict drifted for %s: %+v vs %+v", want.ID, got, want)
+		}
+		key := AppKey(want.Platform, want.ID)
+		if want.PinsDynamic {
+			pinners++
+			for _, d := range want.PinnedDomains {
+				di := ix.Dest(d)
+				if di == nil {
+					t.Fatalf("pinned destination %s unknown to index", d)
+				}
+				found := false
+				for _, k := range di.PinnedBy {
+					if k == key {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s missing from %s pinners %v", key, d, di.PinnedBy)
+				}
+			}
+		}
+		for _, pin := range want.PinSPKIHashes {
+			found := false
+			for _, k := range ix.AppsForPin(pin) {
+				if k == key {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s missing from pin %s", key, pin)
+			}
+		}
+	}
+	if pinners == 0 {
+		t.Fatal("round-trip study contains no pinners; test is vacuous")
+	}
+	// Probed destinations carry their classification through.
+	for _, p := range ds.Destinations {
+		di := ix.Dest(p.Host)
+		if di == nil || di.Probe == nil {
+			t.Fatalf("probe for %s lost", p.Host)
+		}
+		if *di.Probe != p {
+			t.Fatalf("probe drifted for %s", p.Host)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package pinserve
+
+// server.go is the HTTP face of the index: a Go 1.22 pattern mux behind a
+// bounded-concurrency middleware with per-request timeouts, an atomic
+// snapshot swap for zero-downtime reloads, and graceful shutdown.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pinscope/internal/core"
+)
+
+// Options configures a Server. The zero value is usable for tests that
+// Load datasets directly.
+type Options struct {
+	// Paths are snapshot files; Reload re-reads them. Later files override
+	// earlier ones app-by-app.
+	Paths []string
+	// MaxInFlight bounds concurrent request handling (default 256). A
+	// request waits up to RequestTimeout for a slot, then is shed with 503.
+	MaxInFlight int
+	// RequestTimeout bounds each request end to end (default 2s).
+	RequestTimeout time.Duration
+}
+
+// Server serves pinning intelligence over an atomically swappable Index.
+type Server struct {
+	opts    Options
+	idx     atomic.Pointer[Index]
+	metrics *metrics
+	sem     chan struct{}
+	handler http.Handler
+	start   time.Time
+
+	// loadMu serializes Reload/Load; lastDatasets backs Reload when the
+	// server was fed in-memory datasets instead of paths.
+	loadMu       sync.Mutex
+	lastDatasets []*core.ExportedDataset
+	reloads      atomic.Int64
+	lastLoad     atomic.Int64 // unix micros of the last successful swap
+}
+
+// New builds a Server. When opts.Paths is set the snapshots load
+// immediately; otherwise call Load before serving (healthz answers 503
+// until a snapshot is in).
+func New(opts Options) (*Server, error) {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 256
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 2 * time.Second
+	}
+	s := &Server{
+		opts:    opts,
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		start:   time.Now(),
+	}
+	s.handler = s.buildMux()
+	if len(opts.Paths) > 0 {
+		if err := s.Reload(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Index returns the currently served index (nil before the first load).
+func (s *Server) Index() *Index { return s.idx.Load() }
+
+// Load builds an index from in-memory datasets and swaps it in. Used by
+// tests and the selftest driver; path-configured servers use Reload.
+func (s *Server) Load(datasets ...*core.ExportedDataset) error {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	ix, err := Build(datasets...)
+	if err != nil {
+		return err
+	}
+	s.lastDatasets = datasets
+	s.swap(ix)
+	return nil
+}
+
+// Reload rebuilds the index — from Options.Paths when configured, else
+// from the last directly loaded datasets — and swaps it in atomically.
+// On failure the previous index keeps serving untouched.
+func (s *Server) Reload() error {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	var datasets []*core.ExportedDataset
+	if len(s.opts.Paths) > 0 {
+		for _, p := range s.opts.Paths {
+			ds, err := core.LoadExportedDataset(p)
+			if err != nil {
+				return fmt.Errorf("pinserve: reload: %w", err)
+			}
+			datasets = append(datasets, ds)
+		}
+	} else if len(s.lastDatasets) > 0 {
+		datasets = s.lastDatasets
+	} else {
+		return errors.New("pinserve: nothing to reload: no paths configured and no datasets loaded")
+	}
+	ix, err := Build(datasets...)
+	if err != nil {
+		return err
+	}
+	s.swap(ix)
+	return nil
+}
+
+func (s *Server) swap(ix *Index) {
+	if s.idx.Swap(ix) != nil {
+		s.reloads.Add(1)
+	}
+	s.lastLoad.Store(time.Now().UnixMicro())
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then drains
+// in-flight requests for up to grace. A zero grace means 5s.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, grace)
+}
+
+// Serve is ListenAndServe over an existing listener (lets callers bind
+// port 0 and read the real address first).
+func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// --- mux and middleware -----------------------------------------------------
+
+func (s *Server) buildMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/app/{platform}/{id}", s.wrap("/v1/app", s.handleApp))
+	mux.HandleFunc("GET /v1/pins", s.wrap("/v1/pins", s.handlePins))
+	mux.HandleFunc("GET /v1/dest/{host}", s.wrap("/v1/dest", s.handleDest))
+	mux.HandleFunc("GET /v1/tables/{n}", s.wrap("/v1/tables", s.handleTables))
+	mux.HandleFunc("GET /v1/healthz", s.wrap("/v1/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /v1/stats", s.wrap("/v1/stats", s.handleStats))
+	mux.HandleFunc("POST /v1/reload", s.wrap("/v1/reload", s.handleReload))
+	return mux
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// wrap applies the service middleware: bounded concurrency (wait up to the
+// request timeout for a slot, then shed with 503), a per-request deadline,
+// and metrics recording.
+func (s *Server) wrap(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.endpoint(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			em.record(http.StatusServiceUnavailable, time.Since(start))
+			writeError(w, http.StatusServiceUnavailable, "server at capacity")
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r.WithContext(ctx))
+		em.record(sw.code, time.Since(start))
+	}
+}
+
+// writeRaw serves a pre-rendered 200 body from the index cache.
+func writeRaw(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// index returns the live index or answers 503 itself.
+func (s *Server) index(w http.ResponseWriter) *Index {
+	ix := s.idx.Load()
+	if ix == nil {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot loaded")
+	}
+	return ix
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func validPlatform(p string) bool { return p == "android" || p == "ios" }
+
+// maxIDLen rejects garbage path values before they hit the maps.
+const maxIDLen = 256
+
+func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
+	ix := s.index(w)
+	if ix == nil {
+		return
+	}
+	platform, id := r.PathValue("platform"), r.PathValue("id")
+	if !validPlatform(platform) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown platform %q (want android or ios)", platform))
+		return
+	}
+	if id == "" || len(id) > maxIDLen {
+		writeError(w, http.StatusBadRequest, "malformed app id")
+		return
+	}
+	body, ok := ix.AppJSON(platform, id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "app not studied")
+		return
+	}
+	writeRaw(w, body)
+}
+
+func (s *Server) handlePins(w http.ResponseWriter, r *http.Request) {
+	ix := s.index(w)
+	if ix == nil {
+		return
+	}
+	spki := r.URL.Query().Get("spki")
+	if spki == "" || len(spki) > maxIDLen {
+		writeError(w, http.StatusBadRequest, "missing or malformed ?spki= parameter")
+		return
+	}
+	if body, ok := ix.PinJSON(spki); ok {
+		writeRaw(w, body)
+		return
+	}
+	// A valid pin nobody ships is an empty result, not an error.
+	writeJSON(w, http.StatusOK, PinAnswer{SPKI: NormalizePin(spki), Count: 0, Apps: []PinMatch{}})
+}
+
+func (s *Server) handleDest(w http.ResponseWriter, r *http.Request) {
+	ix := s.index(w)
+	if ix == nil {
+		return
+	}
+	host := r.PathValue("host")
+	if host == "" || len(host) > maxIDLen || strings.ContainsAny(host, " \t") {
+		writeError(w, http.StatusBadRequest, "malformed host")
+		return
+	}
+	body, ok := ix.DestJSON(host)
+	if !ok {
+		writeError(w, http.StatusNotFound, "destination never seen pinned, circumvented or probed")
+		return
+	}
+	writeRaw(w, body)
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	ix := s.index(w)
+	if ix == nil {
+		return
+	}
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "table id must be an integer")
+		return
+	}
+	tb, ok := ix.Table(n)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no table %d (have 1..%d)", n, ix.Tables()))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(tb.Text)) //nolint:errcheck
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(tb.JSON) //nolint:errcheck
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ix := s.idx.Load()
+	if ix == nil {
+		writeError(w, http.StatusServiceUnavailable, "no snapshot loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status   string     `json:"status"`
+		Snapshot IndexStats `json:"snapshot"`
+	}{"ok", ix.Stats()})
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	UptimeSeconds   float64         `json:"uptime_seconds"`
+	Reloads         int64           `json:"reloads"`
+	LastLoadMicros  int64           `json:"last_load_unix_micros"`
+	Snapshot        *IndexStats     `json:"snapshot,omitempty"`
+	Endpoints       []EndpointStats `json:"endpoints"`
+	MaxInFlight     int             `json:"max_in_flight"`
+	RequestTimeoutS float64         `json:"request_timeout_seconds"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Reloads:         s.reloads.Load(),
+		LastLoadMicros:  s.lastLoad.Load(),
+		Endpoints:       s.metrics.snapshot(),
+		MaxInFlight:     s.opts.MaxInFlight,
+		RequestTimeoutS: s.opts.RequestTimeout.Seconds(),
+	}
+	if ix := s.idx.Load(); ix != nil {
+		st := ix.Stats()
+		resp.Snapshot = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.Reload(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status   string     `json:"status"`
+		Reloads  int64      `json:"reloads"`
+		Snapshot IndexStats `json:"snapshot"`
+	}{"reloaded", s.reloads.Load(), s.idx.Load().Stats()})
+}

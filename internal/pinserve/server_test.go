@@ -1,0 +1,272 @@
+package pinserve
+
+// server_test.go drives every endpoint through httptest: hits validated
+// against the snapshot, misses, malformed ids, reload semantics, and the
+// -race-checked concurrent-lookups-during-swap scenario.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pinscope/internal/core"
+)
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Options{MaxInFlight: 8, RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(testDataset()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+func TestAppEndpoint(t *testing.T) {
+	h := newTestServer(t).Handler()
+
+	code, body := get(t, h, "/v1/app/android/com.bank.app")
+	if code != http.StatusOK {
+		t.Fatalf("hit: %d %s", code, body)
+	}
+	var a core.ExportedApp
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "Bank" || !a.PinsDynamic || len(a.PinnedDomains) != 2 {
+		t.Fatalf("answer: %+v", a)
+	}
+
+	if code, _ := get(t, h, "/v1/app/android/com.missing.app"); code != http.StatusNotFound {
+		t.Fatalf("miss: %d", code)
+	}
+	if code, body := get(t, h, "/v1/app/windows/com.bank.app"); code != http.StatusBadRequest {
+		t.Fatalf("malformed platform: %d %s", code, body)
+	}
+	if code, _ := get(t, h, "/v1/app/android/"+strings.Repeat("x", 300)); code != http.StatusBadRequest {
+		t.Fatalf("oversized id: %d", code)
+	}
+}
+
+func TestPinsEndpoint(t *testing.T) {
+	h := newTestServer(t).Handler()
+
+	code, body := get(t, h, "/v1/pins?spki=sha256%2F00FF")
+	if code != http.StatusOK {
+		t.Fatalf("hit: %d %s", code, body)
+	}
+	var resp struct {
+		SPKI  string `json:"spki"`
+		Count int    `json:"count"`
+		Apps  []struct {
+			Key  string `json:"key"`
+			Name string `json:"name"`
+		} `json:"apps"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.SPKI != "sha256:00ff" || resp.Count != 2 || resp.Apps[0].Key != "android/com.bank.app" || resp.Apps[0].Name != "Bank" {
+		t.Fatalf("answer: %+v", resp)
+	}
+
+	// A valid query with no match is an empty result, not an error.
+	code, body = get(t, h, "/v1/pins?spki=sha256:dead")
+	if code != http.StatusOK || !strings.Contains(string(body), `"count": 0`) {
+		t.Fatalf("no-match: %d %s", code, body)
+	}
+	if code, _ := get(t, h, "/v1/pins"); code != http.StatusBadRequest {
+		t.Fatalf("missing param: %d", code)
+	}
+}
+
+func TestDestEndpoint(t *testing.T) {
+	h := newTestServer(t).Handler()
+
+	code, body := get(t, h, "/v1/dest/api.bank.com")
+	if code != http.StatusOK {
+		t.Fatalf("hit: %d %s", code, body)
+	}
+	var di DestInfo
+	if err := json.Unmarshal(body, &di); err != nil {
+		t.Fatal(err)
+	}
+	if di.Host != "api.bank.com" || di.Probe == nil || !di.Probe.CustomPKI || len(di.PinnedBy) != 2 {
+		t.Fatalf("answer: %+v", di)
+	}
+	if code, _ := get(t, h, "/v1/dest/unknown.example.net"); code != http.StatusNotFound {
+		t.Fatalf("miss: %d", code)
+	}
+}
+
+func TestTablesEndpoint(t *testing.T) {
+	h := newTestServer(t).Handler()
+	for n := 1; n <= 3; n++ {
+		code, body := get(t, h, fmt.Sprintf("/v1/tables/%d", n))
+		if code != http.StatusOK || !json.Valid(body) {
+			t.Fatalf("table %d: %d %.80s", n, code, body)
+		}
+		code, body = get(t, h, fmt.Sprintf("/v1/tables/%d?format=text", n))
+		if code != http.StatusOK || !strings.Contains(string(body), "Snapshot table") {
+			t.Fatalf("table %d text: %d %.80s", n, code, body)
+		}
+	}
+	if code, _ := get(t, h, "/v1/tables/9"); code != http.StatusNotFound {
+		t.Fatalf("out of range: %d", code)
+	}
+	if code, _ := get(t, h, "/v1/tables/one"); code != http.StatusBadRequest {
+		t.Fatalf("non-integer: %d", code)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any snapshot: unhealthy, and lookups shed cleanly.
+	if code, _ := get(t, s.Handler(), "/v1/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("empty healthz: %d", code)
+	}
+	if code, _ := get(t, s.Handler(), "/v1/app/android/x"); code != http.StatusServiceUnavailable {
+		t.Fatalf("empty lookup: %d", code)
+	}
+
+	if err := s.Load(testDataset()); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, s.Handler(), "/v1/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"apps": 4`) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+
+	get(t, s.Handler(), "/v1/app/android/com.bank.app")
+	get(t, s.Handler(), "/v1/app/android/com.bank.app")
+	code, body = get(t, s.Handler(), "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var st struct {
+		Snapshot  *IndexStats     `json:"snapshot"`
+		Endpoints []EndpointStats `json:"endpoints"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Snapshot == nil || st.Snapshot.Apps != 4 {
+		t.Fatalf("stats snapshot: %+v", st.Snapshot)
+	}
+	var appStats *EndpointStats
+	for i := range st.Endpoints {
+		if st.Endpoints[i].Endpoint == "/v1/app" {
+			appStats = &st.Endpoints[i]
+		}
+	}
+	// Three /v1/app requests total: the pre-load 503 plus the two hits.
+	if appStats == nil || appStats.Requests != 3 || appStats.Errors5xx != 1 || appStats.P99Micros == 0 {
+		t.Fatalf("endpoint stats: %+v", appStats)
+	}
+}
+
+func TestReloadSwapsSnapshot(t *testing.T) {
+	s := newTestServer(t)
+	before := s.Index()
+
+	req := httptest.NewRequest("POST", "/v1/reload", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload: %d %s", rec.Code, rec.Body)
+	}
+	if s.Index() == before {
+		t.Fatal("index not swapped")
+	}
+	// Answers survive the swap unchanged.
+	if code, _ := get(t, s.Handler(), "/v1/app/android/com.bank.app"); code != http.StatusOK {
+		t.Fatalf("post-reload lookup: %d", code)
+	}
+	// GET on the reload endpoint is not routed.
+	if code, _ := get(t, s.Handler(), "/v1/reload"); code != http.StatusMethodNotAllowed && code != http.StatusNotFound {
+		t.Fatalf("GET reload: %d", code)
+	}
+}
+
+func TestReloadFailureKeepsServing(t *testing.T) {
+	if _, err := New(Options{Paths: []string{"/nonexistent/snapshot.json"}, MaxInFlight: 4}); err == nil {
+		t.Fatal("bad path accepted at startup")
+	}
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err == nil {
+		t.Fatal("reload with nothing to load succeeded")
+	}
+}
+
+// TestConcurrentLookupsDuringSwap is the -race scenario the check script
+// runs: readers hammer every endpoint while the snapshot is swapped
+// repeatedly. Failures here are data races or a reader observing a
+// half-built index.
+func TestConcurrentLookupsDuringSwap(t *testing.T) {
+	s := newTestServer(t)
+	h := s.Handler()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	paths := []string{
+		"/v1/app/android/com.bank.app",
+		"/v1/app/ios/id.bank.ios",
+		"/v1/pins?spki=sha256:00ff",
+		"/v1/dest/api.bank.com",
+		"/v1/tables/1",
+		"/v1/healthz",
+		"/v1/stats",
+	}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := paths[(w+i)%len(paths)]
+				req := httptest.NewRequest("GET", p, nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("%s: %d during swap", p, rec.Code)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Reload(); err != nil {
+			t.Errorf("reload %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s.reloads.Load() < 50 {
+		t.Fatalf("only %d reloads recorded", s.reloads.Load())
+	}
+}

@@ -210,13 +210,6 @@ func Figure5(s *core.Study) string {
 	return b.String()
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Table6 renders the pinned-destination PKI classification.
 func Table6(s *core.Study) string {
 	t := &table{header: []string{"Platform", "Default PKI", "Custom PKI", "Self-signed", "Data Unavailable"}}

@@ -1,0 +1,61 @@
+package report
+
+// snapshot.go renders the aggregates recomputed from a released snapshot
+// (core.SnapshotAggregates) with the same column formatter as the live
+// study tables, so the serving layer's text endpoints and the one-shot
+// reports line up visually.
+
+import (
+	"fmt"
+	"strings"
+
+	"pinscope/internal/core"
+)
+
+// SnapshotPrevalence renders the snapshot's Table 3 counterpart.
+func SnapshotPrevalence(a *core.SnapshotAggregates) string {
+	t := &table{header: []string{"Dataset", "Platform", "Apps", "Dynamic", "Embedded Certs", "Config Files (NSC)"}}
+	for _, c := range a.Prevalence {
+		nsc := "-"
+		if c.NSCPinSets >= 0 {
+			nsc = fmt.Sprintf("%s (%d)", pct(c.NSCPinSets, c.Apps), c.NSCPinSets)
+		}
+		t.add(c.Dataset, c.Platform,
+			fmt.Sprintf("%d", c.Apps),
+			fmt.Sprintf("%s (%d)", pct(c.Dynamic, c.Apps), c.Dynamic),
+			fmt.Sprintf("%s (%d)", pct(c.StaticEmbedded, c.Apps), c.StaticEmbedded),
+			nsc)
+	}
+	return "Snapshot table 1: pinning prevalence by method and dataset\n\n" + t.String()
+}
+
+// SnapshotCategories renders the snapshot's Table 4/5 counterpart.
+func SnapshotCategories(a *core.SnapshotAggregates) string {
+	t := &table{header: []string{"Platform", "Category", "Pinning %", "Pinning", "Apps"}}
+	for _, c := range a.Categories {
+		t.add(c.Platform, c.Category,
+			fmt.Sprintf("%.2f%%", c.Pct),
+			fmt.Sprintf("%d", c.Pinning),
+			fmt.Sprintf("%d", c.Apps))
+	}
+	return "Snapshot table 2: top categories of pinning apps\n\n" + t.String()
+}
+
+// SnapshotPKI renders the snapshot's Table 6 counterpart.
+func SnapshotPKI(a *core.SnapshotAggregates) string {
+	t := &table{header: []string{"Pinned destinations", "Default PKI", "Custom PKI", "Self-signed", "Data Unavailable"}}
+	p := a.PKI
+	t.add(fmt.Sprintf("%d", p.Destinations),
+		fmt.Sprintf("%d", p.DefaultPKI),
+		fmt.Sprintf("%d", p.CustomPKI),
+		fmt.Sprintf("%d", p.SelfSigned),
+		fmt.Sprintf("%d", p.Unavailable))
+	return "Snapshot table 3: PKI type of pinned destinations\n\n" + t.String()
+}
+
+// SnapshotTables renders every snapshot table, in endpoint order.
+func SnapshotTables(a *core.SnapshotAggregates) string {
+	return strings.Join([]string{
+		SnapshotPrevalence(a), SnapshotCategories(a), SnapshotPKI(a),
+	}, "\n")
+}

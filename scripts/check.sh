@@ -1,10 +1,19 @@
 #!/bin/sh
-# check.sh — the repo's one-command health gate: build, vet, full test
-# suite, then a race-detector pass over the packages with real concurrency
-# (the study runner's worker pool, the record pipes, the flow tap).
+# check.sh — the repo's one-command health gate: gofmt, build, vet, full
+# test suite, then a race-detector pass over the packages with real
+# concurrency (the study runner's worker pool, the record pipes, the flow
+# tap, the serving layer's snapshot swap).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
@@ -16,6 +25,6 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/core ./internal/netem ./internal/dynamicanalysis
+go test -race ./internal/core ./internal/netem ./internal/dynamicanalysis ./internal/pinserve
 
 echo "OK"
