@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench chaos export serve
+.PHONY: build test lint check bench chaos export serve
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,15 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full health gate: build + vet + tests + race pass over the
-# concurrent packages. CI and pre-commit should run this.
+# lint runs pinlint, the repo's custom invariant suite (see DESIGN.md
+# "Invariants"): determinism in simulation packages, map-order escapes,
+# snapshot export shape, and the serving layer's atomic swap discipline.
+lint:
+	$(GO) run ./cmd/pinlint ./...
+
+# check is the full health gate: gofmt + build + explicit vet pass list +
+# pinlint + shuffled tests + race pass over the concurrent packages. CI
+# and pre-commit should run this.
 check:
 	./scripts/check.sh
 

@@ -1,0 +1,77 @@
+// Command pinlint runs pinscope's custom static-analysis suite — the
+// determinism, export-shape and concurrency invariants the simulation and
+// serving layers depend on — over the packages matching its arguments.
+//
+//	pinlint ./...            # whole tree (what scripts/check.sh runs)
+//	pinlint -list            # describe the analyzers
+//	pinlint -only detrandonly,exportshape ./internal/core
+//
+// Findings print as file:line:col and the exit status is 1 when any
+// remain after //pinlint:allow suppression. See DESIGN.md "Invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pinscope/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pinlint [-list] [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := lint.Suite(lint.DefaultConfig())
+	if *listFlag {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := suite
+	if *onlyFlag != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pinlint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pinlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(wd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pinlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pinlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"pinscope/internal/appmodel"
 	"pinscope/internal/detrand"
@@ -101,8 +102,13 @@ func main() {
 
 	resolved, frac := staticanalysis.ResolvePins(rep, w.CT)
 	fmt.Printf("\nCT-log pin resolution: %.0f%% of unique pins resolved\n", frac*100)
-	for key, certs := range resolved {
-		for _, c := range certs {
+	keys := make([]string, 0, len(resolved))
+	for key := range resolved {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, c := range resolved[key] {
 			fmt.Printf("  %s -> CN=%q\n", key[:24]+"...", c.Subject.CommonName)
 		}
 	}

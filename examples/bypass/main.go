@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"pinscope/internal/appmodel"
 	"pinscope/internal/detrand"
@@ -102,7 +103,12 @@ func main() {
 			fmt.Println("  PII detected: none")
 			continue
 		}
+		kinds := make([]string, 0, len(found))
 		for k := range found {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
 			fmt.Printf("  PII detected: %s\n", k)
 		}
 	}

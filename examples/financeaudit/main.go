@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 
 	"pinscope"
@@ -65,6 +66,7 @@ func main() {
 			for d := range opaque {
 				list = append(list, d)
 			}
+			sort.Strings(list)
 			fmt.Printf("    RESISTS instrumentation:   %v\n", list)
 		}
 	}

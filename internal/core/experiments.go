@@ -543,8 +543,16 @@ func (s *Study) Rotations() RotationStats {
 			if resolved == nil {
 				resolved, _ = staticanalysis.ResolvePins(r.Static, s.World.CT)
 			}
-			for _, certs := range resolved {
-				candidates = append(candidates, certs...)
+			// Iterate resolved pins in sorted key order: candidate order
+			// decides which certificate the leaf-comparison below settles
+			// on, so map order must not reach it.
+			rkeys := make([]string, 0, len(resolved))
+			for k := range resolved {
+				rkeys = append(rkeys, k)
+			}
+			sort.Strings(rkeys)
+			for _, k := range rkeys {
+				candidates = append(candidates, resolved[k]...)
 			}
 
 			for _, cand := range candidates {
@@ -596,6 +604,7 @@ func (s *Study) Table7(platform appmodel.Platform, topN, minApps int) []statican
 			reports = append(reports, r.Static)
 		}
 	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].AppID < reports[j].AppID })
 	fw := staticanalysis.AttributeFrameworks(reports, platform, minApps)
 	if topN > 0 && len(fw) > topN {
 		fw = fw[:topN]

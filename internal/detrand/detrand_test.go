@@ -285,3 +285,85 @@ func TestPick(t *testing.T) {
 		}
 	}
 }
+
+// --- edge tests: ISSUE 3 satellite (d) ---
+
+// TestFloat64UpperBoundary: Float64 is built as k/2^53 with k < 2^53, so
+// the largest value the construction can emit is (2^53-1)/2^53. Verify
+// that bound is strictly below 1 and that a large sample never crosses it.
+func TestFloat64UpperBoundary(t *testing.T) {
+	const maxEmittable = float64(1<<53-1) / (1 << 53)
+	if maxEmittable >= 1 {
+		t.Fatalf("construction bound (2^53-1)/2^53 = %v not < 1", maxEmittable)
+	}
+	s := New(53)
+	for i := 0; i < 200000; i++ {
+		if f := s.Float64(); f < 0 || f > maxEmittable {
+			t.Fatalf("Float64() = %v outside [0, (2^53-1)/2^53]", f)
+		}
+	}
+}
+
+// TestChildLabelConcatenationCollision: derivation must depend on label
+// boundaries, not just the concatenated bytes. ("ab" then "c") and ("a"
+// then "bc") concatenate identically; so does the single label "abc". All
+// three must be independent streams.
+func TestChildLabelConcatenationCollision(t *testing.T) {
+	root := New(61)
+	streams := map[string]*Source{
+		`Child("ab").Child("c")`: root.Child("ab").Child("c"),
+		`Child("a").Child("bc")`: root.Child("a").Child("bc"),
+		`Child("abc")`:           root.Child("abc"),
+	}
+	firsts := map[uint64]string{}
+	for name, s := range streams {
+		v := s.Uint64()
+		if prev, dup := firsts[v]; dup {
+			t.Fatalf("label collision: %s and %s start with identical value %d", prev, name, v)
+		}
+		firsts[v] = name
+	}
+}
+
+// TestRefillBoundary: the internal buffer is 32 bytes; reads that land
+// exactly on, just before, and just after the refill edge must all splice
+// into the same contiguous stream.
+func TestRefillBoundary(t *testing.T) {
+	want := make([]byte, 96)
+	New(67).Read(want)
+
+	chunkings := [][]int{
+		{32, 32, 32},       // every read lands exactly on the edge
+		{31, 1, 32, 1, 31}, // reads end one byte before and after the edge
+		{1, 31, 33, 31},    // a read spanning a whole refill
+		{64, 32},           // multi-block reads
+	}
+	for _, chunks := range chunkings {
+		s := New(67)
+		got := make([]byte, 0, 96)
+		for _, n := range chunks {
+			b := make([]byte, n)
+			s.Read(b)
+			got = append(got, b...)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunking %v diverges at byte %d", chunks, i)
+			}
+		}
+	}
+
+	// A Uint64 whose 8 bytes straddle the 32-byte edge must equal the
+	// corresponding bytes of the contiguous stream.
+	s := New(67)
+	skip := make([]byte, 28)
+	s.Read(skip)
+	straddling := s.Uint64()
+	var expect uint64
+	for i := 28; i < 36; i++ {
+		expect = expect<<8 | uint64(want[i])
+	}
+	if straddling != expect {
+		t.Fatalf("Uint64 across refill edge = %#x, contiguous stream says %#x", straddling, expect)
+	}
+}

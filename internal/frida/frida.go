@@ -12,6 +12,7 @@ package frida
 
 import (
 	"errors"
+	"sort"
 
 	"pinscope/internal/appmodel"
 )
@@ -73,5 +74,6 @@ func HookableLibs(p appmodel.Platform) []appmodel.TLSLib {
 			out = append(out, lib)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pinscope/internal/lint"
+	"pinscope/internal/lint/linttest"
+)
+
+func TestAtomicSwap(t *testing.T) {
+	cfg := &lint.Config{
+		AtomicSwapPackages: []string{"example.com/aswap"},
+		SwapFuncs: map[string][]string{
+			"example.com/aswap": {"Cache.swap"},
+		},
+	}
+	linttest.Run(t, "testdata/atomicswap", "example.com/aswap", lint.NewAtomicSwap(cfg))
+}

@@ -1,0 +1,146 @@
+package lint
+
+import "strings"
+
+// TypeRef names a type by package path and local name.
+type TypeRef struct {
+	Pkg  string
+	Name string
+}
+
+// Config is the policy table the analyzers consult. The zero value checks
+// nothing; DefaultConfig returns pinscope's real policy. Tests build small
+// configs pointing at their testdata packages.
+type Config struct {
+	// StrictDeterminism lists the simulation packages in which detrandonly
+	// permits NO ambient entropy or wall-clock reads at all: every source
+	// of randomness or time must be internal/detrand or an injected value.
+	// Entries ending in "/..." match by prefix.
+	StrictDeterminism []string
+
+	// CheckedDeterminism lists serving/CLI packages that detrandonly also
+	// scans, but where wall-clock reads are legitimate for operational
+	// telemetry (latency histograms, uptime). A finding there is allowed
+	// only when the enclosing function appears in AllowedWallClock.
+	// Entries ending in "/..." match by prefix.
+	CheckedDeterminism []string
+
+	// AllowedWallClock maps a checked package's import path to the
+	// functions ("F" or "Type.Method") permitted to read the wall clock.
+	AllowedWallClock map[string][]string
+
+	// MapOrderPackages lists packages mapdeterminism scans. Entries ending
+	// in "/..." match by prefix; a bare "..." matches everything.
+	MapOrderPackages []string
+
+	// ExportRoots are the types whose reachable closure exportshape holds
+	// to the versioned-snapshot contract (explicit json tags on every
+	// exported field, no interface-typed fields, no untagged embedding).
+	ExportRoots []TypeRef
+
+	// AtomicSwapPackages lists packages atomicswap scans for torn
+	// atomic.Pointer snapshot reads and stray stores.
+	AtomicSwapPackages []string
+
+	// SwapFuncs maps a package's import path to the functions ("F" or
+	// "Type.Method") designated to Store/Swap atomic.Pointer fields.
+	SwapFuncs map[string][]string
+}
+
+// DefaultConfig is pinscope's policy: the table the ISSUE calls for,
+// consulted by cmd/pinlint and scripts/check.sh.
+func DefaultConfig() *Config {
+	return &Config{
+		StrictDeterminism: []string{
+			"pinscope",
+			"pinscope/internal/appmodel",
+			"pinscope/internal/apppkg",
+			"pinscope/internal/appstore",
+			"pinscope/internal/core",
+			"pinscope/internal/ctlog",
+			"pinscope/internal/detrand",
+			"pinscope/internal/device",
+			"pinscope/internal/dynamicanalysis",
+			"pinscope/internal/faultinject",
+			"pinscope/internal/frida",
+			"pinscope/internal/mitmproxy",
+			"pinscope/internal/netem",
+			"pinscope/internal/pii",
+			"pinscope/internal/pki",
+			"pinscope/internal/report",
+			"pinscope/internal/sdkregistry",
+			"pinscope/internal/staticanalysis",
+			"pinscope/internal/stats",
+			"pinscope/internal/tlswire",
+			"pinscope/internal/uiauto",
+			"pinscope/internal/whois",
+			"pinscope/internal/worldgen",
+		},
+		CheckedDeterminism: []string{
+			"pinscope/internal/pinserve",
+			"pinscope/internal/advisor",
+			"pinscope/cmd/...",
+		},
+		AllowedWallClock: map[string][]string{
+			// Serving-layer telemetry: request latency, uptime, snapshot
+			// build and swap timestamps. None of it feeds study artifacts.
+			"pinscope/internal/pinserve": {
+				"Build",              // stats.BuildMicros
+				"New",                // uptime epoch
+				"Server.swap",        // last-load timestamp
+				"Server.wrap",        // per-request latency histogram
+				"Server.handleStats", // uptime report
+			},
+			// CLI progress banners time the run for the operator.
+			"pinscope/cmd/worldgen":  {"main"},
+			"pinscope/cmd/pinstudy":  {"main"},
+			"pinscope/cmd/pinscoped": {"main", "runSelftest"},
+		},
+		MapOrderPackages: []string{"pinscope", "pinscope/..."},
+		ExportRoots: []TypeRef{
+			// The versioned snapshot written by core.WriteJSON and read
+			// back by core.ReadJSON — the public dataset contract.
+			{Pkg: "pinscope/internal/core", Name: "ExportedDataset"},
+			// The serving layer's pre-rendered response payloads are
+			// snapshot-derived JSON contracts of their own.
+			{Pkg: "pinscope/internal/pinserve", Name: "DestInfo"},
+			{Pkg: "pinscope/internal/pinserve", Name: "PinAnswer"},
+			{Pkg: "pinscope/internal/pinserve", Name: "IndexStats"},
+		},
+		AtomicSwapPackages: []string{"pinscope/internal/pinserve"},
+		SwapFuncs: map[string][]string{
+			"pinscope/internal/pinserve": {"Server.swap"},
+		},
+	}
+}
+
+// matchPkg reports whether path matches any entry in pats. An entry
+// "p/..." matches p and everything under it; "..." matches everything.
+func matchPkg(pats []string, path string) bool {
+	for _, p := range pats {
+		if p == path {
+			return true
+		}
+		if p == "..." {
+			return true
+		}
+		if strings.HasSuffix(p, "/...") {
+			root := strings.TrimSuffix(p, "/...")
+			if path == root || strings.HasPrefix(path, root+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allowedFunc reports whether fn ("F" or "Type.Method") is allowlisted for
+// pkg in table.
+func allowedFunc(table map[string][]string, pkg, fn string) bool {
+	for _, f := range table[pkg] {
+		if f == fn {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package lint
+
+// detrandonly enforces the repo's reproducibility bedrock: simulation
+// packages must not read ambient entropy or the wall clock. The paper's
+// claim that the pipelines re-discover ground truth from generated
+// artifacts only holds if the same seed always generates the same world,
+// so every random or temporal decision must flow through internal/detrand
+// (or be injected by the caller, like pki.StudyEpoch).
+//
+// Serving and CLI packages are scanned too, but wall-clock reads there are
+// operational telemetry, allowlisted per enclosing function in
+// Config.AllowedWallClock.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// entropyPackages are wholesale off limits in checked packages: any
+// reference to an object from one of these is ambient entropy.
+var entropyPackages = map[string]string{
+	"math/rand":    "use a detrand.Source instead",
+	"math/rand/v2": "use a detrand.Source instead",
+	"crypto/rand":  "derive bytes from a detrand.Source instead",
+}
+
+// bannedFuncs are individual stdlib functions that read the wall clock or
+// process-ambient state.
+var bannedFuncs = map[[2]string]string{
+	{"time", "Now"}:    "reads the wall clock",
+	{"time", "Since"}:  "reads the wall clock (time.Since calls time.Now)",
+	{"time", "Until"}:  "reads the wall clock (time.Until calls time.Now)",
+	{"os", "Getpid"}:   "process-ambient entropy",
+	{"os", "Getppid"}:  "process-ambient entropy",
+	{"os", "Hostname"}: "host-ambient entropy",
+	{"os", "Environ"}:  "host-ambient state",
+}
+
+// NewDetrandOnly builds the detrandonly analyzer over cfg.
+func NewDetrandOnly(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "detrandonly",
+		Doc: "flags ambient entropy and wall-clock reads in simulation packages; " +
+			"all randomness and time must flow through internal/detrand or be injected",
+	}
+	a.Run = func(pass *Pass) error {
+		strict := matchPkg(cfg.StrictDeterminism, pass.PkgPath)
+		checked := matchPkg(cfg.CheckedDeterminism, pass.PkgPath)
+		if !strict && !checked {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				why, banned := bannedUse(obj)
+				if !banned {
+					return true
+				}
+				if !strict {
+					// Checked (serving/CLI) package: permitted inside
+					// allowlisted functions.
+					fd := enclosingFunc(file, id.Pos())
+					if fd != nil && allowedFunc(cfg.AllowedWallClock, pass.PkgPath, funcDisplayName(fd)) {
+						return true
+					}
+				}
+				pass.Reportf(id.Pos(), "%s.%s in %s package: %s; route it through internal/detrand, inject it, or add it to the pinlint config table",
+					obj.Pkg().Path(), obj.Name(), tier(strict), why)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func tier(strict bool) string {
+	if strict {
+		return "a simulation"
+	}
+	return "a checked serving/CLI"
+}
+
+// bannedUse classifies one referenced object.
+func bannedUse(obj types.Object) (why string, banned bool) {
+	path := obj.Pkg().Path()
+	if why, ok := entropyPackages[path]; ok {
+		return why, true
+	}
+	if why, ok := bannedFuncs[[2]string{path, obj.Name()}]; ok {
+		return why, true
+	}
+	return "", false
+}

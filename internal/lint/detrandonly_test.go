@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pinscope/internal/lint"
+	"pinscope/internal/lint/linttest"
+)
+
+func TestDetrandOnlyStrict(t *testing.T) {
+	cfg := &lint.Config{
+		StrictDeterminism: []string{"example.com/sim"},
+	}
+	linttest.Run(t, "testdata/detrandonly/sim", "example.com/sim", lint.NewDetrandOnly(cfg))
+}
+
+func TestDetrandOnlyChecked(t *testing.T) {
+	cfg := &lint.Config{
+		CheckedDeterminism: []string{"example.com/serve"},
+		AllowedWallClock: map[string][]string{
+			"example.com/serve": {"Server.wrap", "main"},
+		},
+	}
+	linttest.Run(t, "testdata/detrandonly/serve", "example.com/serve", lint.NewDetrandOnly(cfg))
+}
+
+// TestDetrandOnlyUnscannedPackage proves the analyzer keys off the config:
+// the same violating source is silent when its package is in neither tier.
+func TestDetrandOnlyUnscannedPackage(t *testing.T) {
+	cfg := &lint.Config{
+		StrictDeterminism: []string{"example.com/other"},
+	}
+	pkg, fset, err := lint.LoadDir("testdata/detrandonly/serve", "example.com/serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.AnalyzePackage(fset, pkg, []*lint.Analyzer{lint.NewDetrandOnly(cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics for an unscanned package, got %v", diags)
+	}
+}

@@ -1,0 +1,161 @@
+package lint
+
+// exportshape holds the versioned snapshot contract steady: every struct
+// reachable from the configured export roots (the types core.WriteJSON
+// writes and core.ReadJSON reads back, plus the serving layer's
+// pre-rendered payloads) must marshal to a shape that cannot silently
+// drift. Concretely, on every reachable struct:
+//
+//   - each exported field carries an explicit `json:"..."` tag, so a
+//     renamed Go field cannot rename a wire field as a side effect;
+//   - no field is interface-typed (interface{}/any/error marshal as
+//     whatever happens to be inside, which DisallowUnknownFields readers
+//     cannot round-trip);
+//   - no embedded field is untagged (untagged embedding splices fields
+//     into the parent namespace, so adding a field to the embedded type
+//     silently changes the parent's wire shape).
+//
+// The walk follows named types across package boundaries through export
+// data; findings on foreign types are anchored at the local field that
+// reaches them.
+
+import (
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// NewExportShape builds the exportshape analyzer over cfg.
+func NewExportShape(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "exportshape",
+		Doc: "structs reachable from snapshot roots need explicit json tags on all " +
+			"exported fields, no interface-typed fields, and no untagged embedding",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, root := range cfg.ExportRoots {
+			if root.Pkg != pass.PkgPath {
+				continue
+			}
+			obj := pass.Pkg.Scope().Lookup(root.Name)
+			if obj == nil {
+				pass.Reportf(token.NoPos, "export root %s.%s not found", root.Pkg, root.Name)
+				continue
+			}
+			tn, ok := obj.(*types.TypeName)
+			if !ok {
+				pass.Reportf(obj.Pos(), "export root %s.%s is not a type", root.Pkg, root.Name)
+				continue
+			}
+			w := &shapeWalker{pass: pass, seen: map[types.Type]bool{}}
+			w.visit(tn.Type(), obj.Pos(), root.Name)
+		}
+		return nil
+	}
+	return a
+}
+
+type shapeWalker struct {
+	pass *Pass
+	seen map[types.Type]bool
+}
+
+// visit walks t's structural closure. anchor is the position findings are
+// reported at when t itself has no usable position (foreign or anonymous
+// types); path names the route from the root for the message.
+func (w *shapeWalker) visit(t types.Type, anchor token.Pos, path string) {
+	if t == nil || w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+
+	switch x := t.(type) {
+	case *types.Named:
+		w.visit(x.Underlying(), w.posOrAnchor(x.Obj().Pos(), anchor), x.Obj().Name())
+	case *types.Alias:
+		w.visit(types.Unalias(x), anchor, path)
+	case *types.Pointer:
+		w.visit(x.Elem(), anchor, path)
+	case *types.Slice:
+		w.visit(x.Elem(), anchor, path)
+	case *types.Array:
+		w.visit(x.Elem(), anchor, path)
+	case *types.Map:
+		w.visit(x.Key(), anchor, path)
+		w.visit(x.Elem(), anchor, path)
+	case *types.Struct:
+		w.checkStruct(x, anchor, path)
+	}
+}
+
+// checkStruct applies the three shape rules to every field, then recurses.
+func (w *shapeWalker) checkStruct(st *types.Struct, anchor token.Pos, path string) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue // unexported fields never reach the wire
+		}
+		fieldPos := w.posOrAnchor(f.Pos(), anchor)
+		fieldPath := path + "." + f.Name()
+		tag := reflect.StructTag(st.Tag(i))
+		jsonTag, hasTag := tag.Lookup("json")
+
+		if f.Embedded() && !hasTag {
+			w.pass.Reportf(fieldPos,
+				"untagged embedded field %s splices its fields into the snapshot namespace; give it an explicit json tag or un-embed it", fieldPath)
+		} else if !hasTag {
+			w.pass.Reportf(fieldPos,
+				"exported field %s reachable from a snapshot root has no json tag; the wire name would silently track the Go name", fieldPath)
+		} else if jsonTag == "" || jsonTag[0] == ',' {
+			w.pass.Reportf(fieldPos,
+				"field %s has a json tag with no name (%q); name it explicitly or exclude it with json:\"-\"", fieldPath, jsonTag)
+		}
+
+		if jsonTag == "-" {
+			continue // explicitly excluded from the wire
+		}
+		if iface := interfaceInside(f.Type()); iface != "" {
+			w.pass.Reportf(fieldPos,
+				"field %s has interface type %s; snapshot fields must be concrete so ReadJSON can round-trip them", fieldPath, iface)
+		}
+		w.visit(f.Type(), fieldPos, fieldPath)
+	}
+}
+
+// posOrAnchor prefers a real position (types imported from export data may
+// only have synthetic ones, but they still render; NoPos does not).
+func (w *shapeWalker) posOrAnchor(pos, anchor token.Pos) token.Pos {
+	if pos.IsValid() {
+		return pos
+	}
+	return anchor
+}
+
+// interfaceInside returns the rendered type of the first interface found
+// structurally inside t (not following named struct fields — those are
+// checked as their own structs), or "".
+func interfaceInside(t types.Type) string {
+	switch x := t.(type) {
+	case *types.Interface:
+		return "interface"
+	case *types.Named:
+		if types.IsInterface(x) {
+			return x.Obj().Name()
+		}
+		return ""
+	case *types.Alias:
+		return interfaceInside(types.Unalias(x))
+	case *types.Pointer:
+		return interfaceInside(x.Elem())
+	case *types.Slice:
+		return interfaceInside(x.Elem())
+	case *types.Array:
+		return interfaceInside(x.Elem())
+	case *types.Map:
+		if s := interfaceInside(x.Key()); s != "" {
+			return s
+		}
+		return interfaceInside(x.Elem())
+	}
+	return ""
+}

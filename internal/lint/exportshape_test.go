@@ -1,0 +1,37 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pinscope/internal/lint"
+	"pinscope/internal/lint/linttest"
+)
+
+func TestExportShape(t *testing.T) {
+	cfg := &lint.Config{
+		ExportRoots: []lint.TypeRef{{Pkg: "example.com/export", Name: "Snapshot"}},
+	}
+	linttest.Run(t, "testdata/exportshape", "example.com/export", lint.NewExportShape(cfg))
+}
+
+// TestExportShapeMissingRoot: a configured root that does not exist in the
+// package must be reported, not silently skipped.
+func TestExportShapeMissingRoot(t *testing.T) {
+	cfg := &lint.Config{
+		ExportRoots: []lint.TypeRef{{Pkg: "example.com/export", Name: "NoSuchType"}},
+	}
+	pkg, fset, err := lint.LoadDir("testdata/exportshape", "example.com/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.AnalyzePackage(fset, pkg, []*lint.Analyzer{lint.NewExportShape(cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("expected exactly the missing-root diagnostic, got %v", diags)
+	}
+	if got := diags[0].Message; got != "export root example.com/export.NoSuchType not found" {
+		t.Fatalf("unexpected message %q", got)
+	}
+}

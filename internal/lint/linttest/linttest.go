@@ -1,0 +1,100 @@
+// Package linttest is the repo's analysistest counterpart: it loads a
+// testdata package, runs analyzers over it, and checks the findings
+// against `// want "regexp"` comments in the source.
+//
+// Expectation syntax follows golang.org/x/tools/go/analysis/analysistest:
+// a comment `// want "rx1" "rx2"` on a line means exactly those
+// diagnostics (in any order) are expected on that line; every diagnostic
+// must be claimed by a want and every want must be claimed by a
+// diagnostic. Lines carrying a //pinlint:allow directive are expected to
+// produce nothing — that is how suppression cases are written.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"pinscope/internal/lint"
+)
+
+// wantRe matches a want comment and captures the quoted patterns blob.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// patRe pulls the individual quoted patterns out of the blob.
+var patRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	used bool
+}
+
+// Run loads dir as a package named pkgPath, applies analyzers, and
+// reports mismatches against the want comments as test errors. It returns
+// the surviving diagnostics so callers can make extra assertions.
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	pkg, fset, err := lint.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.AnalyzePackage(fset, pkg, analyzers)
+	if err != nil {
+		t.Fatalf("analyzing %s: %v", dir, err)
+	}
+
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				pats := patRe.FindAllStringSubmatch(m[1], -1)
+				if len(pats) == 0 {
+					t.Errorf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+					continue
+				}
+				for _, p := range pats {
+					rx, err := regexp.Compile(p[1])
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p[1], err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+	return diags
+}
+
+// claim marks the first unclaimed want matching d.
+func claim(wants []*want, d lint.Diagnostic) bool {
+	msg := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+	for _, w := range wants {
+		if w.used || w.file != d.Position.Filename || w.line != d.Position.Line {
+			continue
+		}
+		if w.rx.MatchString(msg) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pinscope/internal/lint"
+	"pinscope/internal/lint/linttest"
+)
+
+func TestMapDeterminism(t *testing.T) {
+	cfg := &lint.Config{
+		MapOrderPackages: []string{"example.com/mapdet"},
+	}
+	linttest.Run(t, "testdata/mapdeterminism", "example.com/mapdet", lint.NewMapDeterminism(cfg))
+}

@@ -1,0 +1,70 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"pinscope/internal/lint"
+)
+
+// TestAllowDirectiveGrammar: malformed //pinlint:allow directives are
+// findings in their own right, well-formed ones suppress, and lookalike
+// prefixes are ignored.
+func TestAllowDirectiveGrammar(t *testing.T) {
+	cfg := &lint.Config{
+		StrictDeterminism: []string{"example.com/allowmisuse"},
+	}
+	pkg, fset, err := lint.LoadDir("testdata/allowmisuse", "example.com/allowmisuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.AnalyzePackage(fset, pkg, lint.Suite(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	// Three malformed directives -> three pinlint findings; the time.Now
+	// they failed to suppress stays visible -> three detrandonly findings.
+	// Justified's directive suppresses its time.Now and is not reported.
+	if byAnalyzer["pinlint"] != 3 || byAnalyzer["detrandonly"] != 3 || len(diags) != 6 {
+		t.Fatalf("expected 3 pinlint + 3 detrandonly diagnostics, got %v", diags)
+	}
+
+	wantSubstrings := []string{
+		"names no analyzer",
+		`unknown analyzer "nosuchanalyzer"`,
+		"no justification",
+	}
+	for _, sub := range wantSubstrings {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "pinlint" && strings.Contains(d.Message, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no pinlint diagnostic containing %q in %v", sub, diags)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full default suite over the whole module — the
+// same invocation as `make lint` — and requires zero findings. This keeps
+// the acceptance property (pinlint clean on the tree) inside `go test`.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint load is not short")
+	}
+	diags, err := lint.Run("../..", []string{"./..."}, lint.Suite(lint.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,37 @@
+// Package allowmisuse is testdata for the //pinlint:allow directive
+// grammar itself: malformed directives must become findings.
+package allowmisuse
+
+import "time"
+
+// NoAnalyzer: the directive names nothing.
+func NoAnalyzer() time.Time {
+	//pinlint:allow
+	return time.Now()
+}
+
+// UnknownAnalyzer: the directive names an analyzer that does not exist, so
+// it suppresses nothing and is itself reported.
+func UnknownAnalyzer() time.Time {
+	//pinlint:allow nosuchanalyzer because reasons
+	return time.Now()
+}
+
+// NoReason: a bare analyzer name without a justification is rejected; the
+// escape hatch requires saying why.
+func NoReason() time.Time {
+	//pinlint:allow detrandonly
+	return time.Now()
+}
+
+// Justified is the well-formed directive: analyzer plus reason.
+func Justified() time.Time {
+	//pinlint:allow detrandonly testdata demonstrating a justified suppression
+	return time.Now()
+}
+
+// Unrelated comments that merely mention pinlint:allow mid-text are not
+// directives, and //pinlint:allowother is someone else's namespace.
+func Other() {
+	//pinlint:allowother detrandonly xyz
+}

@@ -1,0 +1,48 @@
+// Package aswap is atomicswap testdata: an atomic.Pointer snapshot field
+// with a designated swap function ("Cache.swap" in the test's config).
+package aswap
+
+import "sync/atomic"
+
+// Index stands in for a built snapshot.
+type Index struct{ N int }
+
+// Cache holds the snapshot pointer plus an unrelated atomic counter.
+type Cache struct {
+	ptr  atomic.Pointer[Index]
+	hits atomic.Int64
+}
+
+// swap is the designated swap function: its Store is legitimate.
+func (c *Cache) swap(v *Index) {
+	c.ptr.Store(v)
+}
+
+// Torn loads the pointer twice; a swap between the loads would serve two
+// different snapshots in one call.
+func (c *Cache) Torn() int {
+	a := c.ptr.Load()
+	b := c.ptr.Load() // want "c.ptr.Load\(\) called 2 times in Cache.Torn"
+	return a.N + b.N
+}
+
+// Get is the correct single-load pattern.
+func (c *Cache) Get() *Index {
+	return c.ptr.Load()
+}
+
+// Reset mutates the snapshot pointer outside the designated swap function.
+func (c *Cache) Reset(v *Index) {
+	c.ptr.Store(v) // want "c.ptr.Store outside the designated swap function"
+}
+
+// Reload swaps outside the designated swap function.
+func Reload(c *Cache, v *Index) {
+	old := c.ptr.Swap(v) // want "c.ptr.Swap outside the designated swap function"
+	_ = old
+}
+
+// Count stores into an atomic.Int64 — not a snapshot pointer, not flagged.
+func (c *Cache) Count() {
+	c.hits.Store(c.hits.Load() + 1)
+}

@@ -1,0 +1,25 @@
+// Package serve is detrandonly testdata for the checked (serving/CLI)
+// tier: wall-clock reads pass only inside functions the config table
+// allowlists.
+package serve
+
+import "time"
+
+// Server mimics a serving-layer type with telemetry needs.
+type Server struct{ start time.Time }
+
+// wrap is allowlisted ("Server.wrap"): request-latency telemetry.
+func (s *Server) wrap() time.Duration {
+	return time.Since(s.start)
+}
+
+// handle is NOT allowlisted: new serving code must either inject a clock
+// or earn a config-table entry.
+func (s *Server) handle() time.Time {
+	return time.Now() // want "time.Now in a checked serving/CLI package"
+}
+
+// main is allowlisted: CLI progress banner timing.
+func main() {
+	_ = time.Now()
+}

@@ -1,0 +1,40 @@
+// Package sim is detrandonly testdata: a strict simulation package where
+// every ambient-entropy and wall-clock read must be flagged.
+package sim
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+
+	"pinscope/internal/detrand"
+)
+
+// Bad reads the wall clock and ambient entropy every way the analyzer
+// bans.
+func Bad() {
+	start := time.Now()                // want "time.Now in a simulation package"
+	_ = time.Since(start)              // want "time.Since calls time.Now"
+	_ = time.Until(start)              // want "time.Until calls time.Now"
+	_ = rand.Int()                     // want "math/rand.Int in a simulation package"
+	_, _ = crand.Read(make([]byte, 8)) // want "crypto/rand.Read in a simulation package"
+	_ = os.Getpid()                    // want "os.Getpid in a simulation package: process-ambient entropy"
+	_, _ = os.Hostname()               // want "os.Hostname in a simulation package"
+}
+
+// Good takes its time and randomness the sanctioned ways: injected, fixed,
+// or derived from detrand.
+func Good(now time.Time) time.Duration {
+	epoch := time.Date(2021, time.May, 15, 12, 0, 0, 0, time.UTC)
+	rng := detrand.New(7)
+	_ = rng.Intn(10)
+	return now.Sub(epoch)
+}
+
+// Suppressed shows the escape hatch: a justified allow directive on the
+// preceding line silences the finding.
+func Suppressed() time.Time {
+	//pinlint:allow detrandonly testdata exercising the justified escape hatch
+	return time.Now()
+}

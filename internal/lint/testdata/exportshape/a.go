@@ -1,0 +1,41 @@
+// Package export is exportshape testdata: the root type Snapshot is
+// configured as an export root, so its whole reachable closure must obey
+// the versioned-snapshot shape rules.
+package export
+
+// Snapshot is the export root.
+type Snapshot struct {
+	Version int `json:"version"`
+	Meta    struct {
+		Seed   int64   `json:"seed"`
+		Window float64 // want "exported field Snapshot.Meta.Window reachable from a snapshot root has no json tag"
+	} `json:"meta"`
+	Apps     []App          `json:"apps"`
+	ByHost   map[string]App `json:"by_host"`
+	Blob     any            `json:"blob"` // want "field Snapshot.Blob has interface type interface"
+	NoTag    string         // want "exported field Snapshot.NoTag reachable from a snapshot root has no json tag"
+	BadName  string         `json:",omitempty"` // want "field Snapshot.BadName has a json tag with no name"
+	Embedded                // want "untagged embedded field Snapshot.Embedded splices its fields into the snapshot namespace"
+	Skip     *Opaque        `json:"-"`
+	internal int
+}
+
+// App is reached through Snapshot.Apps and Snapshot.ByHost; it is visited
+// once and its map-of-any field is an interface leak.
+type App struct {
+	ID    string         `json:"id"`
+	Extra map[string]any `json:"extra"` // want "field App.Extra has interface type interface"
+}
+
+// Embedded itself is well-formed; the violation is embedding it untagged.
+type Embedded struct {
+	E string `json:"e"`
+}
+
+// Opaque is only reachable through a json:"-" field, so its interface
+// field must NOT be reported.
+type Opaque struct {
+	I interface{}
+}
+
+var _ = Snapshot{internal: 0}

@@ -1,0 +1,128 @@
+// Package mapdet is mapdeterminism testdata: map ranges whose iteration
+// order escapes (or provably does not).
+package mapdet
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Keys leaks map order into a slice and never re-sorts it.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // want "map iteration order escapes via append to out"
+	}
+	return out
+}
+
+// KeysSorted is the corrected form: same append, redeemed by the sort.
+func KeysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeysSlices is redeemed by slices.Sort instead of package sort.
+func KeysSlices(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Join concatenates in map order.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "string concatenation onto s"
+	}
+	return s
+}
+
+// Dump prints in map order; no sort can redeem bytes already emitted.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "map iteration order escapes via fmt.Println"
+	}
+}
+
+// Render streams into an outer builder in map order.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		fmt.Fprintf(&b, "%s\n", k) // want "map iteration order escapes via fmt.Fprintf"
+	}
+	return b.String()
+}
+
+// Build writes into a caller-owned builder in map order.
+func Build(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want "map iteration order escapes via b.WriteString"
+	}
+}
+
+// Lines shows the order-local pattern: a per-iteration buffer is fine, and
+// the outer append is redeemed by the sort after the loop.
+func Lines(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		var lb strings.Builder
+		lb.WriteString(k)
+		lb.WriteByte('=')
+		lb.WriteString(strconv.Itoa(v))
+		out = append(out, lb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total is commutative accumulation: order-insensitive, not a sink.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Index accumulates per-bucket and then sorts every bucket: clean.
+func Index(entries map[string]string) map[string][]string {
+	idx := map[string][]string{}
+	for host, sdk := range entries {
+		idx[sdk] = append(idx[sdk], host)
+	}
+	for _, hosts := range idx {
+		sort.Strings(hosts)
+	}
+	return idx
+}
+
+// IndexUnsorted is the same bucket accumulation without the redeeming
+// sort-every-bucket loop.
+func IndexUnsorted(entries map[string]string) map[string][]string {
+	idx := map[string][]string{}
+	for host, sdk := range entries {
+		idx[sdk] = append(idx[sdk], host) // want "map iteration order escapes via append to idx\[sdk\]"
+	}
+	return idx
+}
+
+// Mismatch sorts a different slice; that must not redeem out.
+func Mismatch(m map[string]int) []string {
+	var out, other []string
+	for k := range m {
+		out = append(out, k) // want "map iteration order escapes via append to out"
+	}
+	sort.Strings(other)
+	return out
+}

@@ -230,6 +230,18 @@ func (ix *Index) buildTables(datasets []*core.ExportedDataset) error {
 			merged.Destinations = append(merged.Destinations, *de.info.Probe)
 		}
 	}
+	// Aggregate is commutative over apps and destinations, but keep the
+	// merged dataset itself deterministic so the tables never depend on
+	// shard or map order even if aggregation grows order-sensitive terms.
+	sort.Slice(merged.Apps, func(i, j int) bool {
+		if merged.Apps[i].Platform != merged.Apps[j].Platform {
+			return merged.Apps[i].Platform < merged.Apps[j].Platform
+		}
+		return merged.Apps[i].ID < merged.Apps[j].ID
+	})
+	sort.Slice(merged.Destinations, func(i, j int) bool {
+		return merged.Destinations[i].Host < merged.Destinations[j].Host
+	})
 	agg := merged.Aggregate()
 	for _, tb := range []struct {
 		data any

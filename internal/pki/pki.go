@@ -86,6 +86,7 @@ func NewRootCA(rng *detrand.Source, commonName, org string, validYears int) (*Au
 		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageCRLSign,
 		BasicConstraintsValid: true,
 	}
+	//pinlint:allow detrandonly ECDSA signing is hedged-randomized by design; signature bytes never reach exported artifacts — pins hash the detrand-derived SPKI
 	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
 	if err != nil {
 		return nil, fmt.Errorf("pki: create root %q: %w", commonName, err)
@@ -114,6 +115,7 @@ func (a *Authority) NewIntermediate(rng *detrand.Source, commonName string, vali
 		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageCRLSign,
 		BasicConstraintsValid: true,
 	}
+	//pinlint:allow detrandonly ECDSA signing is hedged-randomized by design; signature bytes never reach exported artifacts — pins hash the detrand-derived SPKI
 	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.Cert, &key.PublicKey, a.Key)
 	if err != nil {
 		return nil, fmt.Errorf("pki: create intermediate %q: %w", commonName, err)
@@ -169,6 +171,7 @@ func (a *Authority) issueLeafWithKey(rng *detrand.Source, hostname string, key *
 		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
 		DNSNames:     append([]string{hostname}, opts.ExtraDNS...),
 	}
+	//pinlint:allow detrandonly ECDSA signing is hedged-randomized by design; signature bytes never reach exported artifacts — pins hash the detrand-derived SPKI
 	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.Cert, &key.PublicKey, a.Key)
 	if err != nil {
 		return nil, fmt.Errorf("pki: issue leaf %q: %w", hostname, err)
@@ -195,6 +198,7 @@ func NewSelfSigned(rng *detrand.Source, hostname string, validYears int) (*Entit
 		DNSNames:     []string{hostname},
 		IsCA:         false,
 	}
+	//pinlint:allow detrandonly ECDSA signing is hedged-randomized by design; signature bytes never reach exported artifacts — pins hash the detrand-derived SPKI
 	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
 	if err != nil {
 		return nil, fmt.Errorf("pki: self-signed %q: %w", hostname, err)

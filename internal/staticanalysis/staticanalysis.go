@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"path"
 	"regexp"
+	"sort"
 	"strings"
 
 	"pinscope/internal/appmodel"
@@ -312,13 +313,11 @@ func AttributeFrameworks(reports []*Report, platform appmodel.Platform, minApps 
 		out = append(out, AttributedFramework{SDK: sdk, Apps: len(apps)})
 	}
 	// Sort by app count desc, name asc for determinism.
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j].Apps > out[i].Apps ||
-				(out[j].Apps == out[i].Apps && out[j].SDK.Name < out[i].SDK.Name) {
-				out[i], out[j] = out[j], out[i]
-			}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Apps != out[j].Apps {
+			return out[i].Apps > out[j].Apps
 		}
-	}
+		return out[i].SDK.Name < out[j].SDK.Name
+	})
 	return out
 }

@@ -3,6 +3,7 @@ package worldgen
 import (
 	"crypto/x509"
 	"fmt"
+	"sort"
 	"strings"
 
 	"pinscope/internal/appmodel"
@@ -462,6 +463,7 @@ func (w *World) buildApp(bp *blueprint, rng *detrand.Source) (*appmodel.App, err
 	for h := range pinnedHostSet {
 		app.Truth.PinnedHosts = append(app.Truth.PinnedHosts, h)
 	}
+	sort.Strings(app.Truth.PinnedHosts)
 	app.Truth.Obfuscated = obfuscated
 	return app, nil
 }
@@ -568,22 +570,12 @@ func pickLib(rng *detrand.Source, mix map[appmodel.TLSLib]float64) appmodel.TLSL
 	for l := range mix {
 		libs = append(libs, string(l))
 	}
-	sortStrings(libs)
+	sort.Strings(libs)
 	weights := make([]float64, len(libs))
 	for i, l := range libs {
 		weights[i] = mix[appmodel.TLSLib(l)]
 	}
 	return appmodel.TLSLib(libs[rng.WeightedIndex(weights)])
-}
-
-func sortStrings(s []string) {
-	for i := 0; i < len(s); i++ {
-		for j := i + 1; j < len(s); j++ {
-			if s[j] < s[i] {
-				s[i], s[j] = s[j], s[i]
-			}
-		}
-	}
 }
 
 func fpPIIKinds(r *detrand.Source) []pii.Kind {
