@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench chaos export serve
+.PHONY: build test lint check bench chaos export serve resume-demo
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,15 @@ export:
 # snapshot. SIGHUP or POST /v1/reload swaps the snapshot in place.
 serve:
 	$(GO) run ./cmd/pinscoped -data dataset_paper_scale.json
+
+# resume-demo shows crash-only operation end to end: a mini study is killed
+# by fault injection after 40 journaled results (the leading "-" expects
+# that failure), then resumed from the journal; the resumed export must be
+# byte-identical to an uninterrupted run's.
+resume-demo:
+	rm -f /tmp/pinscope-demo.wal /tmp/pinscope-resumed.json* /tmp/pinscope-clean.json*
+	$(GO) run ./cmd/pinstudy -scale mini -export /tmp/pinscope-clean.json > /dev/null
+	-$(GO) run ./cmd/pinstudy -scale mini -journal /tmp/pinscope-demo.wal -kill-after 40 -kill-torn 5 > /dev/null
+	$(GO) run ./cmd/pinstudy -scale mini -journal /tmp/pinscope-demo.wal -resume -export /tmp/pinscope-resumed.json > /dev/null
+	cmp /tmp/pinscope-clean.json /tmp/pinscope-resumed.json
+	@echo "resume-demo: resumed export is byte-identical to the uninterrupted run"

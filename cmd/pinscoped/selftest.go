@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"pinscope"
+	"pinscope/internal/atomicio"
 	"pinscope/internal/core"
 	"pinscope/internal/pinserve"
 )
@@ -161,15 +162,16 @@ func selftestDatasets(paths []string, seed int64) ([]*core.ExportedDataset, func
 	}
 	cleanup = func() { os.RemoveAll(dir) }
 	path := filepath.Join(dir, "snapshot.json")
-	f, err := os.Create(path)
+	w, err := atomicio.Create(path, atomicio.WithChecksum())
 	if err != nil {
 		return nil, cleanup, err
 	}
-	if err := study.ExportDataset(f); err != nil {
-		f.Close()
+	if err := study.ExportDataset(w); err != nil {
+		w.Close()
 		return nil, cleanup, err
 	}
-	if err := f.Close(); err != nil {
+	if err := w.Commit(); err != nil {
+		w.Close()
 		return nil, cleanup, err
 	}
 	ds, err := core.LoadExportedDataset(path)

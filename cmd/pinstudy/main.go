@@ -6,6 +6,7 @@
 //
 //	pinstudy [-scale mini|paper] [-seed N] [-section table3] [-sweep] [-ablate]
 //	         [-faults 0.1] [-retries 2] [-chaos]
+//	         [-journal run.wal] [-resume] [-kill-after N] [-kill-torn K]
 //
 // The default paper scale studies ≈5,000 unique apps and takes a couple of
 // minutes; -scale mini runs a few hundred apps in seconds.
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"pinscope"
+	"pinscope/internal/atomicio"
 )
 
 func main() {
@@ -32,6 +34,10 @@ func main() {
 	faults := flag.Float64("faults", 0, "fault-injection rate in [0,1] (0 = clean run)")
 	retries := flag.Int("retries", 0, "per-app retry budget under faults (0 = default)")
 	chaos := flag.Bool("chaos", false, "also run the chaos sweep (full study per fault rate)")
+	jpath := flag.String("journal", "", "write-ahead journal path: stream results durably as they complete")
+	resume := flag.Bool("resume", false, "resume from an existing -journal, replaying completed apps")
+	killAfter := flag.Int("kill-after", 0, "fault injection: die after N journaled results (requires -journal)")
+	killTorn := flag.Int("kill-torn", 0, "fault injection: bytes of the interrupted frame left on disk")
 	flag.Parse()
 
 	var cfg pinscope.Config
@@ -54,6 +60,14 @@ func main() {
 	}
 	cfg.FaultRate = *faults
 	cfg.Retries = *retries
+	if (*resume || *killAfter > 0) && *jpath == "" {
+		fmt.Fprintln(os.Stderr, "pinstudy: -resume and -kill-after require -journal")
+		os.Exit(2)
+	}
+	cfg.JournalPath = *jpath
+	cfg.Resume = *resume
+	cfg.KillAfter = *killAfter
+	cfg.KillTorn = *killTorn
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "pinstudy: building world and running study (%s scale, seed %d)...\n",
@@ -61,7 +75,13 @@ func main() {
 	study, err := pinscope.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pinstudy: %v\n", err)
+		if pinscope.IsKilled(err) {
+			fmt.Fprintf(os.Stderr, "pinstudy: journaled results survive in %s; rerun with -resume to continue\n", *jpath)
+		}
 		os.Exit(1)
+	}
+	if n := study.Resumed(); n > 0 {
+		fmt.Fprintf(os.Stderr, "pinstudy: replayed %d journaled results\n", n)
 	}
 	fmt.Fprintf(os.Stderr, "pinstudy: study complete in %s\n\n", time.Since(start).Round(time.Millisecond))
 
@@ -103,17 +123,19 @@ func main() {
 		fmt.Println(out)
 	}
 	if *export != "" {
-		f, err := os.Create(*export)
+		w, err := atomicio.Create(*export, atomicio.WithChecksum())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pinstudy: export: %v\n", err)
 			os.Exit(1)
 		}
-		if err := study.ExportDataset(f); err != nil {
-			f.Close()
+		if err := study.ExportDataset(w); err == nil {
+			err = w.Commit()
+		}
+		w.Close()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "pinstudy: export: %v\n", err)
 			os.Exit(1)
 		}
-		f.Close()
 		fmt.Fprintf(os.Stderr, "pinstudy: dataset written to %s\n", *export)
 	}
 }

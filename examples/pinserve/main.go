@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"pinscope"
+	"pinscope/internal/atomicio"
 	"pinscope/internal/core"
 	"pinscope/internal/pinserve"
 )
@@ -28,15 +29,18 @@ func main() {
 		log.Fatal(err)
 	}
 	path := filepath.Join(os.TempDir(), "pinserve-quickstart.json")
-	f, err := os.Create(path)
+	w, err := atomicio.Create(path, atomicio.WithChecksum())
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := study.ExportDataset(f); err != nil {
+	if err := study.ExportDataset(w); err != nil {
 		log.Fatal(err)
 	}
-	f.Close()
+	if err := w.Commit(); err != nil {
+		log.Fatal(err)
+	}
 	defer os.Remove(path)
+	defer os.Remove(path + ".crc")
 
 	// 2. Serve the snapshot. This is what `pinscoped -data <file>` does;
 	//    here we bind an ephemeral port and query ourselves.

@@ -1,0 +1,191 @@
+// Package atomicio publishes artifacts crash-safely. Every file the study
+// releases (dataset exports, selftest snapshots) goes through the same
+// sequence — write to a temp file in the destination directory, fsync,
+// rename over the final name, fsync the directory — so a reader never
+// observes a partially written artifact under its final name, no matter
+// when the process dies. An optional ".crc" sidecar records a CRC32C of
+// the published bytes so consumers can detect bit rot or a torn copy
+// loudly instead of decoding garbage.
+//
+// The pinlint analyzer "atomicwrite" enforces that artifact writers use
+// this package rather than bare os.Create / os.WriteFile.
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// ErrChecksumMismatch marks a file whose bytes do not match its ".crc"
+// sidecar — a torn copy, truncation, or bit rot.
+var ErrChecksumMismatch = errors.New("atomicio: checksum mismatch")
+
+// castagnoli is the CRC32C polynomial table (the same checksum the journal
+// frames use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// options collects Create/WriteFile options.
+type options struct {
+	checksum bool
+	perm     fs.FileMode
+}
+
+// Option configures an atomic write.
+type Option func(*options)
+
+// WithChecksum also publishes a "<path>.crc" sidecar recording the CRC32C
+// and size of the written bytes. VerifyFile checks it.
+func WithChecksum() Option { return func(o *options) { o.checksum = true } }
+
+// WithPerm sets the published file's permissions (default 0o644).
+func WithPerm(perm fs.FileMode) Option { return func(o *options) { o.perm = perm } }
+
+// Writer streams an artifact into a temp file and publishes it atomically
+// on Commit. Close without Commit aborts and removes the temp file, so
+//
+//	w, _ := atomicio.Create(path)
+//	defer w.Close()
+//	... write ...
+//	return w.Commit()
+//
+// never leaves a partial artifact under the final name.
+type Writer struct {
+	f    *os.File
+	path string
+	opts options
+	sum  hash.Hash32
+	n    int64
+	done bool
+}
+
+// Create starts an atomic write of path.
+func Create(path string, opt ...Option) (*Writer, error) {
+	o := options{perm: 0o644}
+	for _, fn := range opt {
+		fn(&o)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: create temp in %s: %w", dir, err)
+	}
+	return &Writer{f: f, path: path, opts: o, sum: crc32.New(castagnoli)}, nil
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.sum.Write(p[:n])
+	w.n += int64(n)
+	return n, err
+}
+
+// Commit fsyncs, publishes the temp file under the final name, and fsyncs
+// the directory. After Commit, Close is a no-op.
+func (w *Writer) Commit() error {
+	if w.done {
+		return errors.New("atomicio: Commit on a finished writer")
+	}
+	w.done = true
+	tmp := w.f.Name()
+	fail := func(err error) error {
+		w.f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return fail(fmt.Errorf("atomicio: fsync %s: %w", tmp, err))
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: close %s: %w", tmp, err)
+	}
+	if err := os.Chmod(tmp, w.opts.perm); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: chmod %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: publish %s: %w", w.path, err)
+	}
+	if w.opts.checksum {
+		sidecar := fmt.Sprintf("crc32c=%08x size=%d\n", w.sum.Sum32(), w.n)
+		if err := WriteFile(w.path+".crc", []byte(sidecar), WithPerm(w.opts.perm)); err != nil {
+			return err
+		}
+	}
+	return syncDir(filepath.Dir(w.path))
+}
+
+// Close aborts an uncommitted write, removing the temp file. Safe to call
+// after Commit (then a no-op).
+func (w *Writer) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	err := w.f.Close()
+	os.Remove(w.f.Name())
+	return err
+}
+
+// WriteFile atomically replaces path with data (the crash-safe counterpart
+// of os.WriteFile).
+func WriteFile(path string, data []byte, opt ...Option) error {
+	w, err := Create(path, opt...)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	return w.Commit()
+}
+
+// VerifyFile checks path against its "<path>.crc" sidecar. It returns
+// (true, nil) when the sidecar exists and matches, (false, nil) when no
+// sidecar exists (nothing to verify), and an error wrapping
+// ErrChecksumMismatch when the bytes disagree with the sidecar.
+func VerifyFile(path string) (bool, error) {
+	raw, err := os.ReadFile(path + ".crc")
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("atomicio: read sidecar: %w", err)
+	}
+	var wantSum uint32
+	var wantSize int64
+	if _, err := fmt.Sscanf(string(raw), "crc32c=%08x size=%d", &wantSum, &wantSize); err != nil {
+		return false, fmt.Errorf("atomicio: malformed sidecar %s.crc: %w (%w)", path, err, ErrChecksumMismatch)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("atomicio: read %s: %w", path, err)
+	}
+	gotSum := crc32.Checksum(data, castagnoli)
+	if int64(len(data)) != wantSize || gotSum != wantSum {
+		return false, fmt.Errorf("atomicio: %s: %w: have crc32c=%08x size=%d, sidecar says crc32c=%08x size=%d",
+			path, ErrChecksumMismatch, gotSum, len(data), wantSum, wantSize)
+	}
+	return true, nil
+}
+
+// syncDir fsyncs a directory so the rename itself is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicio: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("atomicio: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}

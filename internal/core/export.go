@@ -13,7 +13,20 @@ import (
 	"os"
 	"sort"
 
+	"pinscope/internal/atomicio"
 	"pinscope/internal/pii"
+)
+
+// Dataset load failures fall into two operationally distinct classes:
+// corruption (truncated file, checksum mismatch, undecodable JSON, no apps)
+// means the artifact is damaged and should be re-exported, while a version
+// mismatch means the reader is older than the writer and needs an upgrade.
+// Consumers (pinserve reload, pinscoped) classify via errors.Is.
+var (
+	// ErrDatasetCorrupt marks a truncated or corrupt snapshot.
+	ErrDatasetCorrupt = errors.New("truncated or corrupt snapshot")
+	// ErrDatasetVersion marks a snapshot written by a newer format version.
+	ErrDatasetVersion = errors.New("snapshot version mismatch")
 )
 
 // DatasetVersion is the current export format version. WriteJSON stamps it;
@@ -181,14 +194,14 @@ func ReadJSON(r io.Reader) (*ExportedDataset, error) {
 	dec.DisallowUnknownFields()
 	var ds ExportedDataset
 	if err := dec.Decode(&ds); err != nil {
-		return nil, fmt.Errorf("core: decode dataset: %w", err)
+		return nil, fmt.Errorf("core: decode dataset: %w: %w", ErrDatasetCorrupt, err)
 	}
 	if ds.Version > DatasetVersion {
-		return nil, fmt.Errorf("core: dataset format version %d is newer than supported %d",
-			ds.Version, DatasetVersion)
+		return nil, fmt.Errorf("core: %w: dataset format version %d is newer than supported %d",
+			ErrDatasetVersion, ds.Version, DatasetVersion)
 	}
 	if len(ds.Apps) == 0 {
-		return nil, errors.New("core: dataset contains no apps")
+		return nil, fmt.Errorf("core: %w: dataset contains no apps", ErrDatasetCorrupt)
 	}
 	return &ds, nil
 }
@@ -198,8 +211,14 @@ func LoadDataset(r io.Reader) (*ExportedDataset, error) {
 	return ReadJSON(r)
 }
 
-// LoadExportedDataset reads one exported snapshot file.
+// LoadExportedDataset reads one exported snapshot file. A `.crc` sidecar
+// (written by atomicio.WithChecksum, as `pinstudy -export` does) is
+// verified first, so bit rot surfaces as ErrDatasetCorrupt before any byte
+// is parsed; snapshots without a sidecar load as before.
 func LoadExportedDataset(path string) (*ExportedDataset, error) {
+	if _, err := atomicio.VerifyFile(path); err != nil {
+		return nil, fmt.Errorf("%s: %w: %w", path, ErrDatasetCorrupt, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

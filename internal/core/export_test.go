@@ -6,10 +6,13 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pinscope/internal/atomicio"
 )
 
 func TestWriteJSONStampsVersion(t *testing.T) {
@@ -67,6 +70,49 @@ func TestReadJSONStrict(t *testing.T) {
 	}
 	if ds.Version != 0 || ds.Meta.Seed != 7 {
 		t.Fatalf("legacy decode: version %d seed %d", ds.Version, ds.Meta.Seed)
+	}
+}
+
+func TestReadJSONErrorClassification(t *testing.T) {
+	// Reload paths branch on the error class, so the sentinels are API.
+	if _, err := ReadJSON(strings.NewReader(`{"ver`)); !errors.Is(err, ErrDatasetCorrupt) {
+		t.Fatalf("truncated JSON: %v, want ErrDatasetCorrupt", err)
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"meta":{},"apps":[]}`)); !errors.Is(err, ErrDatasetCorrupt) {
+		t.Fatalf("empty dataset: %v, want ErrDatasetCorrupt", err)
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version":99,"meta":{},"apps":[{"id":"a","platform":"android"}]}`)); !errors.Is(err, ErrDatasetVersion) {
+		t.Fatalf("future version: %v, want ErrDatasetVersion", err)
+	}
+}
+
+func TestLoadExportedDatasetVerifiesSidecar(t *testing.T) {
+	s := expShared(t)
+	path := filepath.Join(t.TempDir(), "snap.json")
+	w, err := atomicio.Create(path, atomicio.WithChecksum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadExportedDataset(path); err != nil {
+		t.Fatalf("checksummed snapshot rejected: %v", err)
+	}
+	// Flip one byte: the sidecar catches it before the JSON layer runs.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadExportedDataset(path); !errors.Is(err, ErrDatasetCorrupt) {
+		t.Fatalf("bit rot under a sidecar: %v, want ErrDatasetCorrupt", err)
 	}
 }
 

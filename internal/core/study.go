@@ -45,6 +45,15 @@ type Config struct {
 	// faults are enabled: clean runs are deterministic, so retrying them
 	// cannot change the outcome.
 	Retries int
+	// Journal, when non-nil, streams every completed per-app result into a
+	// crash-safe write-ahead log and replays the results it already holds,
+	// so a resumed run skips re-measuring journaled apps. Most callers use
+	// RunJournaled, which builds and closes it.
+	Journal *StudyJournal
+	// Kill, when non-nil (and Journal is set), arms the fault layer's
+	// power-cut: the process "dies" deterministically on the journal's
+	// append path, leaving a torn frame for recovery to truncate.
+	Kill *faultinject.ProcessKill
 }
 
 // DefaultConfig is the paper-scale configuration.
@@ -177,6 +186,10 @@ type Study struct {
 
 	Pairs  []*PairResult
 	Probes map[string]*DestProbe
+
+	// Resumed counts results replayed from a journal instead of measured
+	// in this process (0 for fresh runs).
+	Resumed int
 }
 
 // Result returns the result for an app (nil if the app was not studied).
@@ -266,14 +279,19 @@ func Run(cfg Config) (*Study, error) {
 // reuse one world across experiments).
 func RunOnWorld(cfg Config, w *worldgen.World) (*Study, error) {
 	s := &Study{Cfg: cfg, World: w, results: make(map[string]*AppResult)}
+	cfg.Journal.arm(cfg.Kill)
 
 	// Unique app-tier work list: collisions are analyzed once, common
-	// pairs are marked for the iOS §4.5 re-run.
+	// pairs are marked for the iOS §4.5 re-run. Apps already in the
+	// journal are replayed here instead of scheduled — per-app results are
+	// pure functions of (seed, app), so a replayed result is identical to
+	// a re-measured one.
 	type workItem struct {
 		app    *appmodel.App
 		common bool
 	}
 	var work []workItem
+	var replayErr error
 	seen := map[string]bool{}
 	add := func(ds *appstore.Dataset, common bool) {
 		for _, l := range ds.Listings {
@@ -282,6 +300,16 @@ func RunOnWorld(cfg Config, w *worldgen.World) (*Study, error) {
 				continue
 			}
 			seen[key] = true
+			if data, ok := cfg.Journal.replayed(key); ok {
+				res, err := decodeAppResult(data, w.App(l))
+				if err != nil {
+					replayErr = errors.Join(replayErr, err)
+					continue
+				}
+				s.results[key] = res
+				s.Resumed++
+				continue
+			}
 			work = append(work, workItem{app: w.App(l), common: common})
 		}
 	}
@@ -291,6 +319,9 @@ func RunOnWorld(cfg Config, w *worldgen.World) (*Study, error) {
 	add(w.DS.PopularIOS, false)
 	add(w.DS.RandomAndroid, false)
 	add(w.DS.RandomIOS, false)
+	if replayErr != nil {
+		return nil, replayErr
+	}
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -336,9 +367,20 @@ func RunOnWorld(cfg Config, w *worldgen.World) (*Study, error) {
 					if !ok {
 						return
 					}
+					key := string(item.app.Platform) + "/" + item.app.ID
 					res := lab.studyAppResilient(item.app, item.common)
+					// Journal before recording: a result the study saw but
+					// the journal did not would be re-measured identically
+					// on resume, but the reverse (journaled, then the
+					// process dies before the map insert) must also be
+					// harmless — and it is, because a killed run discards
+					// the in-memory study entirely.
+					if err := cfg.Journal.append(key, res); err != nil {
+						fail(err)
+						return
+					}
 					s.mu.Lock()
-					s.results[string(item.app.Platform)+"/"+item.app.ID] = res
+					s.results[key] = res
 					s.mu.Unlock()
 				}
 			}

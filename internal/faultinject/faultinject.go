@@ -89,6 +89,15 @@ func (p *Plan) Rates() Rates {
 	return p.rates
 }
 
+// Seed returns the plan's seed (0 for a nil plan). The journal records it
+// so a resumed run can prove it replays the same fault plan.
+func (p *Plan) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
 // ForApp scopes the plan to one measurement attempt of one app. Attempt
 // numbers decorrelate retries. Returns nil for a nil or disabled plan, and
 // every derived view tolerates a nil receiver, so callers thread a single
@@ -228,4 +237,37 @@ func (f *ForgeTap) ForgeFails(host string) bool {
 // them in logs.
 func ErrTransient(kind, subject string) error {
 	return fmt.Errorf("faultinject: transient %s failure: %s", kind, subject)
+}
+
+// ProcessKill is the power-cut fault family: unlike the transient faults
+// above, which degrade a measurement, this one kills the whole process at
+// a deterministic point so the crash-recovery path (journal replay,
+// torn-tail truncation, resume) is exercised by the same machinery. The
+// "cut" fires on the journal's append path — the only place where dying
+// at the wrong instant can damage durable state.
+type ProcessKill struct {
+	// AfterResults is how many result frames reach the journal intact
+	// before the cut: the append of frame AfterResults (0-based) is
+	// interrupted.
+	AfterResults int
+	// TornBytes is how many bytes of the interrupted frame the cut leaves
+	// on disk — 0 dies before any byte, a value past the frame length
+	// means the frame happened to complete first. Recovery must truncate
+	// whatever prefix remains.
+	TornBytes int
+}
+
+// Tap returns the journal crash tap for this plan: a function of the
+// result index alone, so the cut point is independent of worker
+// scheduling. Nil receiver yields a nil tap (no cut).
+func (k *ProcessKill) Tap() func(i int) (tornBytes int, kill bool) {
+	if k == nil {
+		return nil
+	}
+	return func(i int) (int, bool) {
+		if i >= k.AfterResults {
+			return k.TornBytes, true
+		}
+		return 0, false
+	}
 }

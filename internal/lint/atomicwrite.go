@@ -1,0 +1,60 @@
+package lint
+
+// atomicwrite guards the crash-only artifact contract: every file the
+// study writes (exports, journals, snapshots) must reach disk through
+// internal/atomicio — temp file in the destination directory, fsync,
+// rename — so a crash at any instant leaves either the old artifact or
+// the new one, never a torn hybrid. A bare os.Create or os.WriteFile
+// truncates or writes in place and reintroduces exactly the torn-artifact
+// window the atomicio package exists to close.
+//
+// internal/atomicio itself is exempt (it is the implementation), and a
+// deliberate non-artifact write can carry a //pinlint:allow atomicwrite
+// directive with its justification.
+
+import (
+	"go/ast"
+)
+
+// bareWriteFuncs are the in-place file writers the analyzer bans.
+var bareWriteFuncs = map[[2]string]string{
+	{"os", "Create"}:    "truncates the destination in place; a crash mid-write leaves a torn artifact",
+	{"os", "WriteFile"}: "writes the destination in place without fsync or rename",
+}
+
+// NewAtomicWrite builds the atomicwrite analyzer over cfg.
+func NewAtomicWrite(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "atomicwrite",
+		Doc: "flags bare os.Create/os.WriteFile in artifact-writing packages; " +
+			"route writes through internal/atomicio (temp file + fsync + rename)",
+	}
+	a.Run = func(pass *Pass) error {
+		if !matchPkg(cfg.AtomicWritePackages, pass.PkgPath) ||
+			matchPkg(cfg.AtomicWriteExempt, pass.PkgPath) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				why, banned := bareWriteFuncs[[2]string{obj.Pkg().Path(), obj.Name()}]
+				if !banned {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"os.%s %s; write it through internal/atomicio (Create/WriteFile commit atomically)",
+					obj.Name(), why)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

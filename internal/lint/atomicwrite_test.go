@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pinscope/internal/lint"
+	"pinscope/internal/lint/linttest"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	cfg := &lint.Config{
+		AtomicWritePackages: []string{"example.com/awrite"},
+	}
+	linttest.Run(t, "testdata/atomicwrite", "example.com/awrite", lint.NewAtomicWrite(cfg))
+}
+
+func TestAtomicWriteExemptPackage(t *testing.T) {
+	// The same fixture under an exempted import path yields nothing: the
+	// atomicio implementation package may use the raw primitives.
+	cfg := &lint.Config{
+		AtomicWritePackages: []string{"example.com/..."},
+		AtomicWriteExempt:   []string{"example.com/awrite"},
+	}
+	pkg, fset, err := lint.LoadDir("testdata/atomicwrite", "example.com/awrite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.AnalyzePackage(fset, pkg, []*lint.Analyzer{lint.NewAtomicWrite(cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("exempt package still flagged: %v", diags)
+	}
+}

@@ -45,6 +45,16 @@ type Config struct {
 	// SwapFuncs maps a package's import path to the functions ("F" or
 	// "Type.Method") designated to Store/Swap atomic.Pointer fields.
 	SwapFuncs map[string][]string
+
+	// AtomicWritePackages lists packages atomicwrite scans for bare
+	// os.Create/os.WriteFile calls (artifact writes must flow through
+	// internal/atomicio). Entries ending in "/..." match by prefix.
+	AtomicWritePackages []string
+
+	// AtomicWriteExempt lists packages atomicwrite skips even when matched
+	// by AtomicWritePackages — internal/atomicio itself, which implements
+	// the contract the analyzer enforces.
+	AtomicWriteExempt []string
 }
 
 // DefaultConfig is pinscope's policy: the table the ISSUE calls for,
@@ -56,6 +66,7 @@ func DefaultConfig() *Config {
 			"pinscope/internal/appmodel",
 			"pinscope/internal/apppkg",
 			"pinscope/internal/appstore",
+			"pinscope/internal/atomicio",
 			"pinscope/internal/core",
 			"pinscope/internal/ctlog",
 			"pinscope/internal/detrand",
@@ -63,6 +74,7 @@ func DefaultConfig() *Config {
 			"pinscope/internal/dynamicanalysis",
 			"pinscope/internal/faultinject",
 			"pinscope/internal/frida",
+			"pinscope/internal/journal",
 			"pinscope/internal/mitmproxy",
 			"pinscope/internal/netem",
 			"pinscope/internal/pii",
@@ -111,6 +123,8 @@ func DefaultConfig() *Config {
 		SwapFuncs: map[string][]string{
 			"pinscope/internal/pinserve": {"Server.swap"},
 		},
+		AtomicWritePackages: []string{"pinscope", "pinscope/..."},
+		AtomicWriteExempt:   []string{"pinscope/internal/atomicio"},
 	}
 }
 

@@ -17,6 +17,7 @@ func Suite(cfg *Config) []*Analyzer {
 		NewMapDeterminism(cfg),
 		NewExportShape(cfg),
 		NewAtomicSwap(cfg),
+		NewAtomicWrite(cfg),
 	}
 }
 

@@ -1,0 +1,44 @@
+// Package awrite is atomicwrite testdata: bare in-place file writes that
+// must be routed through internal/atomicio, plus the patterns that stay
+// legal (read-side os calls, temp files, and a justified allow).
+package awrite
+
+import "os"
+
+// Export writes an artifact with os.Create: the torn-artifact window.
+func Export(path string, data []byte) error {
+	f, err := os.Create(path) // want "os.Create truncates the destination in place"
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// Dump writes an artifact with os.WriteFile: same window, one call.
+func Dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile writes the destination in place"
+}
+
+// Load only reads; read-side os calls are not the analyzer's business.
+func Load(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return os.ReadFile(path)
+}
+
+// Scratch uses a temp file it never promotes to an artifact; os.CreateTemp
+// is the building block atomicio itself is made of and stays legal.
+func Scratch() (*os.File, error) {
+	return os.CreateTemp("", "scratch-*")
+}
+
+// PidFile is a deliberate non-artifact in-place write with a justification:
+// the directive on the call line suppresses the finding.
+func PidFile(path string, pid []byte) error {
+	return os.WriteFile(path, pid, 0o644) //pinlint:allow atomicwrite pid files are advisory and rewritten on boot
+}

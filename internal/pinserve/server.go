@@ -48,6 +48,13 @@ type Server struct {
 	lastDatasets []*core.ExportedDataset
 	reloads      atomic.Int64
 	lastLoad     atomic.Int64 // unix micros of the last successful swap
+
+	// reloadFailures counts failed Reloads; lastReloadErr keeps the most
+	// recent failure (cleared by the next successful reload) so operators
+	// can see from /v1/stats why the served snapshot is stale.
+	reloadFailures atomic.Int64
+	errMu          sync.Mutex
+	lastReloadErr  string
 }
 
 // New builds a Server. When opts.Paths is set the snapshots load
@@ -97,7 +104,10 @@ func (s *Server) Load(datasets ...*core.ExportedDataset) error {
 
 // Reload rebuilds the index — from Options.Paths when configured, else
 // from the last directly loaded datasets — and swaps it in atomically.
-// On failure the previous index keeps serving untouched.
+// On failure the previous index keeps serving untouched; the failure is
+// counted and its message (prefixed with the error class, so a truncated
+// or corrupt snapshot reads differently from a version mismatch) is kept
+// for /v1/stats until a reload succeeds.
 func (s *Server) Reload() error {
 	s.loadMu.Lock()
 	defer s.loadMu.Unlock()
@@ -106,21 +116,45 @@ func (s *Server) Reload() error {
 		for _, p := range s.opts.Paths {
 			ds, err := core.LoadExportedDataset(p)
 			if err != nil {
-				return fmt.Errorf("pinserve: reload: %w", err)
+				return s.reloadFailed(fmt.Errorf("pinserve: reload (%s): %w", reloadErrorClass(err), err))
 			}
 			datasets = append(datasets, ds)
 		}
 	} else if len(s.lastDatasets) > 0 {
 		datasets = s.lastDatasets
 	} else {
-		return errors.New("pinserve: nothing to reload: no paths configured and no datasets loaded")
+		return s.reloadFailed(errors.New("pinserve: nothing to reload: no paths configured and no datasets loaded"))
 	}
 	ix, err := Build(datasets...)
 	if err != nil {
-		return err
+		return s.reloadFailed(err)
 	}
 	s.swap(ix)
+	s.errMu.Lock()
+	s.lastReloadErr = ""
+	s.errMu.Unlock()
 	return nil
+}
+
+// reloadErrorClass maps a snapshot load error onto its operational class:
+// corruption wants a re-export, a version mismatch wants a newer server.
+func reloadErrorClass(err error) string {
+	switch {
+	case errors.Is(err, core.ErrDatasetVersion):
+		return "version mismatch"
+	case errors.Is(err, core.ErrDatasetCorrupt):
+		return "truncated or corrupt snapshot"
+	default:
+		return "load failure"
+	}
+}
+
+func (s *Server) reloadFailed(err error) error {
+	s.reloadFailures.Add(1)
+	s.errMu.Lock()
+	s.lastReloadErr = err.Error()
+	s.errMu.Unlock()
+	return err
 }
 
 func (s *Server) swap(ix *Index) {
@@ -351,6 +385,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	UptimeSeconds   float64         `json:"uptime_seconds"`
 	Reloads         int64           `json:"reloads"`
+	ReloadFailures  int64           `json:"reload_failures"`
+	LastReloadError string          `json:"last_reload_error,omitempty"`
 	LastLoadMicros  int64           `json:"last_load_unix_micros"`
 	Snapshot        *IndexStats     `json:"snapshot,omitempty"`
 	Endpoints       []EndpointStats `json:"endpoints"`
@@ -359,9 +395,14 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.errMu.Lock()
+	lastErr := s.lastReloadErr
+	s.errMu.Unlock()
 	resp := statsResponse{
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		Reloads:         s.reloads.Load(),
+		ReloadFailures:  s.reloadFailures.Load(),
+		LastReloadError: lastErr,
 		LastLoadMicros:  s.lastLoad.Load(),
 		Endpoints:       s.metrics.snapshot(),
 		MaxInFlight:     s.opts.MaxInFlight,

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -216,6 +218,85 @@ func TestReloadFailureKeepsServing(t *testing.T) {
 	}
 	if err := s.Reload(); err == nil {
 		t.Fatal("reload with nothing to load succeeded")
+	}
+}
+
+// TestReloadErrorClassification drives both snapshot-failure classes
+// through the real file path: a truncated/corrupt file and a future format
+// version. In each case the old index must keep serving, the failure must
+// be counted, and the error class must be readable from the 500 body and
+// from /v1/stats; the next good reload clears the sticky error.
+func TestReloadErrorClassification(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	writeFile := func(data []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good, err := json.Marshal(testDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(good)
+
+	s, err := New(Options{Paths: []string{path}, MaxInFlight: 8, RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	post := func() (int, string) {
+		req := httptest.NewRequest("POST", "/v1/reload", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+	stats := func() statsResponse {
+		code, body := get(t, h, "/v1/stats")
+		if code != http.StatusOK {
+			t.Fatalf("stats: %d", code)
+		}
+		var st statsResponse
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// Truncated file → the corruption class.
+	writeFile([]byte(`{"version":1,"meta"`))
+	code, body := post()
+	if code != http.StatusInternalServerError || !strings.Contains(body, "truncated or corrupt snapshot") {
+		t.Fatalf("corrupt reload: %d %s", code, body)
+	}
+	if code, _ := get(t, h, "/v1/app/android/com.bank.app"); code != http.StatusOK {
+		t.Fatalf("old index stopped serving after failed reload: %d", code)
+	}
+	st := stats()
+	if st.ReloadFailures != 1 || !strings.Contains(st.LastReloadError, "truncated or corrupt snapshot") {
+		t.Fatalf("stats after corrupt reload: failures=%d lastErr=%q", st.ReloadFailures, st.LastReloadError)
+	}
+
+	// Future format version → the version-mismatch class.
+	writeFile([]byte(`{"version":99,"meta":{},"apps":[{"id":"a","platform":"android"}]}`))
+	code, body = post()
+	if code != http.StatusInternalServerError || !strings.Contains(body, "version mismatch") {
+		t.Fatalf("version reload: %d %s", code, body)
+	}
+	st = stats()
+	if st.ReloadFailures != 2 || !strings.Contains(st.LastReloadError, "version mismatch") {
+		t.Fatalf("stats after version reload: failures=%d lastErr=%q", st.ReloadFailures, st.LastReloadError)
+	}
+
+	// A good snapshot reloads and clears the sticky error (the failure
+	// counter is history and stays).
+	writeFile(good)
+	if code, body := post(); code != http.StatusOK {
+		t.Fatalf("recovery reload: %d %s", code, body)
+	}
+	st = stats()
+	if st.ReloadFailures != 2 || st.LastReloadError != "" {
+		t.Fatalf("stats after recovery: failures=%d lastErr=%q", st.ReloadFailures, st.LastReloadError)
 	}
 }
 

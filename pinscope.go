@@ -20,6 +20,7 @@
 package pinscope
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"pinscope/internal/appmodel"
 	"pinscope/internal/core"
 	"pinscope/internal/faultinject"
+	"pinscope/internal/journal"
 	"pinscope/internal/report"
 	"pinscope/internal/worldgen"
 )
@@ -53,6 +55,24 @@ type Config struct {
 	// Retries bounds extra per-app measurement attempts under faults
 	// (zero → 2 when FaultRate > 0; ignored otherwise).
 	Retries int
+	// JournalPath, when set, streams every completed per-app result into an
+	// append-only, checksummed write-ahead journal at this path, making the
+	// run crash-only: kill the process at any instant and the journaled
+	// results survive.
+	JournalPath string
+	// Resume replays the results already in JournalPath (from a previous,
+	// killed run with an identical configuration) instead of re-measuring
+	// those apps. The finished study's export is byte-identical to an
+	// uninterrupted run's.
+	Resume bool
+	// KillAfter, when positive, simulates a power cut for crash-recovery
+	// testing: the run aborts after KillAfter results reach the journal,
+	// leaving KillTorn bytes of the interrupted frame on disk. Requires
+	// JournalPath.
+	KillAfter int
+	// KillTorn is the torn-frame length for KillAfter (0: the cut lands
+	// cleanly between frames).
+	KillTorn int
 }
 
 // PaperConfig reproduces the paper-scale study (≈5,000 unique apps).
@@ -121,6 +141,9 @@ func (c Config) toCore() core.Config {
 			cc.Retries = 2
 		}
 	}
+	if c.KillAfter > 0 {
+		cc.Kill = &faultinject.ProcessKill{AfterResults: c.KillAfter, TornBytes: c.KillTorn}
+	}
 	return cc
 }
 
@@ -137,14 +160,32 @@ type Study struct {
 	s *core.Study
 }
 
-// Run executes the full study for the configuration.
+// Run executes the full study for the configuration. With JournalPath set
+// the run is crash-only: results stream into the journal as they complete,
+// and Resume replays a killed run's journal instead of starting over.
 func Run(cfg Config) (*Study, error) {
-	s, err := core.Run(cfg.toCore())
+	var (
+		s   *core.Study
+		err error
+	)
+	if cfg.JournalPath != "" {
+		s, err = core.RunJournaled(cfg.toCore(), cfg.JournalPath, cfg.Resume)
+	} else {
+		s, err = core.Run(cfg.toCore())
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &Study{s: s}, nil
 }
+
+// Resumed reports how many of the study's results were replayed from the
+// journal rather than measured by this process (0 for fresh runs).
+func (st *Study) Resumed() int { return st.s.Resumed }
+
+// IsKilled reports whether err is an injected process kill (KillAfter): the
+// run died by design, its journal is intact, and a Resume run continues it.
+func IsKilled(err error) bool { return errors.Is(err, journal.ErrKilled) }
 
 // Section names the renderable experiment sections.
 type Section string

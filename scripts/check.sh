@@ -2,7 +2,9 @@
 # check.sh — the repo's one-command health gate: gofmt, build, vet, the
 # pinlint invariant suite, full test suite (shuffled), then a race-detector
 # pass over the packages with real concurrency (the study runner's worker
-# pool, the record pipes, the flow tap, the serving layer's snapshot swap).
+# pool, the record pipes, the flow tap, the serving layer's snapshot swap,
+# the result journal's append path) and a short fuzz smoke over journal
+# recovery.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,7 +38,8 @@ go vet -copylocks -loopclosure -atomic \
     -timeformat -unmarshal -unreachable -unsafeptr -unusedresult ./...
 
 # pinlint runs before the expensive passes: the custom invariant suite
-# (detrandonly, mapdeterminism, exportshape, atomicswap) must be clean.
+# (detrandonly, mapdeterminism, exportshape, atomicswap, atomicwrite)
+# must be clean.
 echo "==> pinlint"
 go run ./cmd/pinlint ./...
 
@@ -46,6 +49,11 @@ echo "==> go test -shuffle=on ./..."
 go test -shuffle=on ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/core ./internal/netem ./internal/dynamicanalysis ./internal/pinserve
+go test -race ./internal/core ./internal/netem ./internal/dynamicanalysis ./internal/pinserve ./internal/journal
+
+# A short native-fuzz smoke over journal recovery: whatever bytes end up
+# on disk, Recover must never panic and never return unverified data.
+echo "==> go test -fuzz=FuzzJournalRecover (5s smoke)"
+go test ./internal/journal -run NONE -fuzz 'FuzzJournalRecover' -fuzztime 5s
 
 echo "OK"
