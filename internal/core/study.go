@@ -23,6 +23,7 @@ import (
 	"pinscope/internal/faultinject"
 	"pinscope/internal/frida"
 	"pinscope/internal/mitmproxy"
+	"pinscope/internal/netem"
 	"pinscope/internal/pii"
 	"pinscope/internal/pki"
 	"pinscope/internal/staticanalysis"
@@ -54,6 +55,13 @@ type Config struct {
 	// power-cut: the process "dies" deterministically on the journal's
 	// append path, leaving a torn frame for recovery to truncate.
 	Kill *faultinject.ProcessKill
+	// ColdCrypto disables the shared crypto plane (interned forged chains,
+	// handshake memo, shared trust stores), forcing every worker to rebuild
+	// and re-handshake everything — the pre-plane behavior. Results are
+	// byte-identical either way (the equivalence test holds the study to
+	// that); the switch exists as the test's control and for profiling the
+	// uncached pipeline.
+	ColdCrypto bool
 }
 
 // DefaultConfig is the paper-scale configuration.
@@ -278,6 +286,19 @@ func Run(cfg Config) (*Study, error) {
 // RunOnWorld executes the study against an existing world (lets callers
 // reuse one world across experiments).
 func RunOnWorld(cfg Config, w *worldgen.World) (*Study, error) {
+	// The shared crypto plane: built once, read by every worker's lab.
+	var plane *cryptoPlane
+	if !cfg.ColdCrypto {
+		var err error
+		plane, err = newCryptoPlane(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runOnWorldWithPlane(cfg, w, plane)
+}
+
+func runOnWorldWithPlane(cfg Config, w *worldgen.World, plane *cryptoPlane) (*Study, error) {
 	s := &Study{Cfg: cfg, World: w, results: make(map[string]*AppResult)}
 	cfg.Journal.arm(cfg.Kill)
 
@@ -330,6 +351,7 @@ func RunOnWorld(cfg Config, w *worldgen.World) (*Study, error) {
 	if workers > len(work) {
 		workers = len(work)
 	}
+
 	// Per-app failures never reach this level anymore — the resilient
 	// runner retries and quarantines them. A worker only fails fatally when
 	// its bench cannot be built; the shared context then cancels the feeder
@@ -354,7 +376,7 @@ func RunOnWorld(cfg Config, w *worldgen.World) (*Study, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lab, err := newLab(cfg, w)
+			lab, err := newLab(cfg, w, plane)
 			if err != nil {
 				fail(fmt.Errorf("core: worker bench setup: %w", err))
 				return
@@ -425,18 +447,27 @@ type lab struct {
 	hooks map[appmodel.Platform]*frida.Session
 }
 
-func newLab(cfg Config, w *worldgen.World) (*lab, error) {
+func newLab(cfg Config, w *worldgen.World, plane *cryptoPlane) (*lab, error) {
 	l := &lab{
 		cfg: cfg, world: w,
 		plain: map[appmodel.Platform]*device.Device{},
 		mitm:  map[appmodel.Platform]*device.Device{},
 		hooks: map[appmodel.Platform]*frida.Session{},
 	}
-	proxy, err := mitmproxy.NewWithCA(detrand.New(cfg.Params.Seed).Child("study-proxy"))
-	if err != nil {
-		return nil, err
+	if plane != nil {
+		// The plane already derived the CA from the same seed stream; the
+		// proxy keeps its private forging rng but interns results into the
+		// shared chain store.
+		proxy := mitmproxy.New(plane.proxyCA, forgeRng(cfg))
+		proxy.UseChainStore(plane.forged)
+		l.proxy = proxy
+	} else {
+		proxy, err := mitmproxy.NewWithCA(detrand.New(cfg.Params.Seed).Child("study-proxy"))
+		if err != nil {
+			return nil, err
+		}
+		l.proxy = proxy
 	}
-	l.proxy = proxy
 
 	baseStores := map[appmodel.Platform]*pki.RootStore{
 		appmodel.Android: w.Eco.OEM, // Pixel 3 factory image, OEM store
@@ -449,13 +480,23 @@ func newLab(cfg Config, w *worldgen.World) (*lab, error) {
 			return detrand.New(cfg.Params.Seed).Child("device/" + string(plat))
 		}
 		netPlain := w.NewNetwork(true)
-		l.plain[plat] = device.New(plat, netPlain, baseStores[plat], devRng())
+		dp := device.New(plat, netPlain, baseStores[plat], devRng())
+		l.plain[plat] = dp
 
 		netMITM := w.NewNetwork(true)
-		netMITM.SetInterceptor(proxy)
+		netMITM.SetInterceptor(l.proxy)
 		dm := device.New(plat, netMITM, baseStores[plat], devRng())
-		dm.InstallCA(proxy.CACert())
 		l.mitm[plat] = dm
+
+		if plane != nil {
+			ps := plane.stores[plat]
+			dp.UseStores(ps.plainUser, ps.system)
+			dm.UseStores(ps.mitmUser, ps.system)
+			dp.UseHandshakeMemo(plane.memo)
+			dm.UseHandshakeMemo(plane.memo)
+		} else {
+			dm.InstallCA(l.proxy.CACert())
+		}
 
 		hooks, err := frida.Attach(plat, true)
 		if err != nil {
@@ -602,6 +643,16 @@ func (l *lab) studyApp(app *appmodel.App, common bool, af *faultinject.AppFaults
 	res = &AppResult{App: app}
 	plat := app.Platform
 
+	// Record-buffer recycling: once this attempt's result is assembled, the
+	// captures' record slices go back to the netem pool. Release is nil-safe
+	// and idempotent, so the capA = capA2 alias below is harmless.
+	var spent []*netem.Capture
+	defer func() {
+		for _, c := range spent {
+			c.Release()
+		}
+	}()
+
 	// Attempt-scoped fault taps. All of these are no-ops for a nil af: the
 	// taps install as nil, which netem and mitmproxy treat as absent.
 	setTaps := func(baseLeg, mitmLeg string) {
@@ -636,6 +687,7 @@ func (l *lab) studyApp(app *appmodel.App, common bool, af *faultinject.AppFaults
 	capA, errA := l.plain[plat].Measure(app, opts)
 	optsB := device.RunOptions{Window: l.cfg.Window, Faults: af.Run("mitm")}
 	capB, errB := l.mitm[plat].Measure(app, optsB)
+	spent = append(spent, capA, capB)
 	if errA != nil || errB != nil {
 		// One leg lost the app before it spoke: the differential is invalid
 		// (a dead baseline hides pinners; a dead MITM leg hides rejections).
@@ -665,6 +717,7 @@ func (l *lab) studyApp(app *appmodel.App, common bool, af *faultinject.AppFaults
 		capA2, errA2 := l.plain[plat].Measure(app, rOpts)
 		rOptsB := device.RunOptions{Window: l.cfg.Window, LaunchDelay: 120, Faults: af.Run("rerun-mitm")}
 		capB2, errB2 := l.mitm[plat].Measure(app, rOptsB)
+		spent = append(spent, capA2, capB2)
 		if errA2 == nil && errB2 == nil {
 			rerunOpts := dynamicanalysis.Options{ExcludeDomains: device.AppleBackgroundDomains}
 			rerun := dynamicanalysis.Detect(app.ID, capA2, capB2, rerunOpts)

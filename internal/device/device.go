@@ -40,6 +40,7 @@ type Device struct {
 	userStore   *pki.RootStore // consulted by apps
 	systemStore *pki.RootStore // consulted by OS services; no user CAs
 	rng         *detrand.Source
+	memo        *HandshakeMemo // nil = every connection runs live
 }
 
 // New creates a device whose app store trust anchors come from base.
@@ -65,6 +66,22 @@ func (d *Device) InstallCA(cert *pki.Authority) {
 
 // UserStore exposes the app-visible trust store (read-only use).
 func (d *Device) UserStore() *pki.RootStore { return d.userStore }
+
+// UseStores replaces the device's private trust-store clones with shared,
+// fully configured stores (the study's crypto plane builds one user store
+// per platform/leg with any proxy CA already installed). Sharing pools the
+// stores' validation caches across workers. Callers must not InstallCA on
+// a device after adopting shared stores — configure the shared store once
+// instead.
+func (d *Device) UseStores(user, system *pki.RootStore) {
+	d.userStore = user
+	d.systemStore = system
+}
+
+// UseHandshakeMemo points the device at a shared handshake-outcome memo.
+// Runs with hooks, device faults, or an installed network fault tap bypass
+// it automatically (see memo.go for the contract).
+func (d *Device) UseHandshakeMemo(m *HandshakeMemo) { d.memo = m }
 
 // DecryptApp returns the decrypted package of an iOS app, as Flexdecrypt or
 // Frida-iOS-Dump would. It fails off-jailbreak, which is what limited the
@@ -134,13 +151,19 @@ func (d *Device) Measure(app *appmodel.App, opts RunOptions) (*netem.Capture, er
 	capWindow, truncated := opts.Faults.TruncatedWindow(opts.Window)
 	crashAt, crashed := opts.Faults.CrashTime(opts.Window)
 
+	// The handshake memo serves only clean, unhooked runs: injected faults
+	// must hit real handshakes, and hooked runs feed the proxy's plaintext
+	// logs, which a replayed flow would leave empty.
+	memoOK := d.memo != nil && opts.Hooks == nil && opts.Faults == nil && !d.Net.HasFaultTap()
+	var pending []pendingFill
+
 	// OS background traffic first (it is concurrent in reality; ordering
 	// within the capture does not matter to the analyses). It outlives the
 	// app, so a crash does not silence it — but a capture cut does.
 	if d.Platform == appmodel.IOS {
 		osOpts := opts
 		osOpts.Window = capWindow
-		d.runIOSBackground(app, osOpts, cap, runRng.Child("os"))
+		d.runIOSBackground(app, osOpts, cap, runRng.Child("os"), memoOK, &pending)
 	}
 
 	launched := false
@@ -164,10 +187,15 @@ func (d *Device) Measure(app *appmodel.App, opts RunOptions) (*netem.Capture, er
 				cf.CaptureTailAfter = 2
 			}
 		}
-		d.runConn(app, pc, opts, connCap, cf, runRng.ChildN("conn", i))
+		d.runConn(app, pc, opts, connCap, cf, runRng.ChildN("conn", i), memoOK, &pending)
 		launched = true
 	}
 	d.Net.WaitIdle()
+	// The network is idle, so every pending flow holds its final record
+	// sequence and close flags: snapshot them into the memo.
+	for _, p := range pending {
+		d.memo.fill(p.key, p.flow)
+	}
 	if crashed && !launched && firstConnAt(app, opts.Window) >= 0 {
 		return cap, fmt.Errorf("device: app %s crashed %.1fs after launch, before any connection", app.ID, crashAt)
 	}
@@ -192,11 +220,26 @@ func firstConnAt(app *appmodel.App, window float64) float64 {
 // runIOSBackground emits the OS-initiated traffic of §4.5: Apple service
 // domains spanning the whole test, and associated-domain verification
 // triggered by the install (which precedes launch by LaunchDelay).
-func (d *Device) runIOSBackground(app *appmodel.App, opts RunOptions, cap *netem.Capture, rng *detrand.Source) {
+func (d *Device) runIOSBackground(app *appmodel.App, opts RunOptions, cap *netem.Capture, rng *detrand.Source, memoOK bool, pending *[]pendingFill) {
+	proxied := d.Net.HasInterceptor()
 	osClient := func(host string, at float64) {
+		payload := "GET /.well-known/apple-app-site-association HTTP/1.1\r\nhost: " + host + "\r\n\r\n"
+		var key string
+		if memoOK {
+			key = memoKey(proxied, host, d.systemStore, nil, tlswire.FailAlertClose, 0, nil, len(payload))
+			if e, ok := d.memo.load(key); ok {
+				cap.AddReplayedFlow(host, at, e.records, e.clientClose, e.serverClose)
+				return
+			}
+		}
 		tr, err := d.Net.Dial(host, netem.DialOpts{At: at, Capture: cap})
 		if err != nil {
 			return
+		}
+		if key != "" {
+			if f := cap.Last(); f != nil {
+				*pending = append(*pending, pendingFill{key: key, flow: f})
+			}
 		}
 		defer tr.Close(tlswire.CloseFIN)
 		conn, err := tlswire.Client(tr, &tlswire.ClientConfig{
@@ -207,7 +250,7 @@ func (d *Device) runIOSBackground(app *appmodel.App, opts RunOptions, cap *netem
 		if err != nil {
 			return
 		}
-		conn.Send([]byte("GET /.well-known/apple-app-site-association HTTP/1.1\r\nhost: " + host + "\r\n\r\n"))
+		conn.Send([]byte(payload))
 		conn.Recv()
 		conn.Close()
 	}
@@ -235,19 +278,42 @@ func (d *Device) runIOSBackground(app *appmodel.App, opts RunOptions, cap *netem
 }
 
 // runConn executes one planned connection.
-func (d *Device) runConn(app *appmodel.App, pc appmodel.PlannedConn, opts RunOptions, cap *netem.Capture, cf netem.ConnFaults, rng *detrand.Source) {
-	tr, err := d.Net.Dial(pc.Host, netem.DialOpts{At: pc.At, Capture: cap, Faults: cf})
-	if err != nil {
-		return
-	}
-	// App teardown closes whatever is still open; Close is idempotent.
-	defer tr.Close(tlswire.CloseFIN)
-
+func (d *Device) runConn(app *appmodel.App, pc appmodel.PlannedConn, opts RunOptions, cap *netem.Capture, cf netem.ConnFaults, rng *detrand.Source, memoOK bool, pending *[]pendingFill) {
 	hooked := opts.Hooks.Covers(pc.Lib)
 	store := d.userStore
 	if pc.TrustAnchors != nil {
 		store = pc.TrustAnchors
 	}
+	// The payload is built ahead of the dial: it consumes only this
+	// connection's private rng stream, and its length is part of the memo
+	// key (content never reaches the capture — summaries carry lengths).
+	payloadLen := -1 // sentinel: connection established but never used
+	var payload []byte
+	if pc.Used {
+		payload = pii.BuildPayload(rng, pc.Host, pc.Path, d.Profile, pc.PIIKinds)
+		payloadLen = len(payload)
+	}
+	var key string
+	if memoOK && cap != nil {
+		key = memoKey(d.Net.HasInterceptor(), pc.Host, store, pc.Pins, pc.FailureMode, pc.MaxVersion, pc.Ciphers, payloadLen)
+		if e, ok := d.memo.load(key); ok {
+			cap.AddReplayedFlow(pc.Host, pc.At, e.records, e.clientClose, e.serverClose)
+			return
+		}
+	}
+
+	tr, err := d.Net.Dial(pc.Host, netem.DialOpts{At: pc.At, Capture: cap, Faults: cf})
+	if err != nil {
+		return
+	}
+	if key != "" {
+		if f := cap.Last(); f != nil {
+			*pending = append(*pending, pendingFill{key: key, flow: f})
+		}
+	}
+	// App teardown closes whatever is still open; Close is idempotent.
+	defer tr.Close(tlswire.CloseFIN)
+
 	cfg := &tlswire.ClientConfig{
 		ServerName:   pc.Host,
 		MaxVersion:   pc.MaxVersion,
@@ -267,7 +333,6 @@ func (d *Device) runConn(app *appmodel.App, pc appmodel.PlannedConn, opts RunOpt
 		// deferred teardown.
 		return
 	}
-	payload := pii.BuildPayload(rng, pc.Host, pc.Path, d.Profile, pc.PIIKinds)
 	if err := conn.Send(payload); err != nil {
 		return
 	}

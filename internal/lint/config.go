@@ -55,6 +55,16 @@ type Config struct {
 	// by AtomicWritePackages — internal/atomicio itself, which implements
 	// the contract the analyzer enforces.
 	AtomicWriteExempt []string
+
+	// PKIIssuancePackages lists packages pkiissuance scans for bare
+	// crypto/ecdsa.GenerateKey calls (all simulation key material must be
+	// issued by internal/pki). Entries ending in "/..." match by prefix.
+	PKIIssuancePackages []string
+
+	// PKIIssuanceExempt lists packages pkiissuance skips even when matched
+	// by PKIIssuancePackages — internal/pki itself, the issuance layer the
+	// analyzer routes everyone else through.
+	PKIIssuanceExempt []string
 }
 
 // DefaultConfig is pinscope's policy: the table the ISSUE calls for,
@@ -125,6 +135,8 @@ func DefaultConfig() *Config {
 		},
 		AtomicWritePackages: []string{"pinscope", "pinscope/..."},
 		AtomicWriteExempt:   []string{"pinscope/internal/atomicio"},
+		PKIIssuancePackages: []string{"pinscope", "pinscope/..."},
+		PKIIssuanceExempt:   []string{"pinscope/internal/pki"},
 	}
 }
 

@@ -1,0 +1,55 @@
+package lint
+
+// pkiissuance guards the shared crypto plane's ownership of key material:
+// every ECDSA key in the simulation must come from internal/pki, where
+// issuance is detrand-derived (same seed, same SubjectPublicKeyInfo) and
+// digests are interned in the content-addressed chain store. A bare
+// crypto/ecdsa.GenerateKey elsewhere mints a key the plane cannot dedup or
+// reproduce: it either consumes ambient entropy (breaking byte-identical
+// replays outright) or silently forks a second issuance path whose chains
+// bypass the interning and digest memoization the plane's performance
+// contract rests on.
+//
+// internal/pki itself is exempt (it is the issuance layer), and a
+// deliberate exception can carry a //pinlint:allow pkiissuance directive
+// with its justification.
+
+import (
+	"go/ast"
+)
+
+// NewPKIIssuance builds the pkiissuance analyzer over cfg.
+func NewPKIIssuance(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "pkiissuance",
+		Doc: "flags crypto/ecdsa.GenerateKey outside internal/pki; " +
+			"all simulation key material must be issued by the pki layer",
+	}
+	a.Run = func(pass *Pass) error {
+		if !matchPkg(cfg.PKIIssuancePackages, pass.PkgPath) ||
+			matchPkg(cfg.PKIIssuanceExempt, pass.PkgPath) {
+			return nil
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				if obj.Pkg().Path() != "crypto/ecdsa" || obj.Name() != "GenerateKey" {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"ecdsa.GenerateKey mints key material outside internal/pki; "+
+						"issue keys through the pki layer so the crypto plane can intern and reproduce them")
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pinscope/internal/lint"
+	"pinscope/internal/lint/linttest"
+)
+
+func TestPKIIssuance(t *testing.T) {
+	cfg := &lint.Config{
+		PKIIssuancePackages: []string{"example.com/issuance"},
+	}
+	linttest.Run(t, "testdata/pkiissuance", "example.com/issuance", lint.NewPKIIssuance(cfg))
+}
+
+func TestPKIIssuanceExemptPackage(t *testing.T) {
+	// The same fixture under an exempted import path yields nothing: the
+	// pki implementation package is the designated issuance layer.
+	cfg := &lint.Config{
+		PKIIssuancePackages: []string{"example.com/..."},
+		PKIIssuanceExempt:   []string{"example.com/issuance"},
+	}
+	pkg, fset, err := lint.LoadDir("testdata/pkiissuance", "example.com/issuance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.AnalyzePackage(fset, pkg, []*lint.Analyzer{lint.NewPKIIssuance(cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("exempt package still flagged: %v", diags)
+	}
+}

@@ -18,6 +18,7 @@ func Suite(cfg *Config) []*Analyzer {
 		NewExportShape(cfg),
 		NewAtomicSwap(cfg),
 		NewAtomicWrite(cfg),
+		NewPKIIssuance(cfg),
 	}
 }
 

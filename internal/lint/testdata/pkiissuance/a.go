@@ -1,0 +1,36 @@
+// Package issuance is pkiissuance testdata: ambient ECDSA key generation
+// that must be routed through internal/pki, plus the patterns that stay
+// legal (other crypto/ecdsa uses, and a justified allow).
+package issuance
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+)
+
+// MintKey generates a key outside the pki layer: the plane can neither
+// intern nor reproduce it.
+func MintKey() (*ecdsa.PrivateKey, error) {
+	return ecdsa.GenerateKey(elliptic.P256(), rand.Reader) // want "ecdsa.GenerateKey mints key material outside internal/pki"
+}
+
+// Sign only uses an existing key; non-issuance ecdsa calls are not the
+// analyzer's business.
+func Sign(key *ecdsa.PrivateKey, msg []byte) ([]byte, error) {
+	sum := sha256.Sum256(msg)
+	return ecdsa.SignASN1(rand.Reader, key, sum[:])
+}
+
+// Verify is read-side crypto and stays legal too.
+func Verify(pub *ecdsa.PublicKey, msg, sig []byte) bool {
+	sum := sha256.Sum256(msg)
+	return ecdsa.VerifyASN1(pub, sum[:], sig)
+}
+
+// ThrowawayKey is a deliberate non-simulation key with a justification:
+// the directive on the call line suppresses the finding.
+func ThrowawayKey() (*ecdsa.PrivateKey, error) {
+	return ecdsa.GenerateKey(elliptic.P256(), rand.Reader) //pinlint:allow pkiissuance test-only key never enters a study chain
+}

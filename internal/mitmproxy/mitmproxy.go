@@ -55,6 +55,7 @@ type Proxy struct {
 
 	mu          sync.Mutex
 	leafCache   map[string]pki.Chain
+	shared      *pki.ChainStore
 	logs        []*ConnLog
 	forgeFaults ForgeFaults
 }
@@ -105,22 +106,57 @@ func (p *Proxy) SetForgeFaults(f ForgeFaults) {
 	p.forgeFaults = f
 }
 
+// UseChainStore points the proxy's forged-leaf cache at a shared
+// content-addressed store (the study's crypto plane). Proxies forging from
+// the same CA and the same deterministic rng derivation produce identical
+// leaves, so cross-worker sharing changes which worker pays the ECDSA
+// issuance cost, never the bytes on the wire. With no store set the proxy
+// falls back to its private per-proxy cache.
+func (p *Proxy) UseChainStore(s *pki.ChainStore) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.shared = s
+}
+
 // forgedChain returns (building and caching if needed) the forged chain for
 // host: a leaf issued by the proxy CA plus the CA certificate.
 func (p *Proxy) forgedChain(host string) (pki.Chain, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.forgeFaults != nil && p.forgeFaults.ForgeFails(host) {
+	ff, shared := p.forgeFaults, p.shared
+	p.mu.Unlock()
+	// Fault check stays ahead of every cache: a faulted host fails even when
+	// a forged chain is already interned, like a proxy worker dying
+	// mid-handshake.
+	if ff != nil && ff.ForgeFails(host) {
 		return nil, fmt.Errorf("mitmproxy: transient forge failure for %q", host)
 	}
+	issue := func() (pki.Chain, error) {
+		leaf, err := p.ca.IssueLeaf(p.rng.Child("leaf/"+host), host, pki.LeafOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("mitmproxy: forge leaf for %q: %w", host, err)
+		}
+		return pki.Chain{leaf.Cert, p.ca.Cert}, nil
+	}
+	if shared != nil {
+		// Key by issuing authority as well as hostname so one store can
+		// serve proxies with distinct CAs without collisions. The authority
+		// is identified by its SPKI, not its certificate bytes: a CA
+		// re-derived from the same seed carries the same key but a fresh
+		// (nondeterministic) self-signature, and forged leaves depend only
+		// on the key — so SPKI keying lets re-derived proxies share leaves
+		// a previous study already paid to issue.
+		sum := pki.SPKIDigest(p.ca.Cert, pki.SHA256)
+		return shared.GetOrIssue(string(sum)+"|leaf/"+host, issue)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if c, ok := p.leafCache[host]; ok {
 		return c, nil
 	}
-	leaf, err := p.ca.IssueLeaf(p.rng.Child("leaf/"+host), host, pki.LeafOptions{})
+	chain, err := issue()
 	if err != nil {
-		return nil, fmt.Errorf("mitmproxy: forge leaf for %q: %w", host, err)
+		return nil, err
 	}
-	chain := pki.Chain{leaf.Cert, p.ca.Cert}
 	p.leafCache[host] = chain
 	return chain, nil
 }

@@ -1,6 +1,7 @@
 package mitmproxy
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -276,3 +277,78 @@ func TestDestPrefersSNI(t *testing.T) {
 		t.Fatalf("Dest = %q", lg2.Dest())
 	}
 }
+
+// TestSharedChainStore: two proxies built from the same CA and the same
+// deterministic rng derivation, wired to one shared chain store, serve
+// pointer-identical forged chains — and the leaf is issued exactly once
+// between them. This is the cross-worker plane contract.
+func TestSharedChainStore(t *testing.T) {
+	base := detrand.New(9)
+	ca, err := pki.NewRootCA(base.Child("mitm-ca"), "mitmproxy", "mitmproxy", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := pki.NewChainStore()
+	p1 := New(ca, base.Child("mitm-forge"))
+	p1.UseChainStore(store)
+	p2 := New(ca, base.Child("mitm-forge"))
+	p2.UseChainStore(store)
+
+	c1, err := p1.forgedChain("shared.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p2.forgedChain("shared.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Leaf() != c2.Leaf() {
+		t.Fatal("proxies sharing a chain store got distinct leaf objects")
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store interned %d chains, want 1", store.Len())
+	}
+
+	// A cold proxy on the same derivation must forge the same leaf identity:
+	// the key is detrand-derived, so only the (export-invisible) ECDSA
+	// signature nonce differs between issuances. Sharing moves who pays the
+	// issuance cost, not what the device sees validated or pinned.
+	cold := New(ca, detrand.New(9).Child("mitm-forge"))
+	c3, err := cold.forgedChain("shared.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Leaf().RawSubjectPublicKeyInfo, c3.Leaf().RawSubjectPublicKeyInfo) {
+		t.Fatal("shared-store leaf key differs from a cold proxy's forge")
+	}
+	if c1.Leaf().DNSNames[0] != c3.Leaf().DNSNames[0] {
+		t.Fatal("shared-store leaf SAN differs from a cold proxy's forge")
+	}
+}
+
+// TestForgeFaultBeatsSharedCache: a transient forge fault must fire even
+// when the shared store already holds the host's chain.
+func TestForgeFaultBeatsSharedCache(t *testing.T) {
+	base := detrand.New(10)
+	ca, err := pki.NewRootCA(base.Child("mitm-ca"), "mitmproxy", "mitmproxy", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(ca, base.Child("mitm-forge"))
+	p.UseChainStore(pki.NewChainStore())
+	if _, err := p.forgedChain("faulty.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	p.SetForgeFaults(alwaysFail{})
+	if _, err := p.forgedChain("faulty.example.com"); err == nil {
+		t.Fatal("warm shared cache masked a forge fault")
+	}
+	p.SetForgeFaults(nil)
+	if _, err := p.forgedChain("faulty.example.com"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type alwaysFail struct{}
+
+func (alwaysFail) ForgeFails(string) bool { return true }

@@ -30,6 +30,7 @@ type Flow struct {
 	At float64
 
 	records     []tlswire.Summary
+	recBox      *[]tlswire.Summary // pooled backing array, nil once released
 	clientClose tlswire.CloseFlag
 	serverClose tlswire.CloseFlag
 
@@ -146,6 +147,19 @@ type Capture struct {
 	flows []*Flow
 }
 
+// flowRecPool recycles the record backing arrays of released captures. A
+// study runs tens of thousands of flows whose summaries are read once by
+// the analysis layer (which copies what it keeps) and then discarded;
+// recycling the arrays keeps that churn out of the allocator. Recycled
+// arrays may briefly pin Summary-referenced objects (hello infos, certs),
+// all of which are world-owned and alive for the study anyway.
+var flowRecPool = sync.Pool{
+	New: func() any {
+		s := make([]tlswire.Summary, 0, 16)
+		return &s
+	},
+}
+
 // NewCapture returns an empty capture.
 func NewCapture() *Capture { return &Capture{} }
 
@@ -164,11 +178,72 @@ func (c *Capture) Flows() []*Flow {
 func (c *Capture) newFlow(dst string, at float64) *Flow {
 	f := &Flow{Dst: dst, At: at}
 	if c != nil {
+		box := flowRecPool.Get().(*[]tlswire.Summary)
+		f.records = (*box)[:0]
+		f.recBox = box
 		c.mu.Lock()
 		c.flows = append(c.flows, f)
 		c.mu.Unlock()
 	}
 	return f
+}
+
+// Last returns the most recently added flow, or nil. Dials are issued
+// sequentially from a run's measurement goroutine, so immediately after a
+// captured Dial this is that dial's flow.
+func (c *Capture) Last() *Flow {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.flows) == 0 {
+		return nil
+	}
+	return c.flows[len(c.flows)-1]
+}
+
+// AddReplayedFlow appends a flow whose records come from a memoized
+// handshake outcome rather than a live connection: dst and at are the
+// would-be dial's, records and close flags are the snapshot's. The records
+// are copied into the flow's (pooled) buffer, so the caller's slice is not
+// retained.
+func (c *Capture) AddReplayedFlow(dst string, at float64, records []tlswire.Summary, clientClose, serverClose tlswire.CloseFlag) {
+	f := c.newFlow(dst, at)
+	f.mu.Lock()
+	f.records = append(f.records, records...)
+	f.clientClose = clientClose
+	f.serverClose = serverClose
+	f.seen = len(records)
+	f.mu.Unlock()
+}
+
+// Release returns the capture's pooled record buffers and drops its flows.
+// Call it only once the consuming analysis is done with the capture AND the
+// network is idle (no handler still appending); the flows' Records() views
+// become empty afterwards. Releasing is optional — unreleased captures are
+// simply garbage collected.
+func (c *Capture) Release() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	flows := c.flows
+	c.flows = nil
+	c.mu.Unlock()
+	for _, f := range flows {
+		f.mu.Lock()
+		box := f.recBox
+		if box != nil {
+			*box = f.records[:0]
+			f.recBox = nil
+			f.records = nil
+		}
+		f.mu.Unlock()
+		if box != nil {
+			flowRecPool.Put(box)
+		}
+	}
 }
 
 // Handler serves one inbound connection.
@@ -253,6 +328,24 @@ func (n *Network) SetFaultTap(t FaultTap) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.faultTap = t
+}
+
+// HasInterceptor reports whether an interception proxy is installed —
+// i.e. whether subsequent Dials terminate at the MITM instead of the
+// genuine destination. Handshake memo keys include this bit.
+func (n *Network) HasInterceptor() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.interceptor != nil
+}
+
+// HasFaultTap reports whether a fault-injection tap is installed. Runs on
+// a tapped network must bypass handshake memoization so injected faults
+// hit real handshakes.
+func (n *Network) HasFaultTap() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.faultTap != nil
 }
 
 // HasHost reports whether host is served.
@@ -346,7 +439,14 @@ func (n *Network) WaitIdle() { n.wg.Wait() }
 
 // --- record pipes ---------------------------------------------------------
 
-const pipeBuf = 128
+// pipeBuf sizes each direction's record channel. The protocol is
+// turn-based: the longest unacknowledged burst is the TLS 1.3 server
+// flight (ServerHello, CCS, certificate record, Finished) plus session
+// tickets, well under 16 records, so a small buffer never deadlocks — it
+// just applies backpressure. At the study's connection volume the old
+// 128-record channels were a measurable share of allocations (two channels
+// per connection).
+const pipeBuf = 16
 
 // resetState is the shared record budget of a connection carrying an
 // injected mid-stream RST; both pipe ends draw from it.

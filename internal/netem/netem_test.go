@@ -190,10 +190,13 @@ func TestCaptureNilSafe(t *testing.T) {
 }
 
 func TestPipeOrderedDeliveryProperty(t *testing.T) {
-	// Every record sent before a close arrives, in order.
+	// Every record sent before a close arrives, in order. The sender here
+	// has no concurrent receiver, so the burst is capped at pipeBuf — the
+	// turn-based protocol's own bound on unacknowledged records (see the
+	// pipeBuf comment).
 	f := func(lengths []uint8) bool {
-		if len(lengths) > 64 {
-			lengths = lengths[:64]
+		if len(lengths) > pipeBuf {
+			lengths = lengths[:pipeBuf]
 		}
 		c, s := newPipePair(nil)
 		for i, l := range lengths {
@@ -213,5 +216,76 @@ func TestPipeOrderedDeliveryProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCaptureReleaseRecyclesBuffers(t *testing.T) {
+	cap1 := NewCapture()
+	f := cap1.newFlow("pool.example.com", 1)
+	f.addRecord(true, tlswire.Record{Length: 11})
+	f.addRecord(false, tlswire.Record{Length: 22})
+	recs := f.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records before release", len(recs))
+	}
+	cap1.Release()
+	if got := f.Records(); len(got) != 0 {
+		t.Fatalf("released flow still exposes %d records", len(got))
+	}
+	if got := cap1.Flows(); len(got) != 0 {
+		t.Fatalf("released capture still exposes %d flows", len(got))
+	}
+	// The snapshot taken before the release is untouched: Records copies.
+	if recs[0].Length != 11 || recs[1].Length != 22 {
+		t.Fatal("pre-release snapshot was clobbered by Release")
+	}
+	// Double release is a no-op.
+	cap1.Release()
+}
+
+func TestAddReplayedFlow(t *testing.T) {
+	snap := []tlswire.Summary{
+		{FromClient: true, WireType: tlswire.RecHandshake, Length: 321},
+		{FromClient: false, WireType: tlswire.RecAppData, Length: 55},
+	}
+	c := NewCapture()
+	c.AddReplayedFlow("replay.example.com", 7.5, snap, tlswire.CloseFIN, tlswire.CloseFIN)
+	flows := c.Flows()
+	if len(flows) != 1 {
+		t.Fatalf("got %d flows", len(flows))
+	}
+	f := flows[0]
+	if f.Dst != "replay.example.com" || f.At != 7.5 {
+		t.Fatalf("flow identity %q @ %v", f.Dst, f.At)
+	}
+	got := f.Records()
+	if len(got) != 2 || got[0].Length != 321 || got[1].Length != 55 {
+		t.Fatalf("replayed records %+v", got)
+	}
+	cc, sc := f.CloseFlags()
+	if cc != tlswire.CloseFIN || sc != tlswire.CloseFIN {
+		t.Fatalf("close flags %v/%v", cc, sc)
+	}
+	// The replayed flow owns its copy: mutating the snapshot afterwards
+	// must not reach the capture.
+	snap[0].Length = 999
+	if f.Records()[0].Length != 321 {
+		t.Fatal("replayed flow aliases the caller's snapshot")
+	}
+}
+
+func TestLastFlow(t *testing.T) {
+	var nilCap *Capture
+	if nilCap.Last() != nil {
+		t.Fatal("nil capture Last != nil")
+	}
+	c := NewCapture()
+	if c.Last() != nil {
+		t.Fatal("empty capture Last != nil")
+	}
+	c.newFlow("one.example.com", 0)
+	f2 := c.newFlow("two.example.com", 1)
+	if c.Last() != f2 {
+		t.Fatal("Last is not the most recent flow")
 	}
 }

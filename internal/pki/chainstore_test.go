@@ -1,0 +1,198 @@
+package pki
+
+import (
+	"bytes"
+	"crypto/x509"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pinscope/internal/detrand"
+)
+
+func TestChainStoreIssuesOncePerKey(t *testing.T) {
+	rng := detrand.New(101)
+	ca, err := NewRootCA(rng.Child("ca"), "Test CA", "Test Org", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewChainStore()
+
+	var issued atomic.Int64
+	issue := func(host string) func() (Chain, error) {
+		return func() (Chain, error) {
+			issued.Add(1)
+			leaf, err := ca.IssueLeaf(rng.Child("leaf/"+host), host, LeafOptions{})
+			if err != nil {
+				return nil, err
+			}
+			return Chain{leaf.Cert, ca.Cert}, nil
+		}
+	}
+
+	hosts := []string{"a.example.com", "b.example.com", "c.example.com"}
+	const workers = 8
+	chains := make([][]Chain, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				for _, h := range hosts {
+					c, err := store.GetOrIssue(h, issue(h))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					chains[w] = append(chains[w], c)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := issued.Load(); got != int64(len(hosts)) {
+		t.Fatalf("issue ran %d times, want exactly %d (once per key)", got, len(hosts))
+	}
+	if store.Len() != len(hosts) {
+		t.Fatalf("store.Len() = %d, want %d", store.Len(), len(hosts))
+	}
+	// Every worker must have received the SAME interned chain per host, not
+	// an equal copy: pointer identity is what makes the digest memo shared.
+	for w := 1; w < workers; w++ {
+		for i := range chains[0] {
+			if chains[w][i][0] != chains[0][i][0] {
+				t.Fatalf("worker %d got a distinct leaf for slot %d", w, i)
+			}
+		}
+	}
+}
+
+func TestChainStoreInternsErrors(t *testing.T) {
+	store := NewChainStore()
+	calls := 0
+	boom := func() (Chain, error) { calls++; return nil, ErrEmptyChain }
+	if _, err := store.GetOrIssue("k", boom); err != ErrEmptyChain {
+		t.Fatalf("first call: err = %v, want ErrEmptyChain", err)
+	}
+	if _, err := store.GetOrIssue("k", boom); err != ErrEmptyChain {
+		t.Fatalf("second call: err = %v, want interned ErrEmptyChain", err)
+	}
+	if calls != 1 {
+		t.Fatalf("issue ran %d times after error, want 1 (errors are interned)", calls)
+	}
+}
+
+func TestDigestMemoMatchesDirectHashing(t *testing.T) {
+	rng := detrand.New(202)
+	ca, err := NewRootCA(rng.Child("ca"), "Digest CA", "Test Org", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.IssueLeaf(rng.Child("leaf"), "digest.example.com", LeafOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, alg := range []HashAlg{SHA256, SHA1} {
+		first := SPKIDigest(leaf.Cert, alg)
+		second := SPKIDigest(leaf.Cert, alg)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("%v digest unstable across calls", alg)
+		}
+		// The public API hands out fresh copies: mutating one must not
+		// poison the memo or other callers.
+		first[0] ^= 0xff
+		if bytes.Equal(first, SPKIDigest(leaf.Cert, alg)) {
+			t.Fatalf("%v digest aliases the memo's backing array", alg)
+		}
+	}
+
+	pin := NewPin(leaf.Cert, SHA256)
+	if !pin.Matches(leaf.Cert) {
+		t.Fatal("pin built from cert does not match it")
+	}
+	if pin.Matches(ca.Cert) {
+		t.Fatal("pin matches an unrelated cert")
+	}
+}
+
+func TestRootStoreDigest(t *testing.T) {
+	rng := detrand.New(303)
+	ca1, err := NewRootCA(rng.Child("ca1"), "CA One", "Org", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := NewRootCA(rng.Child("ca2"), "CA Two", "Org", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := NewRootStore("a")
+	a.Add(ca1.Cert)
+	b := a.Clone("renamed")
+	if a.Digest() != b.Digest() {
+		t.Fatal("digest depends on store name, want content-only")
+	}
+
+	before := a.Digest()
+	a.Add(ca2.Cert)
+	if a.Digest() == before {
+		t.Fatal("Add did not change the content digest")
+	}
+	if a.Digest() == b.Digest() {
+		t.Fatal("stores with different roots share a digest")
+	}
+
+	// Concurrent readers must agree (exercised under -race in check.sh).
+	var wg sync.WaitGroup
+	want := a.Digest()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if a.Digest() != want {
+				t.Error("concurrent Digest readers disagree")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPinSetDigestKey(t *testing.T) {
+	rng := detrand.New(404)
+	ca, err := NewRootCA(rng.Child("ca"), "Pins CA", "Org", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.IssueLeaf(rng.Child("leaf"), "pins.example.com", LeafOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var empty *PinSet
+	if empty.DigestKey() != "" {
+		t.Fatal("nil set must digest to empty string")
+	}
+	if (&PinSet{}).DigestKey() != "" {
+		t.Fatal("empty set must digest to empty string")
+	}
+
+	spki := &PinSet{Pins: []Pin{NewPin(leaf.Cert, SHA256)}}
+	if spki.DigestKey() == "" {
+		t.Fatal("non-empty set digests to empty string")
+	}
+	again := &PinSet{Pins: []Pin{NewPin(leaf.Cert, SHA256)}}
+	if spki.DigestKey() != again.DigestKey() {
+		t.Fatal("equal pin material yields different digests")
+	}
+	other := &PinSet{Pins: []Pin{NewPin(ca.Cert, SHA256)}}
+	if spki.DigestKey() == other.DigestKey() {
+		t.Fatal("different pin material yields equal digests")
+	}
+	rawSet := &PinSet{RawCerts: []*x509.Certificate{leaf.Cert}}
+	if rawSet.DigestKey() == spki.DigestKey() {
+		t.Fatal("raw-cert pin digests like an SPKI pin")
+	}
+}

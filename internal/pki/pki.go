@@ -27,6 +27,7 @@ import (
 	"math/big"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pinscope/internal/detrand"
@@ -44,10 +45,12 @@ type Entity struct {
 	Key  *ecdsa.PrivateKey
 }
 
-// Authority is an issuing certificate authority.
+// Authority is an issuing certificate authority. The serial counter is
+// drawn atomically: the crypto plane shares one Authority across all study
+// workers, so concurrent issuance is the norm, not the exception.
 type Authority struct {
 	Entity
-	serial int64
+	serial atomic.Int64
 }
 
 // deterministicKey derives an ECDSA P-256 private key from rng without
@@ -101,9 +104,8 @@ func NewRootCA(rng *detrand.Source, commonName, org string, validYears int) (*Au
 // NewIntermediate issues an intermediate CA under parent.
 func (a *Authority) NewIntermediate(rng *detrand.Source, commonName string, validYears int) (*Authority, error) {
 	key := deterministicKey(rng)
-	a.serial++
 	tmpl := &x509.Certificate{
-		SerialNumber: big.NewInt(a.serial<<20 | int64(rng.Intn(1<<20))),
+		SerialNumber: big.NewInt(a.serial.Add(1)<<20 | int64(rng.Intn(1<<20))),
 		Subject: pkix.Name{
 			CommonName:   commonName,
 			Organization: a.Cert.Subject.Organization,
@@ -161,9 +163,8 @@ func (a *Authority) issueLeafWithKey(rng *detrand.Source, hostname string, key *
 	if opts.NotAfter.IsZero() {
 		opts.NotAfter = StudyEpoch.AddDate(0, 9, 0)
 	}
-	a.serial++
 	tmpl := &x509.Certificate{
-		SerialNumber: big.NewInt(a.serial<<20 | int64(rng.Intn(1<<20))),
+		SerialNumber: big.NewInt(a.serial.Add(1)<<20 | int64(rng.Intn(1<<20))),
 		Subject:      pkix.Name{CommonName: hostname},
 		NotBefore:    opts.NotBefore,
 		NotAfter:     opts.NotAfter,
@@ -171,12 +172,19 @@ func (a *Authority) issueLeafWithKey(rng *detrand.Source, hostname string, key *
 		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
 		DNSNames:     append([]string{hostname}, opts.ExtraDNS...),
 	}
-	//pinlint:allow detrandonly ECDSA signing is hedged-randomized by design; signature bytes never reach exported artifacts — pins hash the detrand-derived SPKI
-	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.Cert, &key.PublicKey, a.Key)
-	if err != nil {
-		return nil, fmt.Errorf("pki: issue leaf %q: %w", hostname, err)
-	}
-	cert, err := x509.ParseCertificate(der)
+	// The create step (sign, self-verify, encode, parse) is interned by TBS
+	// content: re-deriving the same world from the same seed reuses the
+	// already-issued certificate instead of minting a fresh signature over
+	// identical bytes. Key and serial were already drawn above, so a hit
+	// consumes exactly the same rng stream as a miss.
+	cert, err := internLeafCertificate(a.Cert, tmpl, &key.PublicKey, func() (*x509.Certificate, error) {
+		//pinlint:allow detrandonly ECDSA signing is hedged-randomized by design; signature bytes never reach exported artifacts — pins hash the detrand-derived SPKI
+		der, err := x509.CreateCertificate(rand.Reader, tmpl, a.Cert, &key.PublicKey, a.Key)
+		if err != nil {
+			return nil, fmt.Errorf("pki: issue leaf %q: %w", hostname, err)
+		}
+		return x509.ParseCertificate(der)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -236,22 +244,10 @@ var ErrEmptyChain = errors.New("pki: empty certificate chain")
 // Validate verifies the chain against store for hostname at time at. The
 // last element of the chain is treated as the trust-anchor candidate: it
 // must itself be present in (or signed by a member of) the store.
+// Per-link signature checks are served from a global content-addressed
+// memo (see verify.go); the non-cryptographic checks run every time.
 func (c Chain) Validate(store *RootStore, hostname string, at time.Time) error {
-	if len(c) == 0 {
-		return ErrEmptyChain
-	}
-	roots := store.Pool()
-	inters := x509.NewCertPool()
-	for _, ic := range c[1:] {
-		inters.AddCert(ic)
-	}
-	_, err := c[0].Verify(x509.VerifyOptions{
-		DNSName:       hostname,
-		Roots:         roots,
-		Intermediates: inters,
-		CurrentTime:   at,
-	})
-	return err
+	return verifyChain(c, store, hostname, at)
 }
 
 // RootStore is a named set of trusted root certificates. It carries a
@@ -265,6 +261,8 @@ type RootStore struct {
 
 	vmu    sync.RWMutex
 	vcache map[string]error
+	digest string
+	subj   map[string][]*x509.Certificate
 }
 
 // NewRootStore returns an empty store with the given name.
@@ -279,7 +277,29 @@ func (rs *RootStore) Add(cert *x509.Certificate) {
 	rs.certs = append(rs.certs, cert)
 	rs.pool = nil
 	rs.vcache = nil
+	rs.digest = ""
+	rs.subj = nil
 	rs.vmu.Unlock()
+}
+
+// bySubject returns the trusted roots whose subject matches rawSubject,
+// from a lazily built index (invalidated by Add). Safe for concurrent use.
+func (rs *RootStore) bySubject(rawSubject []byte) []*x509.Certificate {
+	rs.vmu.RLock()
+	idx := rs.subj
+	rs.vmu.RUnlock()
+	if idx == nil {
+		rs.vmu.Lock()
+		if rs.subj == nil {
+			rs.subj = make(map[string][]*x509.Certificate, len(rs.certs))
+			for _, c := range rs.certs {
+				rs.subj[string(c.RawSubject)] = append(rs.subj[string(c.RawSubject)], c)
+			}
+		}
+		idx = rs.subj
+		rs.vmu.Unlock()
+	}
+	return idx[string(rawSubject)]
 }
 
 // Validate verifies chain for hostname at time at against the store,
@@ -290,7 +310,7 @@ func (rs *RootStore) Validate(chain Chain, hostname string, at time.Time) error 
 		return ErrEmptyChain
 	}
 	var key strings.Builder
-	sum := sha256.Sum256(chain[0].Raw)
+	sum := RawDigest(chain[0])
 	key.Write(sum[:])
 	for _, c := range chain[1:] {
 		key.WriteByte('|')
@@ -356,6 +376,31 @@ func (rs *RootStore) Clone(name string) *RootStore {
 	return cp
 }
 
+// Digest returns a digest of the store's trusted-root content (not its
+// Name), cached until the next Add. Two stores trusting the same roots in
+// the same order share a digest, which is what handshake memo keys need:
+// the handshake outcome depends on what is trusted, not what the store is
+// called. Safe for concurrent use.
+func (rs *RootStore) Digest() string {
+	rs.vmu.RLock()
+	d := rs.digest
+	rs.vmu.RUnlock()
+	if d != "" {
+		return d
+	}
+	rs.vmu.Lock()
+	defer rs.vmu.Unlock()
+	if rs.digest == "" {
+		h := sha256.New()
+		for _, c := range rs.certs {
+			sum := RawDigest(c)
+			h.Write(sum[:])
+		}
+		rs.digest = string(h.Sum(nil))
+	}
+	return rs.digest
+}
+
 // --- Pins ---------------------------------------------------------------
 
 // HashAlg identifies the digest used for an SPKI pin.
@@ -373,14 +418,15 @@ func (h HashAlg) String() string {
 	return "sha256"
 }
 
-// SPKIDigest hashes the SubjectPublicKeyInfo of cert.
+// SPKIDigest hashes the SubjectPublicKeyInfo of cert. Digests are computed
+// once per certificate and memoized (see chainstore.go); the returned slice
+// is a fresh copy the caller may keep or mutate.
 func SPKIDigest(cert *x509.Certificate, alg HashAlg) []byte {
+	d := digestsOf(cert)
 	if alg == SHA1 {
-		s := sha1.Sum(cert.RawSubjectPublicKeyInfo)
-		return s[:]
+		return append([]byte(nil), d.spki1[:]...)
 	}
-	s := sha256.Sum256(cert.RawSubjectPublicKeyInfo)
-	return s[:]
+	return append([]byte(nil), d.spki256[:]...)
 }
 
 // Pin is a single certificate pin as apps embed them: an SPKI digest plus
@@ -413,9 +459,14 @@ func (p Pin) Key() string {
 	return p.Alg.String() + ":" + hex.EncodeToString(p.Digest)
 }
 
-// Matches reports whether cert's SPKI digest equals the pin.
+// Matches reports whether cert's SPKI digest equals the pin. It reads the
+// memoized digests directly, so a pin check allocates nothing.
 func (p Pin) Matches(cert *x509.Certificate) bool {
-	d := SPKIDigest(cert, p.Alg)
+	md := digestsOf(cert)
+	d := md.spki256[:]
+	if p.Alg == SHA1 {
+		d = md.spki1[:]
+	}
 	if len(d) != len(p.Digest) {
 		return false
 	}
@@ -467,6 +518,24 @@ type PinSet struct {
 // Empty reports whether the set contains no pin material.
 func (ps *PinSet) Empty() bool {
 	return ps == nil || (len(ps.Pins) == 0 && len(ps.RawCerts) == 0)
+}
+
+// DigestKey returns a canonical digest of the set's pin material, for use
+// in memo keys. Empty sets (including nil) digest to "".
+func (ps *PinSet) DigestKey() string {
+	if ps.Empty() {
+		return ""
+	}
+	h := sha256.New()
+	for _, p := range ps.Pins {
+		h.Write([]byte(p.Alg.String()))
+		h.Write(p.Digest)
+	}
+	for _, rc := range ps.RawCerts {
+		sum := RawDigest(rc)
+		h.Write(sum[:])
+	}
+	return string(h.Sum(nil))
 }
 
 // MatchChain reports whether any certificate in the chain satisfies any pin.

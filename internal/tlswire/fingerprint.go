@@ -3,8 +3,7 @@ package tlswire
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
-	"strings"
+	"strconv"
 )
 
 // Fingerprint computes a JA3-style client fingerprint from the observable
@@ -22,16 +21,24 @@ func (h *HelloInfo) Fingerprint() string {
 	if h == nil {
 		return ""
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d,", uint16(h.MaxVersion))
+	// Hash the canonical byte string directly: one stack-backed append
+	// chain instead of a strings.Builder + fmt round-trip per field.
+	b := make([]byte, 0, 96)
+	b = strconv.AppendUint(b, uint64(h.MaxVersion), 10)
+	b = append(b, ',')
 	for i, c := range h.CipherSuites {
 		if i > 0 {
-			b.WriteByte('-')
+			b = append(b, '-')
 		}
-		fmt.Fprintf(&b, "%d", uint16(c))
+		b = strconv.AppendUint(b, uint64(c), 10)
 	}
-	b.WriteByte(',')
-	b.WriteString(strings.Join(h.ALPN, "-"))
-	sum := sha256.Sum256([]byte(b.String()))
+	b = append(b, ',')
+	for i, p := range h.ALPN {
+		if i > 0 {
+			b = append(b, '-')
+		}
+		b = append(b, p...)
+	}
+	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:8])
 }

@@ -73,6 +73,12 @@ type Config struct {
 	// KillTorn is the torn-frame length for KillAfter (0: the cut lands
 	// cleanly between frames).
 	KillTorn int
+	// ColdCrypto disables the shared crypto plane (interned forged chains,
+	// handshake memoization, shared trust stores), forcing every worker to
+	// rebuild and re-verify everything from scratch. The export is
+	// byte-identical either way; this exists for equivalence testing and
+	// for profiling the uncached pipeline.
+	ColdCrypto bool
 }
 
 // PaperConfig reproduces the paper-scale study (≈5,000 unique apps).
@@ -133,7 +139,7 @@ func (c Config) toCore() core.Config {
 	if win == 0 {
 		win = 30
 	}
-	cc := core.Config{Params: p, Window: win, Workers: c.Workers}
+	cc := core.Config{Params: p, Window: win, Workers: c.Workers, ColdCrypto: c.ColdCrypto}
 	if c.FaultRate > 0 {
 		cc.Faults = faultinject.NewPlan(p.Seed, faultinject.Uniform(c.FaultRate))
 		cc.Retries = c.Retries

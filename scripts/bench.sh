@@ -1,0 +1,87 @@
+#!/bin/sh
+# bench.sh — the benchmark-trajectory harness for the shared crypto plane.
+#
+# Modes:
+#   ./scripts/bench.sh --smoke   one iteration of every benchmark; proves the
+#                                suite still runs (check.sh uses this), emits
+#                                nothing.
+#   ./scripts/bench.sh           the full trajectory: runs the whole suite
+#                                once, then measures the crypto-plane
+#                                benchmarks (warm and cold end-to-end study,
+#                                chain-store and handshake-memo micro
+#                                benches) and writes BENCH_5.json at the repo
+#                                root with ns/op, allocs/op, the warm/cold
+#                                speedup, and the speedup against the pre-
+#                                plane baseline. Finishes by diffing against
+#                                the previous BENCH_*.json snapshot
+#                                (scripts/bench_compare.sh).
+#
+# BASELINE_STUDY_NS is BenchmarkStudyEndToEnd measured at the commit before
+# the crypto plane landed, on the reference runner. It prices the plane's
+# end-to-end win in the emitted JSON; it is not a gate (bench_compare.sh
+# gates against the previous snapshot instead).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE_STUDY_NS=3086205112
+OUT=BENCH_5.json
+
+if [ "${1:-}" = "--smoke" ]; then
+    echo "==> bench smoke (-benchtime 1x)"
+    go test . -run NONE -bench . -benchtime 1x
+    exit 0
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "==> full benchmark suite (-benchtime 1x)"
+go test . -run NONE -bench . -benchtime 1x
+
+echo "==> end-to-end study, warm and cold (-benchtime 3x -benchmem)"
+go test . -run NONE -bench 'BenchmarkStudyEndToEnd' -benchtime 3x -benchmem | tee "$raw"
+
+echo "==> crypto-plane micro benches (-benchmem)"
+go test . -run NONE -bench 'BenchmarkChainStore$|BenchmarkHandshakeMemo$' -benchmem | tee -a "$raw"
+
+# Parse `BenchmarkName  N  123 ns/op  456 B/op  789 allocs/op` lines into the
+# snapshot JSON. One "key": value per line so bench_compare.sh can read it
+# back with awk alone.
+awk -v out="$OUT" -v baseline="$BASELINE_STUDY_NS" '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix if present
+        for (i = 2; i < NF; i++) {
+            if ($(i + 1) == "ns/op")     ns[name] = $i
+            if ($(i + 1) == "allocs/op") allocs[name] = $i
+        }
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+    END {
+        if (!("BenchmarkStudyEndToEnd" in ns) || !("BenchmarkStudyEndToEndCold" in ns)) {
+            print "bench.sh: end-to-end benchmarks missing from output" > "/dev/stderr"
+            exit 1
+        }
+        # %.0f, not %d: ns/op can exceed 32-bit awk integers and micro
+        # benches report fractional nanoseconds.
+        printf "{\n" > out
+        printf "  \"snapshot\": \"BENCH_5\",\n" >> out
+        printf "  \"baseline_study_ns_per_op\": %s,\n", baseline >> out
+        printf "  \"benchmarks\": {\n" >> out
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            printf "    \"%s\": { \"ns_per_op\": %.0f, \"allocs_per_op\": %.0f }%s\n", \
+                name, ns[name], allocs[name], (i < n ? "," : "") >> out
+        }
+        printf "  },\n" >> out
+        printf "  \"speedup_vs_cold\": %.2f,\n", ns["BenchmarkStudyEndToEndCold"] / ns["BenchmarkStudyEndToEnd"] >> out
+        printf "  \"speedup_vs_baseline\": %.2f\n", baseline / ns["BenchmarkStudyEndToEnd"] >> out
+        printf "}\n" >> out
+    }
+' "$raw"
+
+echo "==> wrote $OUT"
+cat "$OUT"
+
+./scripts/bench_compare.sh "$OUT"

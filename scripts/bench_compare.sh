@@ -1,0 +1,59 @@
+#!/bin/sh
+# bench_compare.sh — regression gate between benchmark snapshots.
+#
+# Compares the given snapshot (default BENCH_5.json) against the most recent
+# other BENCH_*.json at the repo root. With no previous snapshot this is a
+# no-op — the first measured trajectory has nothing to regress against. A
+# benchmark present in both snapshots may be up to 25% slower in ns/op
+# before the script fails; new or removed benchmarks are reported but never
+# fatal. Shell + awk only, reading the one-entry-per-line JSON bench.sh
+# emits.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+new="${1:-BENCH_5.json}"
+if [ ! -f "$new" ]; then
+    echo "bench_compare.sh: $new not found (run scripts/bench.sh first)" >&2
+    exit 1
+fi
+
+# The previous snapshot is the numerically largest BENCH_N.json that is not
+# the one under test.
+prev=$(ls BENCH_*.json 2>/dev/null | grep -v "^$new\$" | sort -t_ -k2 -n | tail -1 || true)
+if [ -z "$prev" ]; then
+    echo "bench_compare.sh: no previous BENCH_*.json snapshot; nothing to compare"
+    exit 0
+fi
+
+echo "==> comparing $new against $prev (fail threshold: +25% ns/op)"
+awk -v newfile="$new" -v prevfile="$prev" '
+    function record(file, name, ns) {
+        if (file == newfile) newns[name] = ns; else prevns[name] = ns
+    }
+    match($0, /"Benchmark[^"]*"/) {
+        name = substr($0, RSTART + 1, RLENGTH - 2)
+        if (match($0, /"ns_per_op": [0-9]+/))
+            record(FILENAME, name, substr($0, RSTART + 13, RLENGTH - 13) + 0)
+    }
+    END {
+        bad = 0
+        for (name in newns) {
+            if (!(name in prevns)) {
+                printf "  new benchmark %s: %.0f ns/op (no previous value)\n", name, newns[name]
+                continue
+            }
+            # %.0f, not %d: ns/op can exceed 32-bit awk integers.
+            ratio = newns[name] / prevns[name]
+            printf "  %-34s %14.0f -> %14.0f ns/op  (%+.1f%%)\n", name, prevns[name], newns[name], (ratio - 1) * 100
+            if (ratio > 1.25) {
+                printf "  REGRESSION: %s is %.0f%% slower than %s\n", name, (ratio - 1) * 100, prevfile
+                bad = 1
+            }
+        }
+        for (name in prevns) if (!(name in newns))
+            printf "  benchmark %s disappeared (was %.0f ns/op)\n", name, prevns[name]
+        exit bad
+    }
+' "$prev" "$new"
+echo "bench_compare.sh: OK"

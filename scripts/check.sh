@@ -3,7 +3,9 @@
 # pinlint invariant suite, full test suite (shuffled), then a race-detector
 # pass over the packages with real concurrency (the study runner's worker
 # pool, the record pipes, the flow tap, the serving layer's snapshot swap,
-# the result journal's append path) and a short fuzz smoke over journal
+# the result journal's append path, and the crypto plane's shared caches —
+# chain store, signature memo, handshake memo, forged-leaf store), a
+# one-iteration benchmark smoke, and a short fuzz smoke over journal
 # recovery.
 set -eu
 
@@ -38,8 +40,8 @@ go vet -copylocks -loopclosure -atomic \
     -timeformat -unmarshal -unreachable -unsafeptr -unusedresult ./...
 
 # pinlint runs before the expensive passes: the custom invariant suite
-# (detrandonly, mapdeterminism, exportshape, atomicswap, atomicwrite)
-# must be clean.
+# (detrandonly, mapdeterminism, exportshape, atomicswap, atomicwrite,
+# pkiissuance) must be clean.
 echo "==> pinlint"
 go run ./cmd/pinlint ./...
 
@@ -49,7 +51,13 @@ echo "==> go test -shuffle=on ./..."
 go test -shuffle=on ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/core ./internal/netem ./internal/dynamicanalysis ./internal/pinserve ./internal/journal
+go test -race ./internal/core ./internal/netem ./internal/dynamicanalysis ./internal/pinserve ./internal/journal \
+    ./internal/pki ./internal/device ./internal/mitmproxy
+
+# One iteration of every benchmark: proves the suite (including the
+# crypto-plane trajectory benches) still runs; numbers are discarded.
+echo "==> bench smoke"
+./scripts/bench.sh --smoke
 
 # A short native-fuzz smoke over journal recovery: whatever bytes end up
 # on disk, Recover must never panic and never return unverified data.
