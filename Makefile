@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench chaos export serve resume-demo
+.PHONY: build test lint check bench chaos export serve resume-demo shard-demo
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,9 @@ check:
 	./scripts/check.sh
 
 # bench runs the full benchmark suite plus the crypto-plane trajectory
-# (warm/cold end-to-end study + micro benches), writes BENCH_5.json at the
-# repo root and diffs it against the previous BENCH_*.json snapshot.
+# (warm/cold end-to-end study + micro benches) and the sharded-coordinator
+# pair, writes BENCH_6.json at the repo root and diffs it against the
+# previous BENCH_*.json snapshot.
 bench:
 	./scripts/bench.sh
 
@@ -52,3 +53,16 @@ resume-demo:
 	$(GO) run ./cmd/pinstudy -scale mini -journal /tmp/pinscope-demo.wal -resume -export /tmp/pinscope-resumed.json > /dev/null
 	cmp /tmp/pinscope-clean.json /tmp/pinscope-resumed.json
 	@echo "resume-demo: resumed export is byte-identical to the uninterrupted run"
+
+# shard-demo shows the crash-tolerant sharded coordinator end to end: the
+# mini study runs as 4 crash-only slices with two workers killed mid-slice
+# (survivors take over the expired leases and resume from the dead shards'
+# journals), then the slice journals are stream-merged; the merged export
+# must be byte-identical to an unsharded same-seed run's.
+shard-demo:
+	rm -rf /tmp/pinscope-shards /tmp/pinscope-sharded.json* /tmp/pinscope-unsharded.json*
+	$(GO) run ./cmd/pinstudy -scale mini -export /tmp/pinscope-unsharded.json > /dev/null
+	$(GO) run ./cmd/pinstudy -scale mini -shards 4 -journal /tmp/pinscope-shards -shard-kill 1@3,3@5 -kill-torn 9
+	$(GO) run ./cmd/pinstudy -scale mini -shards 4 -journal /tmp/pinscope-shards -merge -export /tmp/pinscope-sharded.json
+	cmp /tmp/pinscope-unsharded.json /tmp/pinscope-sharded.json
+	@echo "shard-demo: merged sharded export is byte-identical to the unsharded run"

@@ -7,6 +7,8 @@ package pinscope
 // pipeline stages have their own per-app benchmarks at the bottom.
 
 import (
+	"io"
+	"os"
 	"sync"
 	"testing"
 
@@ -15,6 +17,7 @@ import (
 	"pinscope/internal/detrand"
 	"pinscope/internal/device"
 	"pinscope/internal/dynamicanalysis"
+	"pinscope/internal/faultinject"
 	"pinscope/internal/mitmproxy"
 	"pinscope/internal/pki"
 	"pinscope/internal/staticanalysis"
@@ -368,6 +371,9 @@ func BenchmarkChaosSweep(b *testing.B) {
 			if p.Rate > 0 && p.Stats.Retried == 0 {
 				b.Fatalf("rate %.0f%%: fault plan injected nothing", p.Rate*100)
 			}
+			if p.Sharded != nil && !p.Sharded.ByteIdentical {
+				b.Fatalf("rate %.0f%%: sharded rerun's merged export diverged", p.Rate*100)
+			}
 			// Measured at this seed: ~7pp at a 10% fault rate, ~12pp at 20%,
 			// dominated by the conservative direction (pins degrading to
 			// misses; see EXPERIMENTS.md for the ground-truth decomposition).
@@ -377,6 +383,13 @@ func BenchmarkChaosSweep(b *testing.B) {
 				b.Fatalf("rate %.0f%%: prevalence drift %.2fpp outside the 15pp envelope",
 					p.Rate*100, p.MaxAbsDriftPP)
 			}
+		}
+		// At this seed the 20% point derives a shard-death plan: its
+		// sharded rerun must have survived a lease takeover and merged.
+		last := points[len(points)-1]
+		if last.Sharded == nil || last.Sharded.Stats.Reassigned == 0 {
+			b.Fatalf("rate %.0f%%: shard drill missing or saw no lease takeover: %+v",
+				last.Rate*100, last.Sharded)
 		}
 	}
 }
@@ -408,6 +421,56 @@ func BenchmarkStudyEndToEndCold(b *testing.B) {
 		if _, err := core.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkStudySingleShard(b *testing.B) {
+	// The sharded machinery at its degenerate point — one shard, one
+	// worker, no faults — including the journal writes and the streaming
+	// merge to io.Discard. The gap to BenchmarkStudyEndToEnd is the price
+	// of crash-tolerance (journaling + merge); the ratio to the sharded
+	// benchmark below is the coordinator's scaling factor.
+	for i := 0; i < b.N; i++ {
+		benchSharded(b, 1, 1, nil)
+	}
+}
+
+func BenchmarkStudyShardedEndToEnd(b *testing.B) {
+	// The full crash-tolerant path: 4 workers over 4 slices with shard
+	// kills at two distinct slice boundaries and an induced lease expiry,
+	// then the streaming merge. Despite two worker deaths and a fenced
+	// split-brain holder per iteration, the merged export is the canonical
+	// dataset — scripts/bench.sh records the ratio to the single-shard
+	// benchmark as speedup_vs_single_shard (≈1 on a single-core runner,
+	// where extra workers add only coordination).
+	faults := &faultinject.ShardPlan{
+		Kills: []faultinject.ShardKill{
+			{Slice: 1, AfterResults: 2, TornBytes: 7},
+			{Slice: 3, AfterResults: 1, TornBytes: 13},
+		},
+		Expiries: []faultinject.LeaseExpiry{{Slice: 2, AfterResults: 1}},
+	}
+	for i := 0; i < b.N; i++ {
+		benchSharded(b, 4, 4, faults)
+	}
+}
+
+// benchSharded runs one sharded study iteration: run, merge, discard.
+func benchSharded(b *testing.B, shards, workers int, faults *faultinject.ShardPlan) {
+	b.Helper()
+	cfg := core.TestConfig(9001) // same seed as BenchmarkStudyEndToEnd: comparable work
+	dir, err := os.MkdirTemp("", "pinscope-bench-shard-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sc := core.ShardedConfig{Shards: shards, Workers: workers, Dir: dir, Faults: faults}
+	if _, err := core.RunSharded(cfg, sc); err != nil {
+		b.Fatal(err)
+	}
+	sc.Faults = nil
+	if err := core.MergeShards(io.Discard, cfg, sc); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -7,10 +7,18 @@
 //	pinstudy [-scale mini|paper] [-seed N] [-section table3] [-sweep] [-ablate]
 //	         [-faults 0.1] [-retries 2] [-chaos]
 //	         [-journal run.wal] [-resume] [-kill-after N] [-kill-torn K]
+//	         [-shards N] [-shard-kill 1@3,2@0] [-merge]
 //	         [-coldcrypto] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // The default paper scale studies ≈5,000 unique apps and takes a couple of
 // minutes; -scale mini runs a few hundred apps in seconds.
+//
+// With -shards N the study runs as N crash-only slices under lease-based
+// coordination, journaling into the -journal directory (one WAL per slice);
+// -shard-kill injects deterministic worker deaths, and rerunning the same
+// command resumes an interrupted run from the journals. -merge folds the
+// completed slice journals into the exported dataset (-export, or stdout),
+// byte-identical to an unsharded same-seed run's export.
 package main
 
 import (
@@ -27,7 +35,7 @@ import (
 )
 
 func main() {
-	scale := flag.String("scale", "paper", "study scale: mini or paper")
+	scale := flag.String("scale", "paper", "study scale: mini, paper, or 100k")
 	seed := flag.Int64("seed", 0, "world seed (0 = default)")
 	section := flag.String("section", "", "render a single section (e.g. table3, figure5); empty = all")
 	sweep := flag.Bool("sweep", false, "also run the sleep-window sweep (§4.2.1)")
@@ -41,6 +49,9 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from an existing -journal, replaying completed apps")
 	killAfter := flag.Int("kill-after", 0, "fault injection: die after N journaled results (requires -journal)")
 	killTorn := flag.Int("kill-torn", 0, "fault injection: bytes of the interrupted frame left on disk")
+	shards := flag.Int("shards", 0, "run the study as N crash-only slices; -journal names the shard directory")
+	shardKill := flag.String("shard-kill", "", "fault injection: comma-separated slice@afterN worker deaths (requires -shards)")
+	merge := flag.Bool("merge", false, "merge a completed sharded run's journals into the dataset (requires -shards)")
 	coldCrypto := flag.Bool("coldcrypto", false, "disable the shared crypto plane (uncached baseline for profiling)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the study run to this file")
 	memprofile := flag.String("memprofile", "", "write a post-study heap profile to this file")
@@ -52,8 +63,10 @@ func main() {
 		cfg = pinscope.PaperConfig()
 	case "mini":
 		cfg = pinscope.MiniConfig(1)
+	case "100k":
+		cfg = pinscope.Config100k(1)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -scale %q (want mini or paper)\n", *scale)
+		fmt.Fprintf(os.Stderr, "unknown -scale %q (want mini, paper, or 100k)\n", *scale)
 		os.Exit(2)
 	}
 	if *seed != 0 {
@@ -75,6 +88,11 @@ func main() {
 	cfg.KillAfter = *killAfter
 	cfg.KillTorn = *killTorn
 	cfg.ColdCrypto = *coldCrypto
+
+	if *shards > 0 || *merge || *shardKill != "" {
+		runSharded(cfg, *shards, *shardKill, *killTorn, *jpath, *export, *workers, *merge)
+		return
+	}
 
 	var cpuOut *atomicio.Writer
 	if *cpuprofile != "" {
@@ -193,4 +211,92 @@ func sweepSample(scale string) int {
 		return 400
 	}
 	return 60
+}
+
+// runSharded handles the -shards / -shard-kill / -merge modes: the study as
+// a fleet of crash-only slices, and the streaming merge of their journals.
+func runSharded(cfg pinscope.Config, shards int, shardKill string, killTorn int,
+	dir, export string, workers int, merge bool) {
+	if shards <= 0 {
+		fmt.Fprintln(os.Stderr, "pinstudy: -shard-kill and -merge require -shards")
+		os.Exit(2)
+	}
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "pinstudy: -shards requires -journal (the shard-journal directory)")
+		os.Exit(2)
+	}
+	cfg.JournalPath = "" // sharded runs journal per slice under dir
+	kills, err := parseShardKills(shardKill)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pinstudy: %v\n", err)
+		os.Exit(2)
+	}
+	opts := pinscope.ShardOptions{
+		Shards: shards, Workers: workers, Dir: dir,
+		Kills: kills, KillTorn: killTorn,
+	}
+
+	if merge {
+		start := time.Now()
+		var w *atomicio.Writer
+		var out = os.Stdout
+		if export != "" {
+			w, err = atomicio.Create(export, atomicio.WithChecksum())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pinstudy: merge: %v\n", err)
+				os.Exit(1)
+			}
+			out = nil
+		}
+		if w != nil {
+			err = pinscope.MergeShards(w, cfg, opts)
+			if err == nil {
+				err = w.Commit()
+			}
+			w.Close()
+		} else {
+			err = pinscope.MergeShards(out, cfg, opts)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pinstudy: merge: %v\n", err)
+			os.Exit(1)
+		}
+		if export != "" {
+			fmt.Fprintf(os.Stderr, "pinstudy: merged %d shard journals into %s in %s\n",
+				shards, export, time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "pinstudy: sharded study (seed %d): %d shards into %s...\n",
+		cfg.Seed, shards, dir)
+	stats, err := pinscope.RunSharded(cfg, opts)
+	if stats != nil {
+		fmt.Fprintf(os.Stderr, "pinstudy: %d workers / %d shards: %d killed, %d leases expired, %d slices reassigned, %d results resumed from journals\n",
+			stats.Workers, stats.Shards, stats.WorkersKilled, stats.LeasesExpired, stats.Reassigned, stats.ResumedFrames)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pinstudy: %v\n", err)
+		fmt.Fprintf(os.Stderr, "pinstudy: shard journals survive in %s; rerun without -shard-kill to resume\n", dir)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pinstudy: sharded run complete in %s; merge with -shards %d -merge\n",
+		time.Since(start).Round(time.Millisecond), shards)
+}
+
+// parseShardKills parses "slice@afterN[,slice@afterN...]".
+func parseShardKills(s string) ([]pinscope.ShardKill, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []pinscope.ShardKill
+	for _, part := range strings.Split(s, ",") {
+		var slice, after int
+		if _, err := fmt.Sscanf(part, "%d@%d", &slice, &after); err != nil {
+			return nil, fmt.Errorf("bad -shard-kill part %q (want slice@afterN)", part)
+		}
+		out = append(out, pinscope.ShardKill{Slice: slice, AfterResults: after})
+	}
+	return out, nil
 }

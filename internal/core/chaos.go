@@ -6,9 +6,13 @@ package core
 // degrades coverage, it must not invert conclusions.
 
 import (
+	"bytes"
+	"fmt"
 	"math"
+	"os"
 
 	"pinscope/internal/faultinject"
+	"pinscope/internal/shardcoord"
 	"pinscope/internal/worldgen"
 )
 
@@ -21,6 +25,21 @@ type ChaosPoint struct {
 	// of the dynamic pinning prevalence versus the fault-free reference, in
 	// percentage points.
 	MaxAbsDriftPP float64
+	// Sharded is the shard-death drill at this rate: the same point rerun
+	// as a 4-shard sharded study under a ShardPlan derived from (seed,
+	// rate), with the merged export held against the point's own export.
+	// Nil for the rate-0 reference and for rates whose derived plan is
+	// empty.
+	Sharded *ShardDrill
+}
+
+// ShardDrill is one chaos point's sharded rerun: coordinator accounting
+// plus the merge-equivalence verdict. ChaosSweep fails loudly if the merge
+// diverges, so a recorded drill always has ByteIdentical true — the field
+// keeps the report honest about what was checked rather than assumed.
+type ShardDrill struct {
+	Stats         shardcoord.Stats
+	ByteIdentical bool
 }
 
 // DynamicPrevalencePct is a cell's dynamic pinning prevalence in percent.
@@ -88,5 +107,51 @@ func chaosPoint(cfg Config, rate float64) (ChaosPoint, error) {
 	if err != nil {
 		return ChaosPoint{}, err
 	}
-	return ChaosPoint{Rate: rate, Stats: s.Robustness(), Cells: s.Table3()}, nil
+	pt := ChaosPoint{Rate: rate, Stats: s.Robustness(), Cells: s.Table3()}
+	if rate > 0 {
+		pt.Sharded, err = shardDrill(cfg, rate, s)
+		if err != nil {
+			return ChaosPoint{}, err
+		}
+	}
+	return pt, nil
+}
+
+// shardDrill reruns one chaos point as a sharded study under a derived
+// shard-death plan and verifies the merged export matches the point's own
+// export byte for byte — the sweep's coverage of the crash-tolerance
+// machinery: rising fault rates kill shards too, and the dataset must not
+// notice.
+func shardDrill(cfg Config, rate float64, s *Study) (*ShardDrill, error) {
+	const shards, workers = 4, 4
+	ranges := sliceRanges(len(shardUniverse(s.World)), shards)
+	items := make([]int, len(ranges))
+	for i, rg := range ranges {
+		items[i] = rg[1]
+	}
+	plan := faultinject.DeriveShardPlan(cfg.Params.Seed, rate, workers, items)
+	if plan == nil {
+		return nil, nil
+	}
+	dir, err := os.MkdirTemp("", "pinscope-chaos-shard-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	stats, err := RunSharded(cfg, ShardedConfig{Shards: shards, Workers: workers, Dir: dir, Faults: plan})
+	if err != nil {
+		return nil, fmt.Errorf("core: chaos shard drill at rate %g: %w", rate, err)
+	}
+	var single, merged bytes.Buffer
+	if err := s.WriteJSON(&single); err != nil {
+		return nil, err
+	}
+	if err := MergeShards(&merged, cfg, ShardedConfig{Shards: shards, Dir: dir}); err != nil {
+		return nil, fmt.Errorf("core: chaos shard drill at rate %g: %w", rate, err)
+	}
+	if !bytes.Equal(merged.Bytes(), single.Bytes()) {
+		return nil, fmt.Errorf("core: chaos shard drill at rate %g: merged export diverges from the point's own export (%d vs %d bytes)",
+			rate, merged.Len(), single.Len())
+	}
+	return &ShardDrill{Stats: *stats, ByteIdentical: true}, nil
 }

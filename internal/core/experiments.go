@@ -15,6 +15,7 @@ import (
 	"pinscope/internal/pki"
 	"pinscope/internal/staticanalysis"
 	"pinscope/internal/stats"
+	"pinscope/internal/worldgen"
 )
 
 // DatasetCell identifies one dataset/platform combination.
@@ -24,11 +25,11 @@ type DatasetCell struct {
 }
 
 // datasetList returns (cell, dataset) pairs in report order.
-func (s *Study) datasetList() []struct {
+func datasetList(w *worldgen.World) []struct {
 	Cell DatasetCell
 	DS   *appstore.Dataset
 } {
-	d := s.World.DS
+	d := w.DS
 	return []struct {
 		Cell DatasetCell
 		DS   *appstore.Dataset
@@ -54,7 +55,7 @@ type Table1Row struct {
 // Table1 reproduces the dataset overview (top-10 categories per dataset).
 func (s *Study) Table1(topN int) []Table1Row {
 	var out []Table1Row
-	for _, e := range s.datasetList() {
+	for _, e := range datasetList(s.World) {
 		c := stats.NewCounter()
 		for _, l := range e.DS.Listings {
 			c.Inc(l.Category)
@@ -82,7 +83,7 @@ type Table3Cell struct {
 // Table3 reproduces the prevalence-by-method table.
 func (s *Study) Table3() []Table3Cell {
 	var out []Table3Cell
-	for _, e := range s.datasetList() {
+	for _, e := range datasetList(s.World) {
 		cell := Table3Cell{Cell: e.Cell, NSCPins: -1}
 		if e.Cell.Platform == appmodel.Android {
 			cell.NSCPins = 0
@@ -125,7 +126,7 @@ func (s *Study) TableCategories(platform appmodel.Platform, topN, minApps int) [
 	type agg struct{ apps, pins int }
 	perCat := map[string]*agg{}
 	seen := map[string]bool{}
-	for _, e := range s.datasetList() {
+	for _, e := range datasetList(s.World) {
 		if e.Cell.Platform != platform {
 			continue
 		}
@@ -301,7 +302,7 @@ type Fig5Bar struct {
 func (s *Study) Figure5Data(platform appmodel.Platform) []Fig5Bar {
 	var out []Fig5Bar
 	seen := map[string]bool{}
-	for _, e := range s.datasetList() {
+	for _, e := range datasetList(s.World) {
 		if e.Cell.Platform != platform || e.Cell.Dataset == "Common" {
 			continue
 		}
@@ -628,7 +629,7 @@ type Table8Cell struct {
 // Table8 computes weak-cipher prevalence overall vs in pinned connections.
 func (s *Study) Table8() []Table8Cell {
 	var out []Table8Cell
-	for _, e := range s.datasetList() {
+	for _, e := range datasetList(s.World) {
 		cell := Table8Cell{Cell: e.Cell}
 		for _, r := range s.DatasetResults(e.DS) {
 			cell.OverallApps++

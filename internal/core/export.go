@@ -15,6 +15,7 @@ import (
 
 	"pinscope/internal/atomicio"
 	"pinscope/internal/pii"
+	"pinscope/internal/worldgen"
 )
 
 // Dataset load failures fall into two operationally distinct classes:
@@ -34,22 +35,35 @@ var (
 // existed decode as version 0 and stay loadable.
 const DatasetVersion = 1
 
+// DatasetMeta reproduces the run: the seed and sizes regenerate the world.
+type DatasetMeta struct {
+	Seed        int64   `json:"seed"`
+	CommonSize  int     `json:"common_size"`
+	PopularSize int     `json:"popular_size"`
+	RandomSize  int     `json:"random_size"`
+	Window      float64 `json:"capture_window_s"`
+}
+
 // ExportedDataset is the JSON shape of a released study.
 type ExportedDataset struct {
 	// Version is the export format version (see DatasetVersion).
 	Version int `json:"version"`
 
-	// Meta reproduces the run: the seed and sizes regenerate the world.
-	Meta struct {
-		Seed        int64   `json:"seed"`
-		CommonSize  int     `json:"common_size"`
-		PopularSize int     `json:"popular_size"`
-		RandomSize  int     `json:"random_size"`
-		Window      float64 `json:"capture_window_s"`
-	} `json:"meta"`
+	Meta DatasetMeta `json:"meta"`
 
 	Apps         []ExportedApp   `json:"apps"`
 	Destinations []ExportedProbe `json:"pinned_destinations"`
+}
+
+// exportMeta derives the export metadata from a run configuration.
+func exportMeta(cfg Config) DatasetMeta {
+	return DatasetMeta{
+		Seed:        cfg.Params.Seed,
+		CommonSize:  cfg.Params.CommonSize,
+		PopularSize: cfg.Params.PopularSize,
+		RandomSize:  cfg.Params.RandomSize,
+		Window:      cfg.Window,
+	}
 }
 
 // ExportedApp is one app's verdicts.
@@ -90,72 +104,92 @@ type ExportedProbe struct {
 	ChainLen    int    `json:"chain_len,omitempty"`
 }
 
-// Export builds the dataset structure.
-func (s *Study) Export() *ExportedDataset {
-	out := &ExportedDataset{Version: DatasetVersion}
-	out.Meta.Seed = s.Cfg.Params.Seed
-	out.Meta.CommonSize = s.Cfg.Params.CommonSize
-	out.Meta.PopularSize = s.Cfg.Params.PopularSize
-	out.Meta.RandomSize = s.Cfg.Params.RandomSize
-	out.Meta.Window = s.Cfg.Window
-
-	// Dataset membership per app.
+// datasetMembership indexes dataset membership by result key. It is an
+// index over listings, not results: small enough to hold in memory even
+// when the results themselves are streamed.
+func datasetMembership(w *worldgen.World) map[string][]string {
 	membership := map[string][]string{}
-	for _, e := range s.datasetList() {
+	for _, e := range datasetList(w) {
 		for _, l := range e.DS.Listings {
 			key := string(l.Platform) + "/" + l.ID
 			membership[key] = append(membership[key], e.Cell.Dataset)
 		}
 	}
+	return membership
+}
 
+// exportApp renders one result as its export record. datasets is the
+// app's dataset membership (from datasetMembership).
+func exportApp(r *AppResult, datasets []string) ExportedApp {
+	ea := ExportedApp{
+		ID:        r.App.ID,
+		Name:      r.App.Name,
+		Developer: r.App.Developer,
+		Platform:  string(r.App.Platform),
+		Category:  r.App.Category,
+		Datasets:  datasets,
+
+		PinsDynamic:      r.Pinned(),
+		PinnedDomains:    r.Dyn.PinnedDests(),
+		WeakCipherAny:    r.WeakAnyConn,
+		WeakCipherPinned: r.WeakPinnedConn,
+	}
+	if r.Static != nil {
+		ea.StaticMaterial = r.Static.HasCertMaterial()
+		ea.NSCPinSet = r.Static.NSCHasPins
+		ea.StaticCerts = len(r.Static.Certs)
+		ea.StaticPins = len(r.Static.Pins)
+		for _, p := range r.Static.UniquePins() {
+			ea.PinSPKIHashes = append(ea.PinSPKIHashes, p.Key())
+		}
+		sort.Strings(ea.PinSPKIHashes)
+	}
+	for d, ok := range r.CircumventedDests {
+		if ok {
+			ea.CircumventedDomains = append(ea.CircumventedDomains, d)
+		}
+	}
+	sort.Strings(ea.CircumventedDomains)
+	kinds := map[pii.Kind]bool{}
+	for _, m := range r.DestPII {
+		for kind := range m {
+			kinds[kind] = true
+		}
+	}
+	for _, kind := range pii.AllKinds {
+		if kinds[kind] {
+			ea.PIIKindsObserved = append(ea.PIIKindsObserved, string(kind))
+		}
+	}
+	return ea
+}
+
+// exportProbe renders one destination probe as its export record.
+func exportProbe(p *DestProbe) ExportedProbe {
+	ep := ExportedProbe{
+		Host:       p.Dest,
+		DefaultPKI: p.DefaultPKI, CustomPKI: p.CustomPKI,
+		SelfSigned: p.SelfSigned, Unavailable: p.Unavailable,
+	}
+	if p.Chain != nil {
+		ep.LeafCN = p.Chain.Leaf().Subject.CommonName
+		ep.ChainLen = len(p.Chain)
+	}
+	return ep
+}
+
+// Export builds the dataset structure.
+func (s *Study) Export() *ExportedDataset {
+	out := &ExportedDataset{Version: DatasetVersion, Meta: exportMeta(s.Cfg)}
+
+	membership := datasetMembership(s.World)
 	keys := make([]string, 0, len(s.results))
 	for k := range s.results {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		r := s.results[k]
-		ea := ExportedApp{
-			ID:        r.App.ID,
-			Name:      r.App.Name,
-			Developer: r.App.Developer,
-			Platform:  string(r.App.Platform),
-			Category:  r.App.Category,
-			Datasets:  membership[k],
-
-			PinsDynamic:      r.Pinned(),
-			PinnedDomains:    r.Dyn.PinnedDests(),
-			WeakCipherAny:    r.WeakAnyConn,
-			WeakCipherPinned: r.WeakPinnedConn,
-		}
-		if r.Static != nil {
-			ea.StaticMaterial = r.Static.HasCertMaterial()
-			ea.NSCPinSet = r.Static.NSCHasPins
-			ea.StaticCerts = len(r.Static.Certs)
-			ea.StaticPins = len(r.Static.Pins)
-			for _, p := range r.Static.UniquePins() {
-				ea.PinSPKIHashes = append(ea.PinSPKIHashes, p.Key())
-			}
-			sort.Strings(ea.PinSPKIHashes)
-		}
-		for d, ok := range r.CircumventedDests {
-			if ok {
-				ea.CircumventedDomains = append(ea.CircumventedDomains, d)
-			}
-		}
-		sort.Strings(ea.CircumventedDomains)
-		kinds := map[pii.Kind]bool{}
-		for _, m := range r.DestPII {
-			for kind := range m {
-				kinds[kind] = true
-			}
-		}
-		for _, kind := range pii.AllKinds {
-			if kinds[kind] {
-				ea.PIIKindsObserved = append(ea.PIIKindsObserved, string(kind))
-			}
-		}
-		out.Apps = append(out.Apps, ea)
+		out.Apps = append(out.Apps, exportApp(s.results[k], membership[k]))
 	}
 
 	dests := make([]string, 0, len(s.Probes))
@@ -164,17 +198,7 @@ func (s *Study) Export() *ExportedDataset {
 	}
 	sort.Strings(dests)
 	for _, d := range dests {
-		p := s.Probes[d]
-		ep := ExportedProbe{
-			Host:       p.Dest,
-			DefaultPKI: p.DefaultPKI, CustomPKI: p.CustomPKI,
-			SelfSigned: p.SelfSigned, Unavailable: p.Unavailable,
-		}
-		if p.Chain != nil {
-			ep.LeafCN = p.Chain.Leaf().Subject.CommonName
-			ep.ChainLen = len(p.Chain)
-		}
-		out.Destinations = append(out.Destinations, ep)
+		out.Destinations = append(out.Destinations, exportProbe(s.Probes[d]))
 	}
 	return out
 }
@@ -184,6 +208,94 @@ func (s *Study) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s.Export())
+}
+
+// StreamExporter emits an ExportedDataset byte-identically to WriteJSON
+// without ever materializing the dataset: the header is written up front,
+// each app record is encoded and flushed as it arrives, and the probe
+// tail closes the document. The streaming shard merge feeds it one
+// journal frame at a time — this is what keeps the merge's peak memory
+// bounded by a single record, not the dataset.
+//
+// The byte-identity contract (asserted by tests against WriteJSON) pins
+// the exact framing encoding/json uses: two-space indentation, one
+// element per MarshalIndent call with the element's nesting as its
+// prefix, null for empty slices, and the encoder's trailing newline.
+type StreamExporter struct {
+	w    io.Writer
+	apps int
+	err  error
+}
+
+// NewStreamExporter writes the document head (version and meta) and
+// leaves the exporter positioned at the apps array.
+func NewStreamExporter(w io.Writer, meta DatasetMeta) (*StreamExporter, error) {
+	head := struct {
+		Version int         `json:"version"`
+		Meta    DatasetMeta `json:"meta"`
+	}{DatasetVersion, meta}
+	b, err := json.MarshalIndent(head, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	// Reopen the marshaled object: drop its closing "\n}" and continue
+	// with the apps field where the encoder would have put it.
+	b = append(b[:len(b)-2], []byte(",\n  \"apps\": ")...)
+	e := &StreamExporter{w: w}
+	e.write(b)
+	return e, e.err
+}
+
+func (e *StreamExporter) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+// App appends one app record. Records must arrive in export order (keys
+// ascending); the exporter frames them without buffering.
+func (e *StreamExporter) App(ea *ExportedApp) error {
+	if e.apps == 0 {
+		e.write([]byte("[\n    "))
+	} else {
+		e.write([]byte(",\n    "))
+	}
+	b, err := json.MarshalIndent(ea, "    ", "  ")
+	if err != nil {
+		return err
+	}
+	e.write(b)
+	e.apps++
+	return e.err
+}
+
+// Finish writes the pinned-destination tail and closes the document.
+func (e *StreamExporter) Finish(probes []ExportedProbe) error {
+	if e.apps == 0 {
+		e.write([]byte("null")) // json renders a nil slice as null
+	} else {
+		e.write([]byte("\n  ]"))
+	}
+	e.write([]byte(",\n  \"pinned_destinations\": "))
+	if len(probes) == 0 {
+		e.write([]byte("null"))
+	} else {
+		e.write([]byte("[\n    "))
+		for i := range probes {
+			if i > 0 {
+				e.write([]byte(",\n    "))
+			}
+			b, err := json.MarshalIndent(&probes[i], "    ", "  ")
+			if err != nil {
+				return err
+			}
+			e.write(b)
+		}
+		e.write([]byte("\n  ]"))
+	}
+	e.write([]byte("\n}\n")) // Encode's trailing newline
+	return e.err
 }
 
 // ReadJSON is the strict inverse of WriteJSON: it rejects unknown fields

@@ -159,6 +159,12 @@ func decodeAppResult(data []byte, app *appmodel.App) (*AppResult, error) {
 	if err := dec.Decode(&rec); err != nil {
 		return nil, fmt.Errorf("core: decode journal record: %w", err)
 	}
+	if want := string(app.Platform) + "/" + app.ID; rec.Key != want {
+		// The streaming merge relies on slice journals holding their items
+		// in work order; a key out of place means the journal does not
+		// belong where the caller thinks it does.
+		return nil, fmt.Errorf("core: journal record %q where %q belongs", rec.Key, want)
+	}
 	r := &AppResult{
 		App:               app,
 		Dyn:               rec.Dyn,

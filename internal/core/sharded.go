@@ -1,0 +1,258 @@
+package core
+
+// sharded.go runs the study as a fleet of crash-only shards and merges
+// their journals back into the canonical export. The app universe — the
+// same deduped work list a single-process run uses, re-sorted into export
+// order — is cut into contiguous slices; internal/shardcoord hands the
+// slices to workers under crash-tolerant leases, and every worker journals
+// its slice through the same WAL the single-process runner uses. Because
+// each result frame is a pure function of (run config, app), the slice
+// journals' contents are independent of scheduling, takeovers and kills —
+// which is what lets MergeShards stitch them into an export byte-identical
+// to an unsharded same-seed run, streaming one frame at a time.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pinscope/internal/faultinject"
+	"pinscope/internal/journal"
+	"pinscope/internal/shardcoord"
+	"pinscope/internal/worldgen"
+)
+
+// ShardedConfig parameterizes a sharded run of a study Config.
+type ShardedConfig struct {
+	// Shards is the slice count; Workers (0 = one per shard) the worker
+	// pool measuring them.
+	Shards  int
+	Workers int
+	// Dir holds the slice journals (shard-NNN.wal), created if missing.
+	// Rerunning over an interrupted run's directory resumes from the
+	// journals instead of recomputing.
+	Dir string
+	// LeaseTTL is the lease duration in logical ticks (0 = default).
+	LeaseTTL int64
+	// Faults is the deterministic shard-death plan (kills, induced lease
+	// expiries). Nil injects nothing.
+	Faults *faultinject.ShardPlan
+}
+
+// shardMeta is a slice journal's header: the full run configuration plus
+// the slice's coordinates. Takeover and merge verify it byte-for-byte, so
+// a journal can never be resumed into — or merged with — a different run,
+// shard layout, or slice position.
+type shardMeta struct {
+	Run    journalMeta `json:"run"`
+	Slice  int         `json:"slice"`
+	Slices int         `json:"slices"`
+	Start  int         `json:"start"`
+	Count  int         `json:"count"`
+}
+
+func shardPath(dir string, slice int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.wal", slice))
+}
+
+// shardUniverse is the canonical sharded work order: the study work list
+// sorted by result key — the order Export emits apps in. Concatenating
+// slice journals in slice order therefore streams apps in final export
+// order with no buffering or re-sorting.
+func shardUniverse(w *worldgen.World) []workItem {
+	uni := studyWork(w)
+	sort.Slice(uni, func(i, j int) bool { return uni[i].key() < uni[j].key() })
+	return uni
+}
+
+// sliceRanges cuts n items into contiguous {start, count} ranges.
+func sliceRanges(n, shards int) [][2]int {
+	out := make([][2]int, shards)
+	start := 0
+	for i := range out {
+		count := n / shards
+		if i < n%shards {
+			count++
+		}
+		out[i] = [2]int{start, count}
+		start += count
+	}
+	return out
+}
+
+// shardSlices renders the shardcoord slice list for (cfg, sc, universe).
+func shardSlices(cfg Config, sc ShardedConfig, n int) ([]shardcoord.Slice, [][2]int, error) {
+	ranges := sliceRanges(n, sc.Shards)
+	slices := make([]shardcoord.Slice, 0, sc.Shards)
+	for i, rg := range ranges {
+		meta, err := json.Marshal(shardMeta{
+			Run: metaFor(cfg), Slice: i, Slices: sc.Shards, Start: rg[0], Count: rg[1],
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		slices = append(slices, shardcoord.Slice{Path: shardPath(sc.Dir, i), Meta: meta, Items: rg[1]})
+	}
+	return slices, ranges, nil
+}
+
+// shardBench adapts one worker's lab to the coordinator: each worker gets
+// its own crypto plane and bench, the in-process stand-in for a separate
+// shard machine.
+type shardBench struct {
+	uni    []workItem
+	ranges [][2]int
+	lab    *lab
+}
+
+func (b *shardBench) RunItem(slice, item int) ([]byte, error) {
+	it := b.uni[b.ranges[slice][0]+item]
+	res := b.lab.studyAppResilient(it.app, it.common)
+	return encodeAppResult(it.key(), res)
+}
+
+// RunSharded executes the study as sc.Shards crash-only slices under the
+// lease coordinator, leaving one complete journal per slice in sc.Dir.
+// It does not build a Study: the deliverable of a sharded run is its
+// journals, folded into an export by MergeShards. If the run is killed
+// (injected or real), rerunning with the same arguments resumes every
+// slice from its journal.
+func RunSharded(cfg Config, sc ShardedConfig) (*shardcoord.Stats, error) {
+	if cfg.Window == 0 {
+		cfg.Window = 30
+	}
+	if sc.Shards <= 0 {
+		return nil, errors.New("core: sharded run needs at least one shard")
+	}
+	if cfg.Journal != nil || cfg.Kill != nil {
+		return nil, errors.New("core: sharded runs journal per slice; Config.Journal and Config.Kill must be nil")
+	}
+	if sc.Dir == "" {
+		return nil, errors.New("core: sharded run needs a journal directory")
+	}
+	if err := os.MkdirAll(sc.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: shard dir: %w", err)
+	}
+	w, err := worldgen.Build(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	uni := shardUniverse(w)
+	slices, ranges, err := shardSlices(cfg, sc, len(uni))
+	if err != nil {
+		return nil, err
+	}
+	return shardcoord.Run(shardcoord.Config{
+		Slices:   slices,
+		Workers:  sc.Workers,
+		LeaseTTL: sc.LeaseTTL,
+		Faults:   sc.Faults,
+		NewBench: func(worker int) (shardcoord.Bench, error) {
+			var plane *cryptoPlane
+			if !cfg.ColdCrypto {
+				var perr error
+				plane, perr = newCryptoPlane(cfg, w)
+				if perr != nil {
+					return nil, perr
+				}
+			}
+			lab, lerr := newLab(cfg, w, plane)
+			if lerr != nil {
+				return nil, lerr
+			}
+			return &shardBench{uni: uni, ranges: ranges, lab: lab}, nil
+		},
+	})
+}
+
+// MergeShards streams the slice journals of a completed sharded run into
+// one exported dataset, byte-identical to WriteJSON of an unsharded
+// same-seed run. Peak memory is bounded: one journal frame is decoded,
+// exported and discarded at a time, and only two small indexes (dataset
+// membership and the pinned-destination set) live across the walk — the
+// full dataset never materializes.
+func MergeShards(out io.Writer, cfg Config, sc ShardedConfig) error {
+	if cfg.Window == 0 {
+		cfg.Window = 30
+	}
+	if sc.Shards <= 0 {
+		return errors.New("core: merge needs the run's shard count")
+	}
+	w, err := worldgen.Build(cfg.Params)
+	if err != nil {
+		return err
+	}
+	uni := shardUniverse(w)
+	slices, ranges, err := shardSlices(cfg, sc, len(uni))
+	if err != nil {
+		return err
+	}
+	membership := datasetMembership(w)
+	se, err := NewStreamExporter(out, exportMeta(cfg))
+	if err != nil {
+		return err
+	}
+	dests := map[string]bool{}
+	for i, rg := range ranges {
+		if err := mergeSlice(se, slices[i], rg, uni, membership, dests); err != nil {
+			return err
+		}
+	}
+	sorted := make([]string, 0, len(dests))
+	for d := range dests {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	probes := probeDests(w, cfg.Params.Seed, sorted)
+	eps := make([]ExportedProbe, 0, len(sorted))
+	for _, d := range sorted {
+		eps = append(eps, exportProbe(probes[d]))
+	}
+	return se.Finish(eps)
+}
+
+// mergeSlice folds one slice journal into the stream.
+func mergeSlice(se *StreamExporter, sl shardcoord.Slice, rg [2]int,
+	uni []workItem, membership map[string][]string, dests map[string]bool) error {
+	r, err := journal.OpenReader(sl.Path)
+	if err != nil {
+		return fmt.Errorf("core: merge slice %s: %w", sl.Path, err)
+	}
+	defer r.Close()
+	if !bytes.Equal(r.Meta(), sl.Meta) {
+		return fmt.Errorf("core: merge slice %s: journal belongs to a different run or shard layout", sl.Path)
+	}
+	for item := 0; ; item++ {
+		data, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			if item != rg[1] {
+				return fmt.Errorf("core: merge slice %s: %d of %d results journaled — incomplete run, rerun -shards to finish it",
+					sl.Path, item, rg[1])
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: merge slice %s: %w", sl.Path, err)
+		}
+		if item >= rg[1] {
+			return fmt.Errorf("core: merge slice %s: more results than the slice's %d items", sl.Path, rg[1])
+		}
+		it := uni[rg[0]+item]
+		res, err := decodeAppResult(data, it.app) // verifies the record key
+		if err != nil {
+			return fmt.Errorf("core: merge slice %s item %d: %w", sl.Path, item, err)
+		}
+		ea := exportApp(res, membership[it.key()])
+		if err := se.App(&ea); err != nil {
+			return err
+		}
+		for _, d := range res.Dyn.PinnedDests() {
+			dests[d] = true
+		}
+	}
+}

@@ -271,6 +271,43 @@ func (s *Study) Robustness() RobustnessStats {
 	return st
 }
 
+// workItem is one unique app to measure; common marks members of the
+// Common datasets (which get the iOS §4.5 re-run).
+type workItem struct {
+	app    *appmodel.App
+	common bool
+}
+
+func (it workItem) key() string { return string(it.app.Platform) + "/" + it.app.ID }
+
+// studyWork returns the deduped unique-app work list in dataset order
+// (Common, Popular, Random; Android before iOS). Collisions are analyzed
+// once, common pairs are marked for the iOS §4.5 re-run. Per-app results
+// are pure functions of (seed, app), so this list — not worker
+// scheduling — is the canonical identity of a run's work; the sharded
+// runner re-sorts it by key to get the export order.
+func studyWork(w *worldgen.World) []workItem {
+	var work []workItem
+	seen := map[string]bool{}
+	add := func(ds *appstore.Dataset, common bool) {
+		for _, l := range ds.Listings {
+			key := string(l.Platform) + "/" + l.ID
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			work = append(work, workItem{app: w.App(l), common: common})
+		}
+	}
+	add(w.DS.CommonAndroid, true)
+	add(w.DS.CommonIOS, true)
+	add(w.DS.PopularAndroid, false)
+	add(w.DS.PopularIOS, false)
+	add(w.DS.RandomAndroid, false)
+	add(w.DS.RandomIOS, false)
+	return work
+}
+
 // Run executes the complete study.
 func Run(cfg Config) (*Study, error) {
 	if cfg.Window == 0 {
@@ -302,44 +339,25 @@ func runOnWorldWithPlane(cfg Config, w *worldgen.World, plane *cryptoPlane) (*St
 	s := &Study{Cfg: cfg, World: w, results: make(map[string]*AppResult)}
 	cfg.Journal.arm(cfg.Kill)
 
-	// Unique app-tier work list: collisions are analyzed once, common
-	// pairs are marked for the iOS §4.5 re-run. Apps already in the
-	// journal are replayed here instead of scheduled — per-app results are
-	// pure functions of (seed, app), so a replayed result is identical to
-	// a re-measured one.
-	type workItem struct {
-		app    *appmodel.App
-		common bool
-	}
+	// Apps already in the journal are replayed here instead of scheduled —
+	// per-app results are pure functions of (seed, app), so a replayed
+	// result is identical to a re-measured one.
 	var work []workItem
 	var replayErr error
-	seen := map[string]bool{}
-	add := func(ds *appstore.Dataset, common bool) {
-		for _, l := range ds.Listings {
-			key := string(l.Platform) + "/" + l.ID
-			if seen[key] {
+	for _, item := range studyWork(w) {
+		key := item.key()
+		if data, ok := cfg.Journal.replayed(key); ok {
+			res, err := decodeAppResult(data, item.app)
+			if err != nil {
+				replayErr = errors.Join(replayErr, err)
 				continue
 			}
-			seen[key] = true
-			if data, ok := cfg.Journal.replayed(key); ok {
-				res, err := decodeAppResult(data, w.App(l))
-				if err != nil {
-					replayErr = errors.Join(replayErr, err)
-					continue
-				}
-				s.results[key] = res
-				s.Resumed++
-				continue
-			}
-			work = append(work, workItem{app: w.App(l), common: common})
+			s.results[key] = res
+			s.Resumed++
+			continue
 		}
+		work = append(work, item)
 	}
-	add(w.DS.CommonAndroid, true)
-	add(w.DS.CommonIOS, true)
-	add(w.DS.PopularAndroid, false)
-	add(w.DS.PopularIOS, false)
-	add(w.DS.RandomAndroid, false)
-	add(w.DS.RandomIOS, false)
 	if replayErr != nil {
 		return nil, replayErr
 	}
@@ -389,7 +407,7 @@ func runOnWorldWithPlane(cfg Config, w *worldgen.World, plane *cryptoPlane) (*St
 					if !ok {
 						return
 					}
-					key := string(item.app.Platform) + "/" + item.app.ID
+					key := item.key()
 					res := lab.studyAppResilient(item.app, item.common)
 					// Journal before recording: a result the study saw but
 					// the journal did not would be re-measured identically
@@ -816,12 +834,20 @@ func (s *Study) probePinnedDests() error {
 		sorted = append(sorted, d)
 	}
 	sort.Strings(sorted)
+	s.Probes = probeDests(s.World, s.Cfg.Params.Seed, sorted)
+	return nil
+}
 
-	probeNet := s.World.NewNetwork(false) // flaky hosts are gone
-	prober := device.New(appmodel.Android, probeNet, s.World.Eco.OEM,
-		detrand.New(s.Cfg.Params.Seed).Child("prober"))
+// probeDests probes and classifies pinned destinations (sorted order is
+// the probe order) — shared by the in-process study and the streaming
+// shard merge, which both must classify the identical destination set
+// identically.
+func probeDests(w *worldgen.World, seed int64, sorted []string) map[string]*DestProbe {
+	probeNet := w.NewNetwork(false) // flaky hosts are gone
+	prober := device.New(appmodel.Android, probeNet, w.Eco.OEM,
+		detrand.New(seed).Child("prober"))
 
-	s.Probes = make(map[string]*DestProbe, len(sorted))
+	probes := make(map[string]*DestProbe, len(sorted))
 	for _, dest := range sorted {
 		p := &DestProbe{Dest: dest}
 		chain, err := prober.ProbeChain(dest)
@@ -830,7 +856,7 @@ func (s *Study) probePinnedDests() error {
 		} else {
 			p.Chain = chain
 			switch {
-			case s.World.Eco.IsDefaultPKI(chain, dest):
+			case w.Eco.IsDefaultPKI(chain, dest):
 				p.DefaultPKI = true
 			case len(chain) == 1:
 				p.SelfSigned = true
@@ -838,7 +864,7 @@ func (s *Study) probePinnedDests() error {
 				p.CustomPKI = true
 			}
 		}
-		s.Probes[dest] = p
+		probes[dest] = p
 	}
-	return nil
+	return probes
 }

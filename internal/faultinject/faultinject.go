@@ -271,3 +271,128 @@ func (k *ProcessKill) Tap() func(i int) (tornBytes int, kill bool) {
 		return 0, false
 	}
 }
+
+// ShardKill is the shard-death member of the power-cut family: it kills
+// the worker holding one slice of a sharded run, by interrupting the
+// append of result frame AfterResults (0-based, counted within that
+// slice's journal) and leaving TornBytes of it on disk. The cut fires on
+// the slice journal's append path via the same CrashTap machinery as
+// ProcessKill, so it is a pure function of the frame index — independent
+// of which worker holds the lease or how the scheduler interleaved them.
+// The coordinator then expires the dead worker's lease and a survivor
+// resumes the slice from its journal.
+type ShardKill struct {
+	// Slice is the 0-based slice whose holder dies.
+	Slice int
+	// AfterResults is how many result frames reach the slice journal
+	// intact before the cut.
+	AfterResults int
+	// TornBytes is how many bytes of the interrupted frame remain on disk.
+	TornBytes int
+}
+
+// Tap returns the slice journal's crash tap. Nil receiver yields nil.
+func (k *ShardKill) Tap() func(i int) (tornBytes int, kill bool) {
+	if k == nil {
+		return nil
+	}
+	return (&ProcessKill{AfterResults: k.AfterResults, TornBytes: k.TornBytes}).Tap()
+}
+
+// LeaseExpiry induces a lease expiry without killing anyone: the worker
+// holding Slice stalls after appending AfterResults result frames, for
+// StallTicks of the coordinator's logical clock — past the lease TTL, so
+// the slice is reassigned while the original holder is still alive. When
+// the stalled worker wakes and tries to append again, the coordinator's
+// epoch fence must turn it away. This is the split-brain drill: two live
+// workers believing they own one slice.
+type LeaseExpiry struct {
+	// Slice is the 0-based slice whose lease is made to expire.
+	Slice int
+	// AfterResults is how many result frames the holder appends before
+	// stalling.
+	AfterResults int
+	// StallTicks is how long the stall lasts on the logical clock;
+	// 0 means "lease TTL + 1", guaranteeing expiry whatever the TTL.
+	StallTicks int64
+}
+
+// ShardPlan groups the shard-death fault family for one sharded run. A
+// nil plan injects nothing. At most one kill and one expiry apply per
+// slice: like ProcessKill, each fires once — the takeover run of the same
+// slice does not re-die, mirroring a machine that crashed and was
+// replaced.
+type ShardPlan struct {
+	Kills    []ShardKill
+	Expiries []LeaseExpiry
+}
+
+// Any reports whether the plan injects anything. Nil-safe.
+func (p *ShardPlan) Any() bool {
+	return p != nil && (len(p.Kills) > 0 || len(p.Expiries) > 0)
+}
+
+// KillFor returns the kill fault for slice, or nil. Nil-safe.
+func (p *ShardPlan) KillFor(slice int) *ShardKill {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Kills {
+		if p.Kills[i].Slice == slice {
+			return &p.Kills[i]
+		}
+	}
+	return nil
+}
+
+// ExpiryFor returns the lease-expiry fault for slice, or nil. Nil-safe.
+func (p *ShardPlan) ExpiryFor(slice int) *LeaseExpiry {
+	if p == nil {
+		return nil
+	}
+	for i := range p.Expiries {
+		if p.Expiries[i].Slice == slice {
+			return &p.Expiries[i]
+		}
+	}
+	return nil
+}
+
+// DeriveShardPlan seeds a shard-death plan from (seed, rate): each slice
+// independently draws whether its holder is killed and whether its lease
+// is stalled into expiry, with the cut point and torn length drawn from
+// the slice's item count. The chaos sweep uses this so rising fault rates
+// kill shards too. Kills are capped at workers-1 so at least one worker
+// survives to finish the run; rate 0 yields nil.
+func DeriveShardPlan(seed int64, rate float64, workers int, sliceItems []int) *ShardPlan {
+	if rate <= 0 {
+		return nil
+	}
+	p := &ShardPlan{}
+	kills := 0
+	for slice, items := range sliceItems {
+		if items == 0 {
+			continue
+		}
+		rng := detrand.New(seed).Child("shardfault/" + strconv.Itoa(slice))
+		if kills < workers-1 && rng.Bool(rate) {
+			p.Kills = append(p.Kills, ShardKill{
+				Slice:        slice,
+				AfterResults: rng.Intn(items),
+				TornBytes:    rng.Intn(24),
+			})
+			kills++
+			continue
+		}
+		if rng.Bool(rate) {
+			p.Expiries = append(p.Expiries, LeaseExpiry{
+				Slice:        slice,
+				AfterResults: 1 + rng.Intn(items),
+			})
+		}
+	}
+	if !p.Any() {
+		return nil
+	}
+	return p
+}

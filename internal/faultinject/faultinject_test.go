@@ -131,3 +131,90 @@ func TestRatesBite(t *testing.T) {
 	check("crash", crashes)
 	check("trunc", truncs)
 }
+
+func TestShardPlanLookupsNilSafe(t *testing.T) {
+	var nilPlan *ShardPlan
+	if nilPlan.Any() || nilPlan.KillFor(0) != nil || nilPlan.ExpiryFor(0) != nil {
+		t.Fatal("nil ShardPlan injected something")
+	}
+	p := &ShardPlan{
+		Kills:    []ShardKill{{Slice: 2, AfterResults: 3, TornBytes: 5}},
+		Expiries: []LeaseExpiry{{Slice: 1, AfterResults: 1}},
+	}
+	if !p.Any() {
+		t.Fatal("populated plan reports empty")
+	}
+	if k := p.KillFor(2); k == nil || k.AfterResults != 3 || k.TornBytes != 5 {
+		t.Fatalf("KillFor(2) = %+v", p.KillFor(2))
+	}
+	if p.KillFor(1) != nil || p.ExpiryFor(2) != nil {
+		t.Fatal("lookup matched the wrong slice")
+	}
+	if e := p.ExpiryFor(1); e == nil || e.AfterResults != 1 {
+		t.Fatalf("ExpiryFor(1) = %+v", p.ExpiryFor(1))
+	}
+}
+
+func TestShardKillTapFiresAtFrame(t *testing.T) {
+	var nilKill *ShardKill
+	if nilKill.Tap() != nil {
+		t.Fatal("nil ShardKill produced a tap")
+	}
+	tap := (&ShardKill{Slice: 0, AfterResults: 2, TornBytes: 7}).Tap()
+	if _, kill := tap(0); kill {
+		t.Fatal("tap fired before its frame")
+	}
+	if _, kill := tap(1); kill {
+		t.Fatal("tap fired before its frame")
+	}
+	torn, kill := tap(2)
+	if !kill || torn != 7 {
+		t.Fatalf("tap(2) = (%d, %v), want (7, true)", torn, kill)
+	}
+}
+
+func TestDeriveShardPlanDeterministicAndCapped(t *testing.T) {
+	items := []int{10, 10, 10, 10, 10, 10, 10, 10}
+	a := DeriveShardPlan(77, 0.9, 4, items)
+	b := DeriveShardPlan(77, 0.9, 4, items)
+	if a == nil || b == nil {
+		t.Fatal("high-rate derivation produced no faults")
+	}
+	if len(a.Kills) != len(b.Kills) || len(a.Expiries) != len(b.Expiries) {
+		t.Fatal("same seed produced different plans")
+	}
+	for i := range a.Kills {
+		if a.Kills[i] != b.Kills[i] {
+			t.Fatalf("kill %d differs: %+v vs %+v", i, a.Kills[i], b.Kills[i])
+		}
+	}
+	for i := range a.Expiries {
+		if a.Expiries[i] != b.Expiries[i] {
+			t.Fatalf("expiry %d differs: %+v vs %+v", i, a.Expiries[i], b.Expiries[i])
+		}
+	}
+	if len(a.Kills) > 3 {
+		t.Fatalf("%d kills with 4 workers: no survivor guaranteed", len(a.Kills))
+	}
+	for _, k := range a.Kills {
+		if k.AfterResults < 0 || k.AfterResults >= items[k.Slice] {
+			t.Fatalf("kill point %d outside slice of %d items", k.AfterResults, items[k.Slice])
+		}
+	}
+	if DeriveShardPlan(77, 0, 4, items) != nil {
+		t.Fatal("rate 0 produced a plan")
+	}
+	if c := DeriveShardPlan(78, 0.9, 4, items); len(c.Kills) == len(a.Kills) {
+		// Different seeds usually differ; equal counts are fine as long as
+		// the cut points moved.
+		same := len(a.Kills) > 0
+		for i := range c.Kills {
+			if i < len(a.Kills) && c.Kills[i] != a.Kills[i] {
+				same = false
+			}
+		}
+		if same && len(a.Kills) > 0 {
+			t.Log("seed 77 and 78 derived identical kills (unlikely but legal)")
+		}
+	}
+}

@@ -2,6 +2,8 @@ package journal_test
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,9 +12,12 @@ import (
 )
 
 // FuzzJournalRecover feeds arbitrary bytes to the recovery parser and
-// checks its two contracts: it never panics, and anything it returns is
+// checks its three contracts: it never panics, anything it returns is
 // verified data — re-journaling the recovered frames and recovering again
-// must reproduce them exactly, with no truncation.
+// must reproduce them exactly, with no truncation — and the streaming
+// Reader agrees with Recover byte-for-byte on every input, including how
+// a torn tail ends the iteration and where interior corruption turns the
+// walk loud.
 func FuzzJournalRecover(f *testing.F) {
 	// Seed corpus: a valid journal, its torn prefixes, and mutations.
 	valid := func(results ...string) []byte {
@@ -55,7 +60,61 @@ func FuzzJournalRecover(f *testing.F) {
 		}
 		rec, err := journal.Recover(in)
 		if err != nil {
-			return // rejected: fine, as long as it did not panic
+			// Rejected: fine, as long as it did not panic — and the
+			// streaming Reader must reject the same bytes. It may fail at
+			// open (bad magic, no header) or mid-iteration (interior
+			// corruption discovered after yielding verified frames), but
+			// it must not walk the journal to a clean end.
+			r, rerr := journal.OpenReader(in)
+			if rerr != nil {
+				return
+			}
+			defer r.Close()
+			for {
+				_, nerr := r.Next()
+				if errors.Is(nerr, io.EOF) {
+					t.Fatalf("Reader walked to clean EOF but Recover rejected the journal: %v", err)
+				}
+				if nerr != nil {
+					return // loud mid-iteration, matching Recover
+				}
+			}
+		}
+		// Recover succeeded: the streaming Reader must yield exactly the
+		// same meta and results, end with io.EOF, and agree on the torn
+		// tail.
+		r, rerr := journal.OpenReader(in)
+		if rerr != nil {
+			t.Fatalf("Recover succeeded but OpenReader failed: %v", rerr)
+		}
+		defer r.Close()
+		if !bytes.Equal(r.Meta(), rec.Meta) {
+			t.Fatalf("Reader meta %q != Recover meta %q", r.Meta(), rec.Meta)
+		}
+		for i := 0; ; i++ {
+			payload, nerr := r.Next()
+			if errors.Is(nerr, io.EOF) {
+				if i != len(rec.Results) {
+					t.Fatalf("Reader yielded %d results, Recover %d", i, len(rec.Results))
+				}
+				break
+			}
+			if nerr != nil {
+				t.Fatalf("Reader failed at result %d of a journal Recover accepted: %v", i, nerr)
+			}
+			if i >= len(rec.Results) || !bytes.Equal(payload, rec.Results[i]) {
+				t.Fatalf("Reader result %d disagrees with Recover", i)
+			}
+		}
+		if r.Truncated() != rec.Truncated || r.TornBytes() != rec.TornBytes {
+			t.Fatalf("torn tail disagreement: Reader (%v, %d) vs Recover (%v, %d)",
+				r.Truncated(), r.TornBytes(), rec.Truncated, rec.TornBytes)
+		}
+		if r.Frames() != len(rec.Results) {
+			t.Fatalf("Reader.Frames() = %d, want %d", r.Frames(), len(rec.Results))
+		}
+		if r.ValidSize() != int64(len(data))-rec.TornBytes {
+			t.Fatalf("Reader.ValidSize() = %d, want %d", r.ValidSize(), int64(len(data))-rec.TornBytes)
 		}
 		if rec.Meta == nil {
 			t.Fatal("successful recovery with nil Meta")

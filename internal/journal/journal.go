@@ -24,10 +24,12 @@
 package journal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"sync"
 )
@@ -292,15 +294,25 @@ func (r *Recovery) truncate(off, size int64) {
 // any) is cut off at the last verified frame boundary, and the returned
 // writer continues numbering after the recovered results.
 func (r *Recovery) AppendTo(path string) (*Writer, error) {
+	return ResumeWriter(path, len(r.Results), r.validSize)
+}
+
+// ResumeWriter reopens a journal for appending after a streaming walk:
+// the file is truncated at validSize (cutting any torn tail) and the
+// returned writer continues numbering after frames recovered results.
+// OpenReader + ResumeWriter is the bounded-memory equivalent of
+// Recover + AppendTo: a shard takeover can resume a dead worker's journal
+// without ever holding more than one frame in memory.
+func ResumeWriter(path string, frames int, validSize int64) (*Writer, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: reopen: %w", err)
 	}
-	if err := f.Truncate(r.validSize); err != nil {
+	if err := f.Truncate(validSize); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("journal: drop torn tail: %w", err)
 	}
-	if _, err := f.Seek(r.validSize, 0); err != nil {
+	if _, err := f.Seek(validSize, 0); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("journal: seek: %w", err)
 	}
@@ -308,5 +320,146 @@ func (r *Recovery) AppendTo(path string) (*Writer, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal: sync after truncate: %w", err)
 	}
-	return &Writer{f: f, n: len(r.Results)}, nil
+	return &Writer{f: f, n: frames}, nil
 }
+
+// Reader streams a journal's verified frames one at a time, never holding
+// more than a single frame in memory — the walk the sharded study's
+// streaming merge and shard-takeover paths are built on. It applies
+// exactly Recover's torn-tail rule: for any byte sequence on disk, the
+// frames Next yields equal Recovery.Results, a torn tail ends the
+// iteration silently (io.EOF with Truncated reporting true), and interior
+// corruption — which can only surface mid-iteration, after earlier frames
+// were already handed out — fails loudly with ErrCorrupt.
+// FuzzJournalRecover holds Reader and Recover to each other.
+type Reader struct {
+	f    *os.File
+	br   *bufio.Reader
+	meta []byte
+
+	off       int64 // end of the verified prefix so far
+	frames    int   // result frames yielded
+	truncated bool
+	tornBytes int64
+	err       error // sticky terminal state: io.EOF or a real error
+}
+
+// OpenReader opens a journal for streaming and verifies the magic and the
+// meta frame. Like Recover, it returns ErrNoHeader when the file is not a
+// journal or died during creation.
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	r := &Reader{f: f, br: bufio.NewReader(f)}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r.br, head); err != nil || string(head) != magic {
+		f.Close()
+		return nil, fmt.Errorf("journal: %s: bad magic (not a pinscope journal): %w", path, ErrNoHeader)
+	}
+	r.off = int64(len(magic))
+	typ, payload, err := r.readFrame()
+	switch {
+	case errors.Is(err, io.EOF):
+		// Missing or torn meta frame: died during creation, nothing to
+		// resume from. Same rule as Recover.
+		f.Close()
+		return nil, fmt.Errorf("journal: %s: %w", path, ErrNoHeader)
+	case err != nil:
+		f.Close()
+		return nil, fmt.Errorf("journal: %s: %w", path, err)
+	case typ != frameMeta:
+		f.Close()
+		return nil, fmt.Errorf("journal: %s: unexpected frame type %#02x where meta frame belongs: %w",
+			path, typ, ErrCorrupt)
+	}
+	r.meta = payload
+	return r, nil
+}
+
+// Meta returns the verified header frame payload.
+func (r *Reader) Meta() []byte { return r.meta }
+
+// Next returns the next verified result payload. It returns io.EOF at the
+// end of the journal — including after silently dropping a torn tail
+// (check Truncated) — and ErrCorrupt on interior corruption.
+func (r *Reader) Next() ([]byte, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	typ, payload, err := r.readFrame()
+	if err != nil {
+		r.err = err
+		return nil, err
+	}
+	if typ != frameResult {
+		r.err = fmt.Errorf("journal: unexpected frame type %#02x at offset %d: %w", typ, r.off, ErrCorrupt)
+		return nil, r.err
+	}
+	r.frames++
+	return payload, nil
+}
+
+// readFrame reads and verifies one frame, applying the torn-tail rule:
+// a frame cut short by end-of-file, or one failing its CRC with no byte
+// after it, is the normal post-crash state and reads as io.EOF; a bad
+// length field or a CRC failure with intact data after it is ErrCorrupt.
+func (r *Reader) readFrame() (byte, []byte, error) {
+	header := make([]byte, headerSize)
+	if n, err := io.ReadFull(r.br, header); err != nil {
+		if n == 0 && errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF // clean end on a frame boundary
+		}
+		r.truncate(int64(n))
+		return 0, nil, io.EOF
+	}
+	length := int64(binary.LittleEndian.Uint32(header[0:4]))
+	wantCRC := binary.LittleEndian.Uint32(header[4:8])
+	if length < 1 || length > MaxFrame {
+		// A crash writes a byte prefix of a valid frame, so a fully present
+		// length field is always a valid one; garbage here is corruption.
+		return 0, nil, fmt.Errorf("journal: frame at offset %d has impossible length %d: %w",
+			r.off, length, ErrCorrupt)
+	}
+	body := make([]byte, length)
+	if n, err := io.ReadFull(r.br, body); err != nil {
+		r.truncate(headerSize + int64(n))
+		return 0, nil, io.EOF
+	}
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		if _, err := r.br.Peek(1); err != nil {
+			// CRC-failing final frame: a torn write that happened to stop
+			// at a plausible length. Normal after a crash.
+			r.truncate(headerSize + length)
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("journal: frame at offset %d fails its checksum with intact bytes after it: %w",
+			r.off, ErrCorrupt)
+	}
+	r.off += headerSize + length
+	return body[0], body[1:], nil
+}
+
+func (r *Reader) truncate(torn int64) {
+	r.truncated = true
+	r.tornBytes = torn
+}
+
+// Frames returns the number of result frames yielded so far.
+func (r *Reader) Frames() int { return r.frames }
+
+// Truncated reports that the iteration ended at a torn tail; TornBytes is
+// how many trailing bytes the tail spanned.
+func (r *Reader) Truncated() bool { return r.truncated }
+
+// TornBytes returns the length of the dropped torn tail, if any.
+func (r *Reader) TornBytes() int64 { return r.tornBytes }
+
+// ValidSize returns the byte offset where the verified prefix ends — the
+// truncation point to hand ResumeWriter when taking over this journal.
+func (r *Reader) ValidSize() int64 { return r.off }
+
+// Close releases the underlying file. The iteration state survives Close:
+// a takeover can Close the reader and still use Frames/ValidSize.
+func (r *Reader) Close() error { return r.f.Close() }

@@ -91,6 +91,7 @@ func DefaultConfig() *Config {
 			"pinscope/internal/pki",
 			"pinscope/internal/report",
 			"pinscope/internal/sdkregistry",
+			"pinscope/internal/shardcoord",
 			"pinscope/internal/staticanalysis",
 			"pinscope/internal/stats",
 			"pinscope/internal/tlswire",
@@ -115,7 +116,7 @@ func DefaultConfig() *Config {
 			},
 			// CLI progress banners time the run for the operator.
 			"pinscope/cmd/worldgen":  {"main"},
-			"pinscope/cmd/pinstudy":  {"main"},
+			"pinscope/cmd/pinstudy":  {"main", "runSharded"},
 			"pinscope/cmd/pinscoped": {"main", "runSelftest"},
 		},
 		MapOrderPackages: []string{"pinscope", "pinscope/..."},

@@ -392,9 +392,18 @@ func Robustness(s *core.Study) string {
 // and the largest drift of any Table 3 dynamic prevalence from the
 // fault-free reference.
 func Chaos(points []core.ChaosPoint) string {
-	t := &table{header: []string{"Fault rate", "Apps", "Attempts", "Retried", "Quarantined", "Degraded", "Max |drift| (pp)"}}
+	t := &table{header: []string{"Fault rate", "Apps", "Attempts", "Retried", "Quarantined", "Degraded", "Max |drift| (pp)", "Shards killed", "Resumed frames", "Shard merge"}}
 	for _, p := range points {
 		degraded := p.Stats.DynamicOnly + p.Stats.StaticOnly + p.Stats.None
+		killed, resumed, merge := "-", "-", "-"
+		if p.Sharded != nil {
+			killed = fmt.Sprintf("%d", p.Sharded.Stats.WorkersKilled)
+			resumed = fmt.Sprintf("%d", p.Sharded.Stats.ResumedFrames)
+			merge = "diverged"
+			if p.Sharded.ByteIdentical {
+				merge = "identical"
+			}
+		}
 		t.add(
 			fmt.Sprintf("%.0f%%", p.Rate*100),
 			fmt.Sprintf("%d", p.Stats.Apps),
@@ -403,6 +412,7 @@ func Chaos(points []core.ChaosPoint) string {
 			fmt.Sprintf("%d", p.Stats.Quarantined),
 			fmt.Sprintf("%d", degraded),
 			fmt.Sprintf("%.2f", p.MaxAbsDriftPP),
+			killed, resumed, merge,
 		)
 	}
 	return "Chaos sweep: Table 3 dynamic-prevalence drift under rising fault rates\n\n" + t.String()

@@ -1,0 +1,530 @@
+// Package shardcoord coordinates a sharded study run: an app universe cut
+// into contiguous slices, handed to N in-process workers under
+// time-bounded leases. Every slice is crash-only — each has its own
+// append-only journal (internal/journal), so when the worker holding a
+// lease dies mid-slice, the lease expires and a survivor resumes the
+// slice *from its journal* instead of recomputing it.
+//
+// The protocol leans on one property the rest of the repo already
+// guarantees: a result frame is a pure function of (run config, item
+// index), never of which worker computed it or when. That makes every
+// coordination decision content-free — leases, expiries, takeovers and
+// even split-brain double-holders can reorder or repeat *work*, but the
+// bytes that reach each journal are always the same. Determinism of the
+// merged dataset therefore survives arbitrarily messy scheduling.
+//
+// Safety under expiry is enforced by epoch fencing: each lease grant
+// increments the slice's epoch, and an append is admitted only if the
+// appender still holds the current epoch — a stalled worker waking after
+// its lease was reassigned is turned away (counted, not crashed). A
+// per-slice mutex makes the fence-check-plus-append and the
+// takeover-recovery (streaming read + truncate + reopen) mutually atomic.
+//
+// There is no wall clock anywhere (the package is in pinlint's
+// StrictDeterminism set: no time.Now, no ambient entropy). Time is a
+// logical clock that ticks once per journal append; lease deadlines and
+// induced stalls are measured in those ticks. When every live worker is
+// blocked — all waiting for a lease to expire or a stall to elapse — the
+// coordinator warps the clock forward to the earliest deadline, the
+// discrete-event-simulation step that makes expiry both deterministic in
+// effect and free of busy-waiting.
+package shardcoord
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"pinscope/internal/faultinject"
+	"pinscope/internal/journal"
+)
+
+// Slice is one contiguous partition of the universe.
+type Slice struct {
+	// Path is the slice's journal file.
+	Path string
+	// Meta is the journal meta payload; on takeover (or when resuming a
+	// previous run's journal) the on-disk meta must match byte-for-byte,
+	// proving the journal belongs to this exact run and slice.
+	Meta []byte
+	// Items is the number of results the slice must produce.
+	Items int
+}
+
+// Bench computes one result frame. Implementations are typically one
+// study lab with its own crypto plane per worker; RunItem must be a pure
+// function of (slice, item) so that recomputation after a crash and
+// double-computation during a split-brain yield identical bytes.
+type Bench interface {
+	RunItem(slice, item int) ([]byte, error)
+}
+
+// Config parameterizes a sharded run.
+type Config struct {
+	Slices []Slice
+	// Workers is the worker count; 0 means one per slice (capped at the
+	// slice count either way).
+	Workers int
+	// LeaseTTL is the lease duration in logical ticks; 0 picks a default
+	// generous enough that only death or an induced stall expires a lease
+	// under fair scheduling.
+	LeaseTTL int64
+	// NewBench builds worker w's bench. Called once per worker, before it
+	// acquires its first lease.
+	NewBench func(worker int) (Bench, error)
+	// Faults is the deterministic shard-death plan (nil injects nothing).
+	Faults *faultinject.ShardPlan
+}
+
+// Stats summarizes a run. Scheduling-dependent counters (how often a
+// lease expired, how much work a takeover replayed) vary run to run;
+// tests assert inequalities on them, never exact values — the byte
+// content of the journals is where exactness lives.
+type Stats struct {
+	Workers       int
+	Slices        int
+	WorkersKilled int   // workers lost to injected shard kills
+	Expired       int   // leases expired (holder dead or stalled past TTL)
+	Reassigned    int   // leases granted for a slice that had a prior holder
+	ResumedFrames int   // frames takeovers recovered from journals instead of recomputing
+	Fenced        int   // appends and completions refused by the epoch fence
+	Ticks         int64 // final logical-clock reading
+}
+
+// errFenced tells a worker its lease is gone: abandon the slice and
+// acquire a new one. Internal — it never escapes Run.
+var errFenced = errors.New("shardcoord: lease fenced")
+
+type sliceState struct {
+	idx  int
+	conf Slice
+
+	// jmu serializes journal access: the fence-check-plus-append of the
+	// holder and the read-truncate-reopen of a takeover are each atomic
+	// under it. Lock order is jmu before the coordinator mutex, never the
+	// reverse.
+	jmu sync.Mutex
+	w   *journal.Writer
+
+	// Fields below are guarded by the coordinator mutex.
+	next       int // result frames durably in the journal
+	done       bool
+	leased     bool
+	holder     int
+	epoch      int64
+	deadline   int64
+	everLeased bool
+	killFired  bool
+	stalled    bool // expiry fault already consumed
+}
+
+// lease is a worker's claim on a slice at a specific epoch.
+type lease struct {
+	s     *sliceState
+	epoch int64
+	start int // first item to compute (earlier ones recovered from the journal)
+}
+
+type coordinator struct {
+	cfg Config
+	ttl int64
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	now          int64
+	live         int
+	blockedIdle  int
+	blockedStall int
+	stallWakes   map[int]int64
+	slices       []*sliceState
+	doneCount    int
+	stats        Stats
+	fatal        []error
+	aborted      bool
+}
+
+// Run executes the sharded run to completion: every slice's journal ends
+// with exactly Items verified frames. It fails if the run cannot finish
+// (all workers dead with work remaining, a journal that belongs to a
+// different run, unrecoverable I/O) — the journals written so far survive
+// any failure and a rerun resumes from them.
+func Run(cfg Config) (*Stats, error) {
+	if len(cfg.Slices) == 0 {
+		return nil, errors.New("shardcoord: no slices")
+	}
+	seen := map[string]bool{}
+	for _, s := range cfg.Slices {
+		if s.Path == "" || seen[s.Path] {
+			return nil, fmt.Errorf("shardcoord: missing or duplicate slice path %q", s.Path)
+		}
+		seen[s.Path] = true
+	}
+	if cfg.NewBench == nil {
+		return nil, errors.New("shardcoord: no bench constructor")
+	}
+	workers := cfg.Workers
+	if workers <= 0 || workers > len(cfg.Slices) {
+		workers = len(cfg.Slices)
+	}
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		maxItems := 0
+		for _, s := range cfg.Slices {
+			if s.Items > maxItems {
+				maxItems = s.Items
+			}
+		}
+		ttl = int64(4*maxItems + 16)
+	}
+	c := &coordinator{
+		cfg:        cfg,
+		ttl:        ttl,
+		live:       workers,
+		stallWakes: map[int]int64{},
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for i, s := range cfg.Slices {
+		c.slices = append(c.slices, &sliceState{idx: i, conf: s})
+	}
+	c.stats.Workers = workers
+	c.stats.Slices = len(cfg.Slices)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c.worker(id)
+		}(w)
+	}
+	wg.Wait()
+
+	// Close any writer a failure path left open (normal completion closes
+	// per slice; killed writers closed themselves).
+	for _, s := range c.slices {
+		s.jmu.Lock()
+		if s.w != nil {
+			s.w.Close()
+			s.w = nil
+		}
+		s.jmu.Unlock()
+	}
+	c.stats.Ticks = c.now
+	if len(c.fatal) > 0 {
+		return &c.stats, errors.Join(c.fatal...)
+	}
+	if c.doneCount < len(c.slices) {
+		return &c.stats, fmt.Errorf("shardcoord: %d of %d slices incomplete: all workers dead (rerun to resume from the journals)",
+			len(c.slices)-c.doneCount, len(c.slices))
+	}
+	return &c.stats, nil
+}
+
+func (c *coordinator) worker(id int) {
+	defer func() {
+		c.mu.Lock()
+		c.live--
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	}()
+	bench, err := c.cfg.NewBench(id)
+	if err != nil {
+		c.fail(fmt.Errorf("shardcoord: worker %d bench: %w", id, err))
+		return
+	}
+	for {
+		l, done := c.acquire(id)
+		if done {
+			return
+		}
+		abandoned := false
+		for item := l.start; item < l.s.conf.Items; item++ {
+			frame, err := bench.RunItem(l.s.idx, item)
+			if err != nil {
+				c.fail(fmt.Errorf("shardcoord: slice %d item %d: %w", l.s.idx, item, err))
+				return
+			}
+			err = c.append(id, l, frame)
+			switch {
+			case errors.Is(err, errFenced):
+				abandoned = true
+			case errors.Is(err, journal.ErrKilled):
+				return // this worker is dead; the lease will expire
+			case err != nil:
+				c.fail(err)
+				return
+			}
+			if abandoned {
+				break
+			}
+			c.maybeStall(id, l)
+		}
+		if !abandoned {
+			c.complete(id, l)
+		}
+	}
+}
+
+// acquire blocks until the worker holds a lease, all work is done, or the
+// run aborted. Preference order: never-leased or released slices first
+// (in index order), then expired leases.
+func (c *coordinator) acquire(worker int) (*lease, bool) {
+	c.mu.Lock()
+	for {
+		if c.aborted || c.doneCount == len(c.slices) {
+			c.mu.Unlock()
+			return nil, true
+		}
+		var pick *sliceState
+		reassigned := false
+		for _, s := range c.slices {
+			if !s.done && !s.leased {
+				pick = s
+				reassigned = s.everLeased
+				break
+			}
+		}
+		if pick == nil {
+			for _, s := range c.slices {
+				if s.leased && !s.done && c.now >= s.deadline {
+					c.stats.Expired++
+					pick = s
+					reassigned = true
+					break
+				}
+			}
+		}
+		if pick != nil {
+			pick.leased = true
+			pick.holder = worker
+			pick.epoch++
+			pick.deadline = c.now + c.ttl
+			pick.everLeased = true
+			if reassigned {
+				c.stats.Reassigned++
+			}
+			epoch := pick.epoch
+			c.mu.Unlock()
+
+			start, err := c.openJournal(pick, epoch)
+			if err != nil {
+				c.fail(err)
+				return nil, true
+			}
+			c.mu.Lock()
+			c.stats.ResumedFrames += start
+			c.mu.Unlock()
+			return &lease{s: pick, epoch: epoch, start: start}, false
+		}
+		// Nothing to hand out: wait for an append, a death, or — if every
+		// live worker is blocked like us — warp the clock to the earliest
+		// lease deadline or stall wake so expiry needs no wall time.
+		c.blockedIdle++
+		if !c.quiescentLocked() || !c.warpLocked() {
+			c.cond.Wait()
+		}
+		c.blockedIdle--
+	}
+}
+
+// quiescentLocked reports that every live worker (including the caller,
+// already counted by its blocked counter) is blocked waiting on the clock.
+func (c *coordinator) quiescentLocked() bool {
+	return c.blockedIdle+c.blockedStall >= c.live
+}
+
+// warpLocked advances the logical clock to the earliest pending deadline
+// or stall wake strictly ahead of now. Returns false when there is
+// nothing to warp to — then some worker is mid-transition and waiting is
+// the right move.
+func (c *coordinator) warpLocked() bool {
+	target := int64(-1)
+	for _, s := range c.slices {
+		if s.leased && !s.done && s.deadline > c.now {
+			if target < 0 || s.deadline < target {
+				target = s.deadline
+			}
+		}
+	}
+	for _, wake := range c.stallWakes {
+		if wake > c.now && (target < 0 || wake < target) {
+			target = wake
+		}
+	}
+	if target <= c.now {
+		return false
+	}
+	c.now = target
+	c.cond.Broadcast()
+	return true
+}
+
+// openJournal creates or resumes the slice's journal under the new lease.
+// A fresh slice gets Create; a slice with a prior holder (or a journal
+// left by a previous, interrupted run) is resumed by streaming its
+// verified frames — Reader + ResumeWriter, never a whole-WAL slurp — and
+// continuing after them. Returns the first item index left to compute.
+func (c *coordinator) openJournal(s *sliceState, epoch int64) (int, error) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.w != nil {
+		// Prior holder's writer (already dead if killed; stalled holders
+		// are fenced before they can touch it again).
+		s.w.Close()
+		s.w = nil
+	}
+	var w *journal.Writer
+	frames := 0
+	if _, err := os.Stat(s.conf.Path); err == nil {
+		r, err := journal.OpenReader(s.conf.Path)
+		if err != nil {
+			return 0, fmt.Errorf("shardcoord: resume slice %d: %w", s.idx, err)
+		}
+		if string(r.Meta()) != string(s.conf.Meta) {
+			r.Close()
+			return 0, fmt.Errorf("shardcoord: slice %d journal %s belongs to a different run (meta mismatch)",
+				s.idx, s.conf.Path)
+		}
+		for {
+			if _, err := r.Next(); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				r.Close()
+				return 0, fmt.Errorf("shardcoord: resume slice %d: %w", s.idx, err)
+			}
+		}
+		frames = r.Frames()
+		size := r.ValidSize()
+		r.Close()
+		if frames > s.conf.Items {
+			return 0, fmt.Errorf("shardcoord: slice %d journal has %d frames for %d items",
+				s.idx, frames, s.conf.Items)
+		}
+		w, err = journal.ResumeWriter(s.conf.Path, frames, size)
+		if err != nil {
+			return 0, fmt.Errorf("shardcoord: resume slice %d: %w", s.idx, err)
+		}
+	} else {
+		var cerr error
+		w, cerr = journal.Create(s.conf.Path, s.conf.Meta)
+		if cerr != nil {
+			return 0, fmt.Errorf("shardcoord: slice %d: %w", s.idx, cerr)
+		}
+	}
+	c.mu.Lock()
+	if k := c.cfg.Faults.KillFor(s.idx); k != nil && !s.killFired {
+		w.SetCrashTap(k.Tap())
+	}
+	s.w = w
+	s.next = frames
+	c.mu.Unlock()
+	return frames, nil
+}
+
+// append admits one frame through the epoch fence and ticks the clock.
+// The fence and the append are atomic under the slice mutex: a takeover
+// cannot slip between them, so a fenced worker never writes and an
+// admitted write is always observed by the next takeover's journal read.
+func (c *coordinator) append(worker int, l *lease, frame []byte) error {
+	s := l.s
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	c.mu.Lock()
+	if s.done || !s.leased || s.holder != worker || s.epoch != l.epoch {
+		c.stats.Fenced++
+		c.mu.Unlock()
+		return errFenced
+	}
+	w := s.w
+	c.mu.Unlock()
+
+	if err := w.Append(frame); err != nil {
+		if errors.Is(err, journal.ErrKilled) {
+			c.mu.Lock()
+			s.killFired = true
+			c.stats.WorkersKilled++
+			c.mu.Unlock()
+			c.cond.Broadcast()
+			return err
+		}
+		return fmt.Errorf("shardcoord: slice %d append: %w", s.idx, err)
+	}
+	c.mu.Lock()
+	c.now++
+	s.next++
+	s.deadline = c.now + c.ttl // the append is the heartbeat
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	return nil
+}
+
+// maybeStall consumes the slice's induced lease-expiry fault: after the
+// configured append, the holder goes silent past its TTL.
+func (c *coordinator) maybeStall(worker int, l *lease) {
+	s := l.s
+	c.mu.Lock()
+	e := c.cfg.Faults.ExpiryFor(s.idx)
+	if e == nil || s.stalled || s.next != e.AfterResults || s.holder != worker || s.epoch != l.epoch {
+		c.mu.Unlock()
+		return
+	}
+	s.stalled = true
+	ticks := e.StallTicks
+	if ticks <= 0 {
+		ticks = c.ttl + 1
+	}
+	wake := c.now + ticks
+	c.stallWakes[worker] = wake
+	c.blockedStall++
+	for c.now < wake && !c.aborted {
+		if !c.quiescentLocked() || !c.warpLocked() {
+			c.cond.Wait()
+		}
+	}
+	c.blockedStall--
+	delete(c.stallWakes, worker)
+	c.mu.Unlock()
+}
+
+// complete marks the slice finished and closes its journal, through the
+// same fence as appends: a stalled ex-holder cannot complete a slice that
+// was taken over and finished by someone else.
+func (c *coordinator) complete(worker int, l *lease) {
+	s := l.s
+	s.jmu.Lock()
+	c.mu.Lock()
+	if s.done || !s.leased || s.holder != worker || s.epoch != l.epoch {
+		c.stats.Fenced++
+		c.mu.Unlock()
+		s.jmu.Unlock()
+		return
+	}
+	s.done = true
+	s.leased = false
+	c.doneCount++
+	w := s.w
+	s.w = nil
+	c.mu.Unlock()
+	var err error
+	if w != nil {
+		err = w.Close()
+	}
+	s.jmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("shardcoord: slice %d close: %w", s.idx, err))
+		return
+	}
+	c.cond.Broadcast()
+}
+
+// fail records a fatal error and aborts the run: workers drain on their
+// next acquire, stalled workers wake immediately.
+func (c *coordinator) fail(err error) {
+	c.mu.Lock()
+	c.fatal = append(c.fatal, err)
+	c.aborted = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}

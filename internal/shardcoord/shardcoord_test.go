@@ -1,0 +1,284 @@
+package shardcoord_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pinscope/internal/faultinject"
+	"pinscope/internal/journal"
+	"pinscope/internal/shardcoord"
+)
+
+// synthBench computes deterministic frames: the coordinator must produce
+// identical journal bytes no matter which worker runs which item, how
+// often leases bounce, or how much work a takeover recomputes.
+type synthBench struct{ worker int }
+
+func (b synthBench) RunItem(slice, item int) ([]byte, error) {
+	// Deliberately independent of b.worker: purity of (slice, item).
+	return []byte(fmt.Sprintf("slice=%d item=%d payload=%032d", slice, item, slice*1000+item)), nil
+}
+
+func synthConfig(dir string, slices, items, workers int) shardcoord.Config {
+	cfg := shardcoord.Config{
+		Workers:  workers,
+		NewBench: func(worker int) (shardcoord.Bench, error) { return synthBench{worker: worker}, nil },
+	}
+	for i := 0; i < slices; i++ {
+		cfg.Slices = append(cfg.Slices, shardcoord.Slice{
+			Path:  filepath.Join(dir, fmt.Sprintf("shard-%03d.wal", i)),
+			Meta:  []byte(fmt.Sprintf(`{"run":"synth","slice":%d}`, i)),
+			Items: items,
+		})
+	}
+	return cfg
+}
+
+// journalFiles reads every slice journal's raw bytes, keyed by base name.
+func journalFiles(t *testing.T, cfg shardcoord.Config) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, s := range cfg.Slices {
+		data, err := os.ReadFile(s.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(s.Path)] = data
+	}
+	return out
+}
+
+// verifyComplete recovers every slice journal and checks it holds exactly
+// the expected frames.
+func verifyComplete(t *testing.T, cfg shardcoord.Config) {
+	t.Helper()
+	for i, s := range cfg.Slices {
+		rec, err := journal.Recover(s.Path)
+		if err != nil {
+			t.Fatalf("slice %d: %v", i, err)
+		}
+		if rec.Truncated {
+			t.Fatalf("slice %d: completed journal reports a torn tail", i)
+		}
+		if len(rec.Results) != s.Items {
+			t.Fatalf("slice %d: %d frames, want %d", i, len(rec.Results), s.Items)
+		}
+		for item, got := range rec.Results {
+			want, _ := synthBench{}.RunItem(i, item)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("slice %d item %d: frame %q, want %q", i, item, got, want)
+			}
+		}
+	}
+}
+
+func TestCleanRunCompletesAllSlices(t *testing.T) {
+	cfg := synthConfig(t.TempDir(), 6, 9, 3)
+	stats, err := shardcoord.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyComplete(t, cfg)
+	if stats.Workers != 3 || stats.Slices != 6 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.WorkersKilled != 0 || stats.Reassigned != 0 {
+		t.Fatalf("clean run reported faults: %+v", stats)
+	}
+	if stats.Ticks != 6*9 {
+		t.Fatalf("Ticks = %d, want one per append = %d", stats.Ticks, 6*9)
+	}
+}
+
+// TestShardKillsReassignAndStayByteIdentical is the tentpole property:
+// kill workers at two distinct slice boundaries, let leases expire and
+// survivors resume from the dead shards' journals, and require the final
+// journal files to be byte-identical to a fault-free run's.
+func TestShardKillsReassignAndStayByteIdentical(t *testing.T) {
+	clean := synthConfig(t.TempDir(), 6, 9, 4)
+	if _, err := shardcoord.Run(clean); err != nil {
+		t.Fatal(err)
+	}
+	want := journalFiles(t, clean)
+
+	faulted := synthConfig(t.TempDir(), 6, 9, 4)
+	faulted.Faults = &faultinject.ShardPlan{Kills: []faultinject.ShardKill{
+		{Slice: 1, AfterResults: 3, TornBytes: 11},
+		{Slice: 4, AfterResults: 7, TornBytes: 2},
+	}}
+	stats, err := shardcoord.Run(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyComplete(t, faulted)
+	if stats.WorkersKilled != 2 {
+		t.Fatalf("WorkersKilled = %d, want 2", stats.WorkersKilled)
+	}
+	if stats.Expired < 2 || stats.Reassigned < 2 {
+		t.Fatalf("expected both dead leases to expire and reassign: %+v", stats)
+	}
+	if stats.ResumedFrames < 3+7 {
+		t.Fatalf("takeovers resumed %d frames, want at least 10", stats.ResumedFrames)
+	}
+	got := journalFiles(t, faulted)
+	for name, wantData := range want {
+		if !bytes.Equal(got[name], wantData) {
+			t.Fatalf("journal %s differs between faulted and clean runs", name)
+		}
+	}
+}
+
+// TestLeaseExpiryFencesStalledHolder stalls a live holder past its TTL:
+// the slice must be reassigned while the holder still lives, and the
+// holder's late append must be refused by the epoch fence — with the
+// journal bytes unharmed.
+func TestLeaseExpiryFencesStalledHolder(t *testing.T) {
+	clean := synthConfig(t.TempDir(), 4, 8, 4)
+	if _, err := shardcoord.Run(clean); err != nil {
+		t.Fatal(err)
+	}
+	want := journalFiles(t, clean)
+
+	faulted := synthConfig(t.TempDir(), 4, 8, 4)
+	faulted.Faults = &faultinject.ShardPlan{Expiries: []faultinject.LeaseExpiry{
+		{Slice: 2, AfterResults: 3},
+	}}
+	stats, err := shardcoord.Run(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyComplete(t, faulted)
+	if stats.Expired < 1 || stats.Reassigned < 1 {
+		t.Fatalf("stall did not expire the lease: %+v", stats)
+	}
+	if stats.Fenced < 1 {
+		t.Fatalf("stalled holder was never fenced: %+v", stats)
+	}
+	if stats.WorkersKilled != 0 {
+		t.Fatalf("expiry drill killed someone: %+v", stats)
+	}
+	got := journalFiles(t, faulted)
+	for name, wantData := range want {
+		if !bytes.Equal(got[name], wantData) {
+			t.Fatalf("journal %s differs between stalled and clean runs", name)
+		}
+	}
+}
+
+// TestAllWorkersDeadThenRerunResumes kills the only worker, expects a
+// loud failure, then reruns without the fault: the second run must resume
+// from the surviving journal rather than recompute or clobber it.
+func TestAllWorkersDeadThenRerunResumes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := synthConfig(dir, 2, 9, 1)
+	cfg.Faults = &faultinject.ShardPlan{Kills: []faultinject.ShardKill{
+		{Slice: 0, AfterResults: 4, TornBytes: 13},
+	}}
+	stats, err := shardcoord.Run(cfg)
+	if err == nil {
+		t.Fatal("run with every worker dead reported success")
+	}
+	if stats.WorkersKilled != 1 {
+		t.Fatalf("WorkersKilled = %d, want 1", stats.WorkersKilled)
+	}
+
+	rerun := synthConfig(dir, 2, 9, 1)
+	stats2, err := shardcoord.Run(rerun)
+	if err != nil {
+		t.Fatalf("rerun failed: %v", err)
+	}
+	verifyComplete(t, rerun)
+	if stats2.ResumedFrames < 4 {
+		t.Fatalf("rerun resumed %d frames, want at least the 4 that survived the kill", stats2.ResumedFrames)
+	}
+}
+
+// TestForeignJournalRejected points a slice at a journal from a different
+// run: the meta fence must fail the run loudly instead of appending to
+// (or truncating) someone else's data.
+func TestForeignJournalRejected(t *testing.T) {
+	dir := t.TempDir()
+	cfg := synthConfig(dir, 2, 3, 1)
+	w, err := journal.Create(cfg.Slices[0].Path, []byte(`{"run":"someone else"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("their data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(cfg.Slices[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shardcoord.Run(cfg); err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("Run = %v, want meta-mismatch failure", err)
+	}
+	after, err := os.ReadFile(cfg.Slices[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("foreign journal was modified")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := shardcoord.Run(shardcoord.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	dup := synthConfig(t.TempDir(), 2, 1, 1)
+	dup.Slices[1].Path = dup.Slices[0].Path
+	if _, err := shardcoord.Run(dup); err == nil {
+		t.Fatal("duplicate slice paths accepted")
+	}
+	nobench := synthConfig(t.TempDir(), 1, 1, 1)
+	nobench.NewBench = nil
+	if _, err := shardcoord.Run(nobench); err == nil {
+		t.Fatal("nil bench constructor accepted")
+	}
+}
+
+// TestManySlicesFewWorkersUnderChurn runs a larger matrix with kills and
+// stalls together — primarily a race-detector workout (check.sh runs this
+// package with -race) plus the byte-identity assertion once more.
+func TestManySlicesFewWorkersUnderChurn(t *testing.T) {
+	clean := synthConfig(t.TempDir(), 12, 7, 4)
+	if _, err := shardcoord.Run(clean); err != nil {
+		t.Fatal(err)
+	}
+	want := journalFiles(t, clean)
+
+	faulted := synthConfig(t.TempDir(), 12, 7, 4)
+	faulted.Faults = &faultinject.ShardPlan{
+		Kills: []faultinject.ShardKill{
+			{Slice: 0, AfterResults: 0, TornBytes: 0},
+			{Slice: 5, AfterResults: 6, TornBytes: 21},
+			{Slice: 9, AfterResults: 3, TornBytes: 1},
+		},
+		Expiries: []faultinject.LeaseExpiry{
+			{Slice: 2, AfterResults: 1},
+			{Slice: 7, AfterResults: 7},
+		},
+	}
+	stats, err := shardcoord.Run(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyComplete(t, faulted)
+	if stats.WorkersKilled != 3 {
+		t.Fatalf("WorkersKilled = %d, want 3", stats.WorkersKilled)
+	}
+	got := journalFiles(t, faulted)
+	for name, wantData := range want {
+		if !bytes.Equal(got[name], wantData) {
+			t.Fatalf("journal %s differs under churn", name)
+		}
+	}
+}

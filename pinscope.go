@@ -92,6 +92,20 @@ func PaperConfig() Config {
 	}
 }
 
+// Config100k sizes a ≈100,000-unique-app universe — the scale the sharded
+// coordinator exists for (ROADMAP's step toward the paper's 1.35M-app
+// store universe). Dataset proportions follow the paper (≈22× its sizes);
+// the store populations grow 10× so the popular cut keeps its meaning.
+// Budget tens of minutes per full pass on one core; shard it.
+func Config100k(seed int64) Config {
+	return Config{
+		Seed:       seed,
+		CommonSize: 5000, PopularSize: 22500, RandomSize: 22500,
+		StoreAndroid: 420000, StoreIOS: 390000,
+		Window: 30,
+	}
+}
+
 // MiniConfig is a laptop-instant miniature study, useful for examples and
 // tests.
 func MiniConfig(seed int64) Config {
@@ -130,8 +144,9 @@ func (c Config) toCore() core.Config {
 	if p.StoreIOS == 0 {
 		p.StoreIOS = def.StoreIOS
 	}
-	// Keep the popular-mix head proportional on shrunk stores.
-	if p.StoreAndroid < def.StoreAndroid {
+	// Keep the popular-mix head proportional on resized stores (shrunk
+	// mini worlds and the grown 100k-app universe alike).
+	if p.StoreAndroid != def.StoreAndroid {
 		p.PopularCut = p.StoreAndroid * def.PopularCut / def.StoreAndroid
 	}
 	p.CrossProducts = p.CommonSize + p.CommonSize/4
@@ -445,11 +460,108 @@ func (st *Study) Ablations(sample int) (string, error) {
 // ChaosReport runs the full study once per fault rate (plus a fault-free
 // reference) and renders how far the Table 3 dynamic prevalences drift as
 // operational faults rise — the robustness envelope of the methodology.
-// Each point is a complete study on a fresh world; budget accordingly.
+// Positive-rate points additionally rerun as a 4-shard sharded study under
+// a derived shard-death plan and verify the merged export matches. Each
+// point is a complete study on a fresh world; budget accordingly.
 func ChaosReport(cfg Config, rates []float64) (string, error) {
 	points, err := core.ChaosSweep(cfg.toCore(), rates)
 	if err != nil {
 		return "", err
 	}
 	return report.Chaos(points), nil
+}
+
+// ShardOptions configures a sharded, crash-tolerant study run.
+type ShardOptions struct {
+	// Shards is the number of contiguous slices the app universe is cut
+	// into; each slice journals into its own WAL under Dir.
+	Shards int
+	// Workers sizes the worker pool measuring the slices (0 → one per
+	// shard). Workers hold slices under time-bounded leases: a dead
+	// worker's lease expires and a survivor resumes its slice from the
+	// journal instead of recomputing it.
+	Workers int
+	// Dir is the shard-journal directory (created if missing). Rerunning
+	// over an interrupted run's directory resumes it.
+	Dir string
+	// Kills deterministically kills the worker holding a slice (for
+	// crash-drill runs): slice index → results appended before the cut.
+	Kills []ShardKill
+	// KillTorn is the torn-frame length each injected kill leaves on disk.
+	KillTorn int
+}
+
+// ShardKill names one injected shard death: the holder of Slice dies while
+// appending result AfterResults (0-based within the slice journal).
+type ShardKill struct {
+	Slice        int
+	AfterResults int
+}
+
+func (o ShardOptions) plan(torn int) *faultinject.ShardPlan {
+	if len(o.Kills) == 0 {
+		return nil
+	}
+	p := &faultinject.ShardPlan{}
+	for _, k := range o.Kills {
+		p.Kills = append(p.Kills, faultinject.ShardKill{
+			Slice: k.Slice, AfterResults: k.AfterResults, TornBytes: torn,
+		})
+	}
+	return p
+}
+
+// ShardStats reports what a sharded run's coordinator observed.
+type ShardStats struct {
+	// Workers and Shards echo the run shape.
+	Workers, Shards int
+	// WorkersKilled counts injected shard deaths that fired.
+	WorkersKilled int
+	// LeasesExpired counts leases that timed out (dead or stalled holder);
+	// Reassigned counts slices a second worker took over.
+	LeasesExpired, Reassigned int
+	// ResumedFrames counts results replayed from shard journals instead of
+	// recomputed — on takeover within a run and on rerun of a killed run.
+	ResumedFrames int
+}
+
+// RunSharded executes the study as opts.Shards crash-only slices under
+// lease-based coordination, leaving one journal per slice in opts.Dir. It
+// returns statistics, not a Study: fold the journals into the canonical
+// dataset with MergeShards. If workers die (injected via opts.Kills or a
+// real crash killing the process), rerunning with the same configuration
+// resumes from the journals; MergeShards then produces a dataset
+// byte-identical to an unsharded Run + ExportDataset of the same Config.
+func RunSharded(cfg Config, opts ShardOptions) (*ShardStats, error) {
+	cc := cfg.toCore()
+	if cfg.JournalPath != "" || cfg.KillAfter > 0 {
+		return nil, errors.New("pinscope: sharded runs journal per shard; JournalPath and KillAfter do not apply")
+	}
+	stats, err := core.RunSharded(cc, core.ShardedConfig{
+		Shards:  opts.Shards,
+		Workers: opts.Workers,
+		Dir:     opts.Dir,
+		Faults:  opts.plan(opts.KillTorn),
+	})
+	if stats == nil {
+		return nil, err
+	}
+	return &ShardStats{
+		Workers: stats.Workers, Shards: stats.Slices,
+		WorkersKilled: stats.WorkersKilled,
+		LeasesExpired: stats.Expired, Reassigned: stats.Reassigned,
+		ResumedFrames: stats.ResumedFrames,
+	}, err
+}
+
+// MergeShards streams a completed sharded run's journals into one exported
+// dataset, byte-identical to the unsharded export of the same Config. The
+// merge is bounded-memory — one journal frame in flight at a time — and
+// fails loudly (without emitting a partial dataset) if any shard journal is
+// incomplete, corrupt, or from a different run.
+func MergeShards(w io.Writer, cfg Config, opts ShardOptions) error {
+	return core.MergeShards(w, cfg.toCore(), core.ShardedConfig{
+		Shards: opts.Shards,
+		Dir:    opts.Dir,
+	})
 }

@@ -3,7 +3,8 @@
 # pinlint invariant suite, full test suite (shuffled), then a race-detector
 # pass over the packages with real concurrency (the study runner's worker
 # pool, the record pipes, the flow tap, the serving layer's snapshot swap,
-# the result journal's append path, and the crypto plane's shared caches —
+# the result journal's append path, the shard coordinator's lease protocol,
+# and the crypto plane's shared caches —
 # chain store, signature memo, handshake memo, forged-leaf store), a
 # one-iteration benchmark smoke, and a short fuzz smoke over journal
 # recovery.
@@ -52,7 +53,7 @@ go test -shuffle=on ./...
 
 echo "==> go test -race (concurrent packages)"
 go test -race ./internal/core ./internal/netem ./internal/dynamicanalysis ./internal/pinserve ./internal/journal \
-    ./internal/pki ./internal/device ./internal/mitmproxy
+    ./internal/pki ./internal/device ./internal/mitmproxy ./internal/shardcoord
 
 # One iteration of every benchmark: proves the suite (including the
 # crypto-plane trajectory benches) still runs; numbers are discarded.
