@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench chaos export serve resume-demo shard-demo
+.PHONY: build test lint check bench chaos export serve resume-demo shard-demo timeline-demo
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,9 @@ check:
 	./scripts/check.sh
 
 # bench runs the full benchmark suite plus the crypto-plane trajectory
-# (warm/cold end-to-end study + micro benches) and the sharded-coordinator
-# pair, writes BENCH_6.json at the repo root and diffs it against the
-# previous BENCH_*.json snapshot.
+# (warm/cold end-to-end study + micro benches), the sharded-coordinator
+# pair, and the longitudinal three-point sweep, writes BENCH_7.json at the
+# repo root and diffs it against the previous BENCH_*.json snapshot.
 bench:
 	./scripts/bench.sh
 
@@ -66,3 +66,20 @@ shard-demo:
 	$(GO) run ./cmd/pinstudy -scale mini -shards 4 -journal /tmp/pinscope-shards -merge -export /tmp/pinscope-sharded.json
 	cmp /tmp/pinscope-unsharded.json /tmp/pinscope-sharded.json
 	@echo "shard-demo: merged sharded export is byte-identical to the unsharded run"
+
+# timeline-demo shows the longitudinal study mode end to end: the mini
+# universe is replayed across three root-program timeline points (the froyo
+# and kitkat Android releases and a public-CA distrust event), the sweep is
+# killed mid-timeline by fault injection while measuring the kitkat point
+# (the leading "-" expects that failure), then resumed from the per-point
+# journals; every resumed per-point export must be byte-identical to the
+# uninterrupted sweep's.
+timeline-demo:
+	rm -rf /tmp/pinscope-timeline /tmp/pinscope-tl-clean* /tmp/pinscope-tl-resumed*
+	$(GO) run ./cmd/pinstudy -scale mini -timeline -points froyo,kitkat,distrust-ca-distrust -export /tmp/pinscope-tl-clean.json > /dev/null
+	-$(GO) run ./cmd/pinstudy -scale mini -timeline -points froyo,kitkat,distrust-ca-distrust -journal /tmp/pinscope-timeline -kill-after 40 -kill-torn 5 -kill-at-point kitkat > /dev/null
+	$(GO) run ./cmd/pinstudy -scale mini -timeline -points froyo,kitkat,distrust-ca-distrust -journal /tmp/pinscope-timeline -export /tmp/pinscope-tl-resumed.json > /dev/null
+	cmp /tmp/pinscope-tl-clean-froyo.json /tmp/pinscope-tl-resumed-froyo.json
+	cmp /tmp/pinscope-tl-clean-kitkat.json /tmp/pinscope-tl-resumed-kitkat.json
+	cmp /tmp/pinscope-tl-clean-distrust-ca-distrust.json /tmp/pinscope-tl-resumed-distrust-ca-distrust.json
+	@echo "timeline-demo: resumed per-point exports are byte-identical to the uninterrupted sweep"

@@ -424,6 +424,31 @@ func BenchmarkStudyEndToEndCold(b *testing.B) {
 	}
 }
 
+func BenchmarkLongitudinalStudy(b *testing.B) {
+	// The time axis end to end: one world build amortized across a
+	// three-point replay — two root-program releases plus a distrust
+	// event (see internal/rootprogram). The ratio to three times
+	// BenchmarkStudyEndToEnd is the world-reuse and crypto-plane win of
+	// the longitudinal runner (scripts/bench.sh records it as
+	// longitudinal_vs_three_studies).
+	for i := 0; i < b.N; i++ {
+		ls, err := core.RunLongitudinal(core.TestConfig(9001), core.TimelineConfig{
+			Points: []string{"froyo", "kitkat", "distrust-ca-distrust"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ls.Points) != 3 {
+			b.Fatal("wrong point count")
+		}
+		for _, p := range ls.Points {
+			if p.Study.Cfg.Release != p.Point.Tag {
+				b.Fatalf("point %q ran with release %q", p.Point.Tag, p.Study.Cfg.Release)
+			}
+		}
+	}
+}
+
 func BenchmarkStudySingleShard(b *testing.B) {
 	// The sharded machinery at its degenerate point — one shard, one
 	// worker, no faults — including the journal writes and the streaming

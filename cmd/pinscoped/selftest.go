@@ -20,6 +20,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -256,8 +257,40 @@ func buildCases(datasets []*core.ExportedDataset) []selftestCase {
 			}
 		}
 	}
+	// Distrust-impact lookups: every probed destination with a recorded
+	// trust anchor must appear in its root's blast radius. (Version-1
+	// snapshots carry no root fingerprints; they simply add no cases.)
+	for _, ds := range datasets {
+		for _, p := range ds.Destinations {
+			if p.RootFP == "" {
+				continue
+			}
+			fp, host := p.RootFP, p.Host
+			cases = append(cases, selftestCase{method: "GET",
+				path: "/v1/distrust/" + url.PathEscape(fp),
+				check: func(status int, body []byte) error {
+					if status != http.StatusOK {
+						return fmt.Errorf("status %d", status)
+					}
+					var a pinserve.DistrustAnswer
+					if err := json.Unmarshal(body, &a); err != nil {
+						return err
+					}
+					for _, h := range a.Hosts {
+						if h == host {
+							return nil
+						}
+					}
+					return fmt.Errorf("host %s missing from distrust answer for %.12s...", host, fp)
+				}})
+		}
+	}
 	// Misses, malformed ids, cached tables, health.
 	cases = append(cases,
+		selftestCase{method: "GET", path: "/v1/distrust/" + strings.Repeat("0", 64),
+			check: expectStatus(http.StatusNotFound)},
+		selftestCase{method: "GET", path: "/v1/distrust/not-a-fingerprint",
+			check: expectStatus(http.StatusBadRequest)},
 		selftestCase{method: "GET", path: "/v1/app/android/com.does.not.exist",
 			check: expectStatus(http.StatusNotFound)},
 		selftestCase{method: "GET", path: "/v1/app/windows/com.example",

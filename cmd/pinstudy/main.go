@@ -8,6 +8,7 @@
 //	         [-faults 0.1] [-retries 2] [-chaos]
 //	         [-journal run.wal] [-resume] [-kill-after N] [-kill-torn K]
 //	         [-shards N] [-shard-kill 1@3,2@0] [-merge]
+//	         [-timeline] [-points tag,tag,...] [-kill-at-point tag]
 //	         [-coldcrypto] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // The default paper scale studies ≈5,000 unique apps and takes a couple of
@@ -19,12 +20,21 @@
 // command resumes an interrupted run from the journals. -merge folds the
 // completed slice journals into the exported dataset (-export, or stdout),
 // byte-identical to an unsharded same-seed run's export.
+//
+// With -timeline the study runs longitudinally: the same app universe is
+// replayed across root-program releases and distrust events (-points picks
+// the timeline points) and the time-axis report is printed. -journal names
+// a directory holding one WAL per point; a killed sweep (-kill-after with
+// -kill-at-point choosing where the cut lands) resumes by rerunning the
+// same command without the kill flags. -export writes one snapshot per
+// point as <export>-<tag>.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -52,6 +62,9 @@ func main() {
 	shards := flag.Int("shards", 0, "run the study as N crash-only slices; -journal names the shard directory")
 	shardKill := flag.String("shard-kill", "", "fault injection: comma-separated slice@afterN worker deaths (requires -shards)")
 	merge := flag.Bool("merge", false, "merge a completed sharded run's journals into the dataset (requires -shards)")
+	timeline := flag.Bool("timeline", false, "run longitudinally across root-program releases and distrust events")
+	points := flag.String("points", "", "timeline points for -timeline (comma-separated tags; empty = all)")
+	killAtPoint := flag.String("kill-at-point", "", "arm -kill-after only at this timeline point (requires -timeline)")
 	coldCrypto := flag.Bool("coldcrypto", false, "disable the shared crypto plane (uncached baseline for profiling)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the study run to this file")
 	memprofile := flag.String("memprofile", "", "write a post-study heap profile to this file")
@@ -91,6 +104,10 @@ func main() {
 
 	if *shards > 0 || *merge || *shardKill != "" {
 		runSharded(cfg, *shards, *shardKill, *killTorn, *jpath, *export, *workers, *merge)
+		return
+	}
+	if *timeline || *points != "" || *killAtPoint != "" {
+		runTimeline(cfg, *timeline, *points, *killAtPoint, *jpath, *export)
 		return
 	}
 
@@ -211,6 +228,70 @@ func sweepSample(scale string) int {
 		return 400
 	}
 	return 60
+}
+
+// runTimeline handles the -timeline mode: the longitudinal sweep across
+// root-program releases and distrust events, with per-point crash-only
+// journals under -journal and one exported snapshot per point.
+func runTimeline(cfg pinscope.Config, enabled bool, points, killAtPoint, dir, export string) {
+	if !enabled {
+		fmt.Fprintln(os.Stderr, "pinstudy: -points and -kill-at-point require -timeline")
+		os.Exit(2)
+	}
+	cfg.JournalPath = "" // timeline runs journal per point under dir
+	cfg.Resume = false   // point journals resume automatically
+	var tags []string
+	for _, t := range strings.Split(points, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tags = append(tags, t)
+		}
+	}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "pinstudy: longitudinal study (seed %d)...\n", cfg.Seed)
+	ts, err := pinscope.RunTimeline(cfg, pinscope.TimelineOptions{
+		Points: tags, Dir: dir, KillAtPoint: killAtPoint,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pinstudy: %v\n", err)
+		if pinscope.IsKilled(err) {
+			fmt.Fprintf(os.Stderr, "pinstudy: point journals survive in %s; rerun without the kill flags to resume\n", dir)
+		}
+		os.Exit(1)
+	}
+	if n := ts.Resumed(); n > 0 {
+		fmt.Fprintf(os.Stderr, "pinstudy: replayed %d journaled results across points\n", n)
+	}
+	fmt.Fprintf(os.Stderr, "pinstudy: %d timeline points complete in %s\n\n",
+		len(ts.Points()), time.Since(start).Round(time.Millisecond))
+	fmt.Println(ts.Report())
+
+	if export == "" {
+		return
+	}
+	for _, tag := range ts.Points() {
+		path := pointExportPath(export, tag)
+		w, err := atomicio.Create(path, atomicio.WithChecksum())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pinstudy: export: %v\n", err)
+			os.Exit(1)
+		}
+		if err := ts.ExportPoint(w, tag); err == nil {
+			err = w.Commit()
+		}
+		w.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pinstudy: export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pinstudy: point %s written to %s\n", tag, path)
+	}
+}
+
+// pointExportPath splices a point tag into the export filename:
+// study.json + kitkat -> study-kitkat.json.
+func pointExportPath(base, tag string) string {
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + tag + ext
 }
 
 // runSharded handles the -shards / -shard-kill / -merge modes: the study as

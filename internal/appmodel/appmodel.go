@@ -108,6 +108,10 @@ type App struct {
 	// CrossKey links the Android and iOS builds of the same product; empty
 	// for single-platform apps.
 	CrossKey string
+	// Release is the platform root-program release the app shipped against
+	// (e.g. "kitkat", "ios14"); see internal/rootprogram. Empty when the
+	// world was built without a timeline.
+	Release string
 
 	// Pkg is the store artifact; nil until materialized.
 	Pkg *apppkg.Package

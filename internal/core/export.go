@@ -15,6 +15,7 @@ import (
 
 	"pinscope/internal/atomicio"
 	"pinscope/internal/pii"
+	"pinscope/internal/rootprogram"
 	"pinscope/internal/worldgen"
 )
 
@@ -32,8 +33,10 @@ var (
 
 // DatasetVersion is the current export format version. WriteJSON stamps it;
 // ReadJSON accepts any version up to it. Exports written before the field
-// existed decode as version 0 and stay loadable.
-const DatasetVersion = 1
+// existed decode as version 0 and stay loadable. Version 2 added the
+// root-program time axis: meta/app release tags and per-probe root
+// fingerprints (all omitempty, so version-1 snapshots still load).
+const DatasetVersion = 2
 
 // DatasetMeta reproduces the run: the seed and sizes regenerate the world.
 type DatasetMeta struct {
@@ -42,6 +45,10 @@ type DatasetMeta struct {
 	PopularSize int     `json:"popular_size"`
 	RandomSize  int     `json:"random_size"`
 	Window      float64 `json:"capture_window_s"`
+	// Release is the root-program timeline point the run measured "as of"
+	// (empty for snapshot runs). pinserve treats it as the snapshot's
+	// lineage tag.
+	Release string `json:"release,omitempty"`
 }
 
 // ExportedDataset is the JSON shape of a released study.
@@ -63,6 +70,7 @@ func exportMeta(cfg Config) DatasetMeta {
 		PopularSize: cfg.Params.PopularSize,
 		RandomSize:  cfg.Params.RandomSize,
 		Window:      cfg.Window,
+		Release:     cfg.Release,
 	}
 }
 
@@ -74,6 +82,8 @@ type ExportedApp struct {
 	Platform  string   `json:"platform"`
 	Category  string   `json:"category"`
 	Datasets  []string `json:"datasets"`
+	// Release is the root-program release the app shipped against.
+	Release string `json:"release,omitempty"`
 
 	PinsDynamic    bool     `json:"pins_dynamic"`
 	PinnedDomains  []string `json:"pinned_domains,omitempty"`
@@ -102,6 +112,11 @@ type ExportedProbe struct {
 	Unavailable bool   `json:"unavailable"`
 	LeafCN      string `json:"leaf_cn,omitempty"`
 	ChainLen    int    `json:"chain_len,omitempty"`
+	// RootFP is the SPKI SHA-256 fingerprint of the chain's trust anchor
+	// (rootprogram.Fingerprint) — the join key for distrust-impact
+	// queries: distrusting root X breaks the destinations whose RootFP
+	// matches. SPKI-based, so it is stable across same-seed rebuilds.
+	RootFP string `json:"root_fp,omitempty"`
 }
 
 // datasetMembership indexes dataset membership by result key. It is an
@@ -128,6 +143,7 @@ func exportApp(r *AppResult, datasets []string) ExportedApp {
 		Platform:  string(r.App.Platform),
 		Category:  r.App.Category,
 		Datasets:  datasets,
+		Release:   r.App.Release,
 
 		PinsDynamic:      r.Pinned(),
 		PinnedDomains:    r.Dyn.PinnedDests(),
@@ -174,6 +190,7 @@ func exportProbe(p *DestProbe) ExportedProbe {
 	if p.Chain != nil {
 		ep.LeafCN = p.Chain.Leaf().Subject.CommonName
 		ep.ChainLen = len(p.Chain)
+		ep.RootFP = rootprogram.Fingerprint(p.Chain[len(p.Chain)-1])
 	}
 	return ep
 }

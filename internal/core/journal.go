@@ -40,6 +40,11 @@ type journalMeta struct {
 	FaultSeed  int64             `json:"fault_seed"`
 	FaultRates faultinject.Rates `json:"fault_rates"`
 	Retries    int               `json:"retries"`
+	// Release is the root-program timeline point measured (empty for
+	// snapshot runs). omitempty keeps pre-timeline journals replayable:
+	// their headers decode to "" and snapshot runs marshal no field at
+	// all, so the bytes match too.
+	Release string `json:"release,omitempty"`
 }
 
 func metaFor(cfg Config) journalMeta {
@@ -50,6 +55,7 @@ func metaFor(cfg Config) journalMeta {
 		FaultSeed:  cfg.Faults.Seed(),
 		FaultRates: cfg.Faults.Rates(),
 		Retries:    cfg.Retries,
+		Release:    cfg.Release,
 	}
 }
 

@@ -68,10 +68,7 @@ func newCryptoPlane(cfg Config, w *worldgen.World) (*cryptoPlane, error) {
 		memo:    device.NewHandshakeMemo(),
 		stores:  map[appmodel.Platform]planeStores{},
 	}
-	base := map[appmodel.Platform]*pki.RootStore{
-		appmodel.Android: w.Eco.OEM,
-		appmodel.IOS:     w.Eco.IOS,
-	}
+	base := cfg.baseStores(w)
 	for _, plat := range appmodel.Platforms {
 		ps := planeStores{
 			plainUser: base[plat].Clone(string(plat) + "-user"),

@@ -208,7 +208,7 @@ func MergeShards(out io.Writer, cfg Config, sc ShardedConfig) error {
 		sorted = append(sorted, d)
 	}
 	sort.Strings(sorted)
-	probes := probeDests(w, cfg.Params.Seed, sorted)
+	probes := probeDests(cfg, w, sorted)
 	eps := make([]ExportedProbe, 0, len(sorted))
 	for _, d := range sorted {
 		eps = append(eps, exportProbe(probes[d]))

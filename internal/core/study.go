@@ -62,6 +62,31 @@ type Config struct {
 	// that); the switch exists as the test's control and for profiling the
 	// uncached pipeline.
 	ColdCrypto bool
+	// Release names the root-program timeline point this run measures "as
+	// of" (see internal/rootprogram); empty means the static snapshot
+	// world. It is stamped into journal headers and export metadata so a
+	// resume cannot mix timeline points and a served snapshot knows its
+	// lineage.
+	Release string
+	// Stores, when non-nil, replaces the per-platform device trust stores
+	// with the materialized stores of the timeline point named by Release.
+	// Nil falls back to the ecosystem's static OEM/iOS stores. Stores is
+	// derived (Release + seed regenerate it), so it never appears in
+	// journal metadata itself. RunLongitudinal sets both together.
+	Stores map[appmodel.Platform]*pki.RootStore
+}
+
+// baseStores returns the per-platform trust stores this run measures
+// against: the configured timeline-point stores, or the ecosystem's
+// static stores when no timeline point is set.
+func (cfg Config) baseStores(w *worldgen.World) map[appmodel.Platform]*pki.RootStore {
+	if cfg.Stores != nil {
+		return cfg.Stores
+	}
+	return map[appmodel.Platform]*pki.RootStore{
+		appmodel.Android: w.Eco.OEM, // Pixel 3 factory image, OEM store
+		appmodel.IOS:     w.Eco.IOS,
+	}
 }
 
 // DefaultConfig is the paper-scale configuration.
@@ -487,10 +512,7 @@ func newLab(cfg Config, w *worldgen.World, plane *cryptoPlane) (*lab, error) {
 		l.proxy = proxy
 	}
 
-	baseStores := map[appmodel.Platform]*pki.RootStore{
-		appmodel.Android: w.Eco.OEM, // Pixel 3 factory image, OEM store
-		appmodel.IOS:     w.Eco.IOS,
-	}
+	baseStores := cfg.baseStores(w)
 	for _, plat := range appmodel.Platforms {
 		// Device randomness is platform-keyed, not worker-keyed, so every
 		// worker sees the identical device (profile and payload stream).
@@ -834,18 +856,21 @@ func (s *Study) probePinnedDests() error {
 		sorted = append(sorted, d)
 	}
 	sort.Strings(sorted)
-	s.Probes = probeDests(s.World, s.Cfg.Params.Seed, sorted)
+	s.Probes = probeDests(s.Cfg, s.World, sorted)
 	return nil
 }
 
 // probeDests probes and classifies pinned destinations (sorted order is
 // the probe order) — shared by the in-process study and the streaming
 // shard merge, which both must classify the identical destination set
-// identically.
-func probeDests(w *worldgen.World, seed int64, sorted []string) map[string]*DestProbe {
+// identically. The prober trusts the run's configured Android store (the
+// timeline point's, when one is set), though classification itself is
+// store-independent: probes fetch chains without validating, and the
+// default-PKI check runs against the static Mozilla reference bundle.
+func probeDests(cfg Config, w *worldgen.World, sorted []string) map[string]*DestProbe {
 	probeNet := w.NewNetwork(false) // flaky hosts are gone
-	prober := device.New(appmodel.Android, probeNet, w.Eco.OEM,
-		detrand.New(seed).Child("prober"))
+	prober := device.New(appmodel.Android, probeNet, cfg.baseStores(w)[appmodel.Android],
+		detrand.New(cfg.Params.Seed).Child("prober"))
 
 	probes := make(map[string]*DestProbe, len(sorted))
 	for _, dest := range sorted {

@@ -90,6 +90,7 @@ func DefaultConfig() *Config {
 			"pinscope/internal/pii",
 			"pinscope/internal/pki",
 			"pinscope/internal/report",
+			"pinscope/internal/rootprogram",
 			"pinscope/internal/sdkregistry",
 			"pinscope/internal/shardcoord",
 			"pinscope/internal/staticanalysis",
@@ -116,7 +117,7 @@ func DefaultConfig() *Config {
 			},
 			// CLI progress banners time the run for the operator.
 			"pinscope/cmd/worldgen":  {"main"},
-			"pinscope/cmd/pinstudy":  {"main", "runSharded"},
+			"pinscope/cmd/pinstudy":  {"main", "runSharded", "runTimeline"},
 			"pinscope/cmd/pinscoped": {"main", "runSelftest"},
 		},
 		MapOrderPackages: []string{"pinscope", "pinscope/..."},
@@ -128,6 +129,7 @@ func DefaultConfig() *Config {
 			// snapshot-derived JSON contracts of their own.
 			{Pkg: "pinscope/internal/pinserve", Name: "DestInfo"},
 			{Pkg: "pinscope/internal/pinserve", Name: "PinAnswer"},
+			{Pkg: "pinscope/internal/pinserve", Name: "DistrustAnswer"},
 			{Pkg: "pinscope/internal/pinserve", Name: "IndexStats"},
 		},
 		AtomicSwapPackages: []string{"pinscope/internal/pinserve"},

@@ -1,0 +1,228 @@
+package pinserve
+
+// distrust_test.go covers the time-axis serving surface: the /v1/distrust
+// reverse index (root fingerprint -> blast radius), lineage tracking from
+// snapshot metadata, and the reload guard that refuses to swap a snapshot
+// from a different root-program release under a live index.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pinscope/internal/core"
+	"pinscope/internal/worldgen"
+)
+
+// fpA/fpB are well-formed SPKI SHA-256 fingerprints for hand-built probes.
+var (
+	fpA = strings.Repeat("ab", 32)
+	fpB = strings.Repeat("cd", 32)
+)
+
+// releaseDataset is testDataset stamped with a lineage tag and root
+// fingerprints on its probes.
+func releaseDataset(release string) *core.ExportedDataset {
+	ds := testDataset()
+	ds.Meta.Release = release
+	ds.Destinations[0].RootFP = fpA // api.bank.com
+	ds.Destinations[1].RootFP = fpB // cdn.bank.com
+	return ds
+}
+
+func TestDistrustIndex(t *testing.T) {
+	ix, err := Build(releaseDataset("kitkat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Release() != "kitkat" {
+		t.Fatalf("Release() = %q", ix.Release())
+	}
+	if ix.Stats().Roots != 2 || ix.Stats().Release != "kitkat" {
+		t.Fatalf("stats: %+v", ix.Stats())
+	}
+
+	a := ix.Distrust(strings.ToUpper(fpA)) // any case accepted
+	if a == nil {
+		t.Fatal("no answer for fpA")
+	}
+	if a.Release != "kitkat" || a.HostCount != 1 || a.Hosts[0] != "api.bank.com" {
+		t.Fatalf("answer: %+v", a)
+	}
+	// api.bank.com is pinned by both bank apps and circumvented by the
+	// Android one; the union is deduplicated and sorted by key.
+	if a.AppCount != 2 || a.Apps[0].Key != "android/com.bank.app" || a.Apps[1].Key != "ios/id.bank.ios" {
+		t.Fatalf("apps: %+v", a.Apps)
+	}
+	if _, ok := ix.DistrustJSON(fpB); !ok {
+		t.Fatal("fpB not indexed")
+	}
+	if ix.Distrust(strings.Repeat("00", 32)) != nil {
+		t.Fatal("unknown fingerprint answered")
+	}
+}
+
+func TestBuildRejectsMixedReleases(t *testing.T) {
+	if _, err := Build(releaseDataset("froyo"), releaseDataset("kitkat")); err == nil {
+		t.Fatal("mixed-lineage build succeeded")
+	}
+	// A release-less snapshot carries no lineage and combines freely.
+	ix, err := Build(testDataset(), releaseDataset("kitkat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Release() != "kitkat" {
+		t.Fatalf("Release() = %q", ix.Release())
+	}
+}
+
+func TestDistrustEndpoint(t *testing.T) {
+	s, err := New(Options{MaxInFlight: 8, RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(releaseDataset("kitkat")); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	code, body := get(t, h, "/v1/distrust/"+strings.ToUpper(fpA))
+	if code != http.StatusOK {
+		t.Fatalf("hit: %d %s", code, body)
+	}
+	var a DistrustAnswer
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != fpA || a.Release != "kitkat" || a.AppCount != 2 {
+		t.Fatalf("answer: %+v", a)
+	}
+
+	if code, _ := get(t, h, "/v1/distrust/"+strings.Repeat("00", 32)); code != http.StatusNotFound {
+		t.Fatalf("unknown root: %d", code)
+	}
+	for _, bad := range []string{"zz", strings.Repeat("g", 64), strings.Repeat("ab", 40)} {
+		if code, _ := get(t, h, "/v1/distrust/"+bad); code != http.StatusBadRequest {
+			t.Fatalf("malformed %q: %d", bad, code)
+		}
+	}
+}
+
+// The acceptance path: a longitudinal sweep's per-point export answers a
+// distrust-impact query for the root the timeline actually distrusts.
+func TestDistrustAgainstLongitudinalSnapshot(t *testing.T) {
+	cfg := core.Config{
+		Params: worldgen.Params{
+			Seed:       77,
+			CommonSize: 3, PopularSize: 4, RandomSize: 4,
+			StoreAndroid: 400, StoreIOS: 390,
+			CrossProducts: 4, PopularCut: 120,
+		},
+		Window: 30,
+	}
+	ls, err := core.RunLongitudinal(cfg, core.TimelineConfig{Points: []string{"kitkat"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ls.ExportPoint(&buf, "kitkat"); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := core.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Options{MaxInFlight: 8, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := ls.World.Timeline.Event("ca-distrust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, s.Handler(), "/v1/distrust/"+ev.Fingerprint)
+	if code != http.StatusOK {
+		t.Fatalf("distrusted public CA unknown to snapshot: %d %s", code, body)
+	}
+	var a DistrustAnswer
+	if err := json.Unmarshal(body, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Release != "kitkat" || a.HostCount == 0 || a.AppCount == 0 {
+		t.Fatalf("empty blast radius for a live public CA: %+v", a)
+	}
+}
+
+// A reload must not move a live index across root-program releases; the
+// failure is sticky in /v1/stats until a same-lineage reload succeeds.
+func TestReloadRejectsLineageMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	write := func(ds *core.ExportedDataset) {
+		t.Helper()
+		js, err := json.Marshal(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, js, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(releaseDataset("froyo"))
+	s, err := New(Options{Paths: []string{path}, MaxInFlight: 8, RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	post := func() (int, string) {
+		req := httptest.NewRequest("POST", "/v1/reload", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	write(releaseDataset("kitkat"))
+	code, body := post()
+	if code != http.StatusInternalServerError || !strings.Contains(body, "release lineage mismatch") {
+		t.Fatalf("cross-lineage reload: %d %s", code, body)
+	}
+	if got := s.Index().Release(); got != "froyo" {
+		t.Fatalf("served lineage moved to %q", got)
+	}
+	code, stBody := get(t, h, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(stBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ReloadFailures != 1 || !strings.Contains(st.LastReloadError, "release lineage mismatch") {
+		t.Fatalf("stats after rejected reload: failures=%d lastErr=%q", st.ReloadFailures, st.LastReloadError)
+	}
+
+	// Same-lineage snapshots still reload, clearing the sticky error.
+	write(releaseDataset("froyo"))
+	if code, body := post(); code != http.StatusOK {
+		t.Fatalf("same-lineage reload: %d %s", code, body)
+	}
+	if st := func() statsResponse {
+		_, body := get(t, h, "/v1/stats")
+		var st statsResponse
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}(); st.LastReloadError != "" {
+		t.Fatalf("sticky error not cleared: %q", st.LastReloadError)
+	}
+}

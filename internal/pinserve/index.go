@@ -50,12 +50,18 @@ type DestInfo struct {
 
 // IndexStats summarizes a built index for /v1/healthz and /v1/stats.
 type IndexStats struct {
-	Snapshots    int   `json:"snapshots"`
-	Apps         int   `json:"apps"`
-	Destinations int   `json:"destinations"`
-	UniquePins   int   `json:"unique_pins"`
-	Replaced     int   `json:"replaced_apps"`
-	BuildMicros  int64 `json:"build_micros"`
+	Snapshots    int `json:"snapshots"`
+	Apps         int `json:"apps"`
+	Destinations int `json:"destinations"`
+	UniquePins   int `json:"unique_pins"`
+	// Roots counts distinct trust anchors seen across probed destinations
+	// (the /v1/distrust key space).
+	Roots    int `json:"roots"`
+	Replaced int `json:"replaced_apps"`
+	// Release is the snapshot's root-program lineage tag; empty for
+	// snapshot-mode (timeless) datasets.
+	Release     string `json:"release,omitempty"`
+	BuildMicros int64  `json:"build_micros"`
 }
 
 // cachedTable is one aggregate endpoint's pre-rendered payloads.
@@ -78,13 +84,22 @@ type destEntry struct {
 	json []byte
 }
 
+// rootEntry is one trust anchor's distrust-impact answer with its
+// pre-rendered body.
+type rootEntry struct {
+	answer *DistrustAnswer
+	json   []byte
+}
+
 // Index is an immutable queryable view over one or more snapshots.
 type Index struct {
 	shards  [shardCount]map[string]*appEntry
 	byPin   map[string][]string // canonical pin key -> sorted app keys
 	pinJSON map[string][]byte   // canonical pin key -> /v1/pins response
 	byDest  map[string]*destEntry
-	tables  []cachedTable // tables[n-1] serves /v1/tables/{n}
+	byRoot  map[string]*rootEntry // root SPKI fingerprint -> distrust impact
+	tables  []cachedTable         // tables[n-1] serves /v1/tables/{n}
+	release string                // root-program lineage tag (may be empty)
 	stats   IndexStats
 }
 
@@ -110,6 +125,7 @@ func Build(datasets ...*core.ExportedDataset) (*Index, error) {
 		byPin:   map[string][]string{},
 		pinJSON: map[string][]byte{},
 		byDest:  map[string]*destEntry{},
+		byRoot:  map[string]*rootEntry{},
 	}
 	for i := range ix.shards {
 		ix.shards[i] = map[string]*appEntry{}
@@ -117,6 +133,16 @@ func Build(datasets ...*core.ExportedDataset) (*Index, error) {
 	for _, ds := range datasets {
 		if ds == nil {
 			return nil, errors.New("pinserve: nil dataset")
+		}
+		// All snapshots in one index must come from the same root-program
+		// lineage: mixing "as of froyo" apps with "as of kitkat" probes
+		// would make distrust answers incoherent. Release-less (snapshot
+		// mode) datasets carry no lineage and combine with anything.
+		if r := ds.Meta.Release; r != "" {
+			if ix.release != "" && ix.release != r {
+				return nil, fmt.Errorf("pinserve: snapshots span root-program releases %q and %q", ix.release, r)
+			}
+			ix.release = r
 		}
 		ix.stats.Snapshots++
 		for i := range ds.Apps {
@@ -163,8 +189,11 @@ func Build(datasets ...*core.ExportedDataset) (*Index, error) {
 		sort.Strings(de.info.PinnedBy)
 		sort.Strings(de.info.CircumventedBy)
 	}
+	ix.buildDistrust()
 	ix.stats.Destinations = len(ix.byDest)
 	ix.stats.UniquePins = len(ix.byPin)
+	ix.stats.Roots = len(ix.byRoot)
+	ix.stats.Release = ix.release
 
 	if err := ix.renderResponses(); err != nil {
 		return nil, err
@@ -210,6 +239,13 @@ func (ix *Index) renderResponses() error {
 			return fmt.Errorf("pinserve: render pin %s: %w", pin, err)
 		}
 		ix.pinJSON[pin] = js
+	}
+	for fp, re := range ix.byRoot {
+		js, err := json.Marshal(re.answer)
+		if err != nil {
+			return fmt.Errorf("pinserve: render distrust %s: %w", fp, err)
+		}
+		re.json = js
 	}
 	return nil
 }
@@ -268,6 +304,90 @@ func (ix *Index) buildTables(datasets []*core.ExportedDataset) error {
 	}
 	return nil
 }
+
+// DistrustAnswer is the /v1/distrust response: the blast radius of
+// removing one trust anchor from the root program. Hosts are the probed
+// destinations whose serving chain anchors at the root; Apps are the
+// shipping apps known to depend on those hosts (pinning or circumventing
+// them) — the connections that go dark if the root is distrusted.
+type DistrustAnswer struct {
+	Fingerprint string `json:"fingerprint"`
+	// Release is the lineage the answer is valid for (empty when the
+	// snapshot was measured without a timeline).
+	Release   string     `json:"release,omitempty"`
+	HostCount int        `json:"host_count"`
+	AppCount  int        `json:"app_count"`
+	Hosts     []string   `json:"hosts"`
+	Apps      []PinMatch `json:"apps"`
+}
+
+// NormalizeFingerprint canonicalizes a root fingerprint for lookup.
+func NormalizeFingerprint(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
+}
+
+// buildDistrust inverts probe trust anchors into per-root impact answers.
+// Runs after the byDest inverted maps are final so app lists agree with
+// what /v1/dest serves.
+func (ix *Index) buildDistrust() {
+	for host, de := range ix.byDest {
+		p := de.info.Probe
+		if p == nil || p.RootFP == "" {
+			continue
+		}
+		fp := NormalizeFingerprint(p.RootFP)
+		re := ix.byRoot[fp]
+		if re == nil {
+			re = &rootEntry{answer: &DistrustAnswer{Fingerprint: fp, Release: ix.release}}
+			ix.byRoot[fp] = re
+		}
+		re.answer.Hosts = append(re.answer.Hosts, host)
+	}
+	for _, re := range ix.byRoot {
+		a := re.answer
+		sort.Strings(a.Hosts)
+		seen := map[string]bool{}
+		for _, host := range a.Hosts {
+			de := ix.byDest[host]
+			for _, keys := range [][]string{de.info.PinnedBy, de.info.CircumventedBy} {
+				for _, k := range keys {
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					m := PinMatch{Key: k}
+					if app := ix.AppByKey(k); app != nil {
+						m.Name, m.Developer = app.Name, app.Developer
+					}
+					a.Apps = append(a.Apps, m)
+				}
+			}
+		}
+		sort.Slice(a.Apps, func(i, j int) bool { return a.Apps[i].Key < a.Apps[j].Key })
+		a.HostCount, a.AppCount = len(a.Hosts), len(a.Apps)
+	}
+}
+
+// Distrust returns the impact answer for a root fingerprint, or nil if no
+// probed destination anchors there.
+func (ix *Index) Distrust(fp string) *DistrustAnswer {
+	if re := ix.byRoot[NormalizeFingerprint(fp)]; re != nil {
+		return re.answer
+	}
+	return nil
+}
+
+// DistrustJSON returns the pre-rendered /v1/distrust response body.
+func (ix *Index) DistrustJSON(fp string) ([]byte, bool) {
+	if re := ix.byRoot[NormalizeFingerprint(fp)]; re != nil {
+		return re.json, true
+	}
+	return nil, false
+}
+
+// Release returns the root-program lineage tag the index was built from
+// (empty for timeless snapshots).
+func (ix *Index) Release() string { return ix.release }
 
 func (ix *Index) dest(host string) *destEntry {
 	de := ix.byDest[host]

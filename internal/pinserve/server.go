@@ -129,6 +129,15 @@ func (s *Server) Reload() error {
 	if err != nil {
 		return s.reloadFailed(err)
 	}
+	// A reload must stay on the lineage being served: swapping a froyo
+	// snapshot under clients querying kitkat answers would silently change
+	// every distrust and prevalence response. Operators restart the server
+	// to change lineage deliberately.
+	if cur := s.idx.Load(); cur != nil && cur.Release() != "" && ix.Release() != "" && cur.Release() != ix.Release() {
+		return s.reloadFailed(fmt.Errorf(
+			"pinserve: reload (release lineage mismatch): serving release %q, new snapshot is release %q",
+			cur.Release(), ix.Release()))
+	}
 	s.swap(ix)
 	s.errMu.Lock()
 	s.lastReloadErr = ""
@@ -210,6 +219,7 @@ func (s *Server) buildMux() http.Handler {
 	mux.HandleFunc("GET /v1/app/{platform}/{id}", s.wrap("/v1/app", s.handleApp))
 	mux.HandleFunc("GET /v1/pins", s.wrap("/v1/pins", s.handlePins))
 	mux.HandleFunc("GET /v1/dest/{host}", s.wrap("/v1/dest", s.handleDest))
+	mux.HandleFunc("GET /v1/distrust/{fingerprint}", s.wrap("/v1/distrust", s.handleDistrust))
 	mux.HandleFunc("GET /v1/tables/{n}", s.wrap("/v1/tables", s.handleTables))
 	mux.HandleFunc("GET /v1/healthz", s.wrap("/v1/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /v1/stats", s.wrap("/v1/stats", s.handleStats))
@@ -340,6 +350,39 @@ func (s *Server) handleDest(w http.ResponseWriter, r *http.Request) {
 	body, ok := ix.DestJSON(host)
 	if !ok {
 		writeError(w, http.StatusNotFound, "destination never seen pinned, circumvented or probed")
+		return
+	}
+	writeRaw(w, body)
+}
+
+// hexFingerprint reports whether s looks like a SHA-256 hex fingerprint
+// (rootprogram.Fingerprint shape) in any case.
+func hexFingerprint(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleDistrust(w http.ResponseWriter, r *http.Request) {
+	ix := s.index(w)
+	if ix == nil {
+		return
+	}
+	fp := r.PathValue("fingerprint")
+	if !hexFingerprint(strings.TrimSpace(fp)) {
+		writeError(w, http.StatusBadRequest, "fingerprint must be 64 hex chars (SPKI SHA-256)")
+		return
+	}
+	body, ok := ix.DistrustJSON(fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no probed destination anchors at this root")
 		return
 	}
 	writeRaw(w, body)

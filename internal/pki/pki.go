@@ -369,10 +369,19 @@ func (rs *RootStore) Contains(cert *x509.Certificate) bool {
 }
 
 // Clone returns a copy that can be mutated (e.g. to install a MITM CA on a
-// test device) without affecting the original.
+// test device) without affecting the original. The content digest only
+// depends on the trusted roots, so a clone inherits the cached digest:
+// per-release stores cloned onto thousands of devices must not re-hash the
+// same immutable content on every HandshakeMemo lookup.
 func (rs *RootStore) Clone(name string) *RootStore {
-	cp := &RootStore{Name: name, certs: make([]*x509.Certificate, len(rs.certs))}
+	rs.vmu.RLock()
+	cp := &RootStore{
+		Name:   name,
+		certs:  make([]*x509.Certificate, len(rs.certs)),
+		digest: rs.digest,
+	}
 	copy(cp.certs, rs.certs)
+	rs.vmu.RUnlock()
 	return cp
 }
 

@@ -431,6 +431,39 @@ func TestRootStoreValidateConcurrent(t *testing.T) {
 	}
 }
 
+// Clone carries the cached content digest (content-identical stores share
+// a digest by Digest's own contract), and mutating the clone re-derives it
+// rather than serving the stale value.
+func TestCloneInheritsDigest(t *testing.T) {
+	_, _, inter, root := testChain(t, 37)
+	store := NewRootStore("orig")
+	store.Add(root.Cert)
+	d := store.Digest()
+
+	cp := store.Clone("copy")
+	if cp.Digest() != d {
+		t.Fatal("clone of a digested store must share its digest")
+	}
+
+	// A clone taken before the original ever computed its digest still
+	// answers correctly (it just computes lazily like the original).
+	fresh := NewRootStore("fresh")
+	fresh.Add(root.Cert)
+	if fresh.Clone("fresh-copy").Digest() != d {
+		t.Fatal("clone of an undigested store computed a different digest")
+	}
+
+	// Mutation invalidates: the mutated clone must not keep the inherited
+	// digest, and the original must be unaffected.
+	cp.Add(inter.Cert)
+	if cp.Digest() == d {
+		t.Fatal("mutated clone served the stale inherited digest")
+	}
+	if store.Digest() != d {
+		t.Fatal("mutating a clone changed the original's digest")
+	}
+}
+
 // FuzzParsePin: arbitrary strings must never panic, and anything accepted
 // must round-trip canonically.
 func FuzzParsePin(f *testing.F) {

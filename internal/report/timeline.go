@@ -1,0 +1,87 @@
+package report
+
+// timeline.go renders the longitudinal study's time axis: Table 3 pivoted
+// over root-program releases and distrust events, the per-point breakage
+// table, and the transition deltas between consecutive points.
+
+import (
+	"fmt"
+	"strings"
+
+	"pinscope/internal/core"
+)
+
+// Timeline renders the merged timeline itself: each point's logical date,
+// the release in effect per platform, and the distrust events in force.
+func Timeline(ls *core.LongitudinalStudy) string {
+	t := &table{header: []string{"Point", "Day", "Android", "iOS", "Distrusted"}}
+	for _, p := range ls.Points {
+		dis := "-"
+		if len(p.Point.Distrusted) > 0 {
+			dis = strings.Join(p.Point.Distrusted, ",")
+		}
+		t.add(p.Point.Tag, fmt.Sprintf("%d", p.Point.Date), p.Point.Android, p.Point.IOS, dis)
+	}
+	return "Timeline: root-program points measured (days relative to the study epoch)\n\n" + t.String()
+}
+
+// Table3OverTime renders pinning prevalence per dataset cell across every
+// measured timeline point — Table 3 with time as the extra axis.
+func Table3OverTime(ls *core.LongitudinalStudy) string {
+	header := []string{"Dataset", "Platform"}
+	for _, p := range ls.Points {
+		header = append(header, p.Point.Tag)
+	}
+	t := &table{header: header}
+	for _, row := range ls.Table3OverTime() {
+		cells := []string{row.Cell.Dataset, platName(row.Cell.Platform)}
+		for _, c := range row.Points {
+			cells = append(cells, fmt.Sprintf("%s (%d)", pct(c.Dynamic, c.N), c.Dynamic))
+		}
+		t.add(cells...)
+	}
+	return "Table 3 over time: dynamic pinning prevalence per store release\n\n" + t.String()
+}
+
+// Breakage renders the per-point dark-destination counts: connections
+// whose baseline leg carried no data because the point's store no longer
+// (or did not yet) trust their chain's anchor.
+func Breakage(ls *core.LongitudinalStudy) string {
+	t := &table{header: []string{"Point", "Platform", "Apps", "Broken Apps", "Dests", "Broken Dests", "Pinned+Broken"}}
+	for _, p := range ls.Points {
+		for _, c := range p.Breakage {
+			t.add(p.Point.Tag, platName(c.Platform),
+				fmt.Sprintf("%d", c.Apps),
+				fmt.Sprintf("%s (%d)", pct(c.BrokenApps, c.Apps), c.BrokenApps),
+				fmt.Sprintf("%d", c.Dests),
+				fmt.Sprintf("%s (%d)", pct(c.BrokenDests, c.Dests), c.BrokenDests),
+				fmt.Sprintf("%d", c.PinnedBroken))
+		}
+	}
+	return "Breakage per timeline point (destinations dark on the baseline leg)\n\n" + t.String()
+}
+
+// BreakageDeltas renders the transitions: how many apps/destinations each
+// consecutive point pair broke (positive) or healed (negative).
+func BreakageDeltas(ls *core.LongitudinalStudy) string {
+	t := &table{header: []string{"Transition", "Platform", "ΔBroken Apps", "ΔBroken Dests", "ΔPinned+Broken"}}
+	signed := func(n int) string {
+		if n > 0 {
+			return fmt.Sprintf("+%d", n)
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	for _, d := range ls.BreakageDeltas() {
+		t.add(d.From+" -> "+d.To, platName(d.Platform),
+			signed(d.BrokenApps), signed(d.BrokenDests), signed(d.PinnedBroken))
+	}
+	return "Breakage deltas across consecutive timeline points\n\n" + t.String()
+}
+
+// Longitudinal renders the full time-axis report.
+func Longitudinal(ls *core.LongitudinalStudy) string {
+	sections := []string{
+		Timeline(ls), Table3OverTime(ls), Breakage(ls), BreakageDeltas(ls),
+	}
+	return strings.Join(sections, "\n"+strings.Repeat("=", 72)+"\n\n")
+}

@@ -1,0 +1,47 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"pinscope/internal/core"
+	"pinscope/internal/worldgen"
+)
+
+func TestLongitudinalSectionsRender(t *testing.T) {
+	cfg := core.Config{
+		Params: worldgen.Params{
+			Seed:       77,
+			CommonSize: 3, PopularSize: 4, RandomSize: 4,
+			StoreAndroid: 400, StoreIOS: 390,
+			CrossProducts: 4, PopularCut: 120,
+		},
+		Window: 30,
+	}
+	ls, err := core.RunLongitudinal(cfg, core.TimelineConfig{
+		Points: []string{"froyo", "kitkat", "distrust-ca-distrust"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Longitudinal(ls)
+	for _, want := range []string{
+		"Timeline:", "Table 3 over time", "Breakage per timeline point",
+		"Breakage deltas", "froyo", "kitkat", "distrust-ca-distrust",
+		"froyo -> kitkat",
+	} {
+		if !strings.Contains(full, want) {
+			t.Errorf("longitudinal report missing %q", want)
+		}
+	}
+	// One column per point in the over-time table.
+	head := strings.SplitN(Table3OverTime(ls), "\n", 4)[2]
+	for _, tag := range []string{"froyo", "kitkat", "distrust-ca-distrust"} {
+		if !strings.Contains(head, tag) {
+			t.Errorf("Table3OverTime header missing point column %q:\n%s", tag, head)
+		}
+	}
+	if Timeline(ls) == "" || Breakage(ls) == "" || BreakageDeltas(ls) == "" {
+		t.Fatal("empty sections")
+	}
+}

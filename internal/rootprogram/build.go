@@ -1,0 +1,166 @@
+package rootprogram
+
+import (
+	"crypto/x509"
+	"fmt"
+
+	"pinscope/internal/appmodel"
+	"pinscope/internal/detrand"
+	"pinscope/internal/pki"
+)
+
+// Logical dates (day offsets from pki.StudyEpoch) of the built-in release
+// lines. Negative: every release predates the study snapshot, mirroring
+// how the paper measured a world whose trust stores had already evolved.
+const (
+	dateFroyo       = -2000
+	dateGingerbread = -1500
+	dateIcecream    = -1000
+	dateJellybean   = -600
+	dateKitkat      = -250
+
+	dateIOS10 = -1600
+	dateIOS11 = -1200
+	dateIOS12 = -800
+	dateIOS13 = -400
+	dateIOS14 = -100
+)
+
+// BuildTimeline deterministically derives both platform root programs and
+// the distrust-event stream from the ecosystem's roots plus rng.
+//
+// The Android line (froyo→kitkat, after cfssl_trust's per-release stores)
+// grows from 10 roots to the full OEM set, picking up the public CAs,
+// the OEM-only obscure roots, and — in gingerbread — an injected
+// "bloatware" root shipped by the OEM with an extractable key
+// (Superfish-style); kitkat removes it again. The iOS line (ios10→ios14)
+// grows the public set and drops the legacy 2006 root in ios12 ("Apple
+// removed" — the same divergence the static eco.IOS store bakes in).
+//
+// The latest release of each line trusts exactly the same root set as the
+// static eco.OEM / eco.IOS stores (insertion order differs, so content
+// digests differ, but validation verdicts — which depend only on the set —
+// are identical). That anchors the longitudinal study: its newest point
+// reproduces the snapshot study's world.
+//
+// Three distrust events ride the timeline under fixed, CLI-stable slugs;
+// rng chooses only which root each one hits and contributes the injected
+// root's key material:
+//
+//   - oem-keyleak: the gingerbread bloatware root's private key leaks
+//     (no public host anchors there, so breakage is zero — like Superfish,
+//     removal is free).
+//   - ca-misissue: one OEM-only obscure root is caught mis-issuing
+//     (TURKTRUST-style); Android-only trust shrinks.
+//   - ca-distrust: a mainstream public CA is distrusted (WoSign-style).
+//     Live host chains anchor there, so pinned and unpinned apps alike
+//     lose destinations — the event that moves the breakage tables.
+func BuildTimeline(rng *detrand.Source, eco *pki.Ecosystem) (*Timeline, error) {
+	if len(eco.PublicCAs) < 12 || len(eco.ObscureCAs) < 3 {
+		return nil, fmt.Errorf("rootprogram: ecosystem too small (%d public, %d obscure)",
+			len(eco.PublicCAs), len(eco.ObscureCAs))
+	}
+	pubCert := func(i int) *pki.Authority { return eco.PublicCAs[i] }
+	legacy, err := legacyRoot(eco)
+	if err != nil {
+		return nil, err
+	}
+
+	bloat, err := pki.NewRootCA(rng.Child("bloatware-root"),
+		"OEM Bloatware Root CA", "OEM Preload Services", 12)
+	if err != nil {
+		return nil, fmt.Errorf("rootprogram: bloatware root: %w", err)
+	}
+
+	android := &Program{
+		Platform: appmodel.Android,
+		Releases: []Release{
+			{Tag: "froyo", Date: dateFroyo, Delta: Delta{Add: certList(
+				pubCert(0).Cert, pubCert(1).Cert, pubCert(2).Cert, pubCert(3).Cert,
+				pubCert(4).Cert, pubCert(5).Cert, pubCert(6).Cert, pubCert(7).Cert,
+				legacy, eco.ObscureCAs[0].Cert)}},
+			{Tag: "gingerbread", Date: dateGingerbread, Delta: Delta{Add: certList(
+				pubCert(8).Cert, eco.ObscureCAs[1].Cert, bloat.Cert)}},
+			{Tag: "icecream", Date: dateIcecream, Delta: Delta{Add: certList(
+				pubCert(9).Cert, eco.ObscureCAs[2].Cert)}},
+			{Tag: "jellybean", Date: dateJellybean, Delta: Delta{Add: certList(
+				pubCert(10).Cert)}},
+			{Tag: "kitkat", Date: dateKitkat, Delta: Delta{
+				Add:    certList(pubCert(11).Cert),
+				Remove: []string{Fingerprint(bloat.Cert)},
+			}},
+		},
+	}
+
+	ios := &Program{
+		Platform: appmodel.IOS,
+		Releases: []Release{
+			{Tag: "ios10", Date: dateIOS10, Delta: Delta{Add: certList(
+				pubCert(0).Cert, pubCert(1).Cert, pubCert(2).Cert, pubCert(3).Cert,
+				pubCert(4).Cert, pubCert(5).Cert, pubCert(6).Cert, pubCert(7).Cert,
+				pubCert(8).Cert, legacy)}},
+			{Tag: "ios11", Date: dateIOS11, Delta: Delta{Add: certList(
+				pubCert(9).Cert)}},
+			{Tag: "ios12", Date: dateIOS12, Delta: Delta{
+				Add:    certList(pubCert(10).Cert),
+				Remove: []string{Fingerprint(legacy)},
+			}},
+			{Tag: "ios13", Date: dateIOS13, Delta: Delta{Add: certList(
+				pubCert(11).Cert)}},
+			{Tag: "ios14", Date: dateIOS14, Delta: Delta{}},
+		},
+	}
+
+	erng := rng.Child("distrust")
+	misissued := eco.ObscureCAs[erng.Intn(len(eco.ObscureCAs))]
+	// A mid-range public CA: never index 0 (too many froyo-era chains) and
+	// never the newest (kitkat-only), so every release in the sweep feels
+	// the event.
+	distrusted := eco.PublicCAs[4+erng.Intn(6)]
+
+	tl := &Timeline{
+		Android: android,
+		IOS:     ios,
+		Events: []DistrustEvent{
+			{
+				Slug:        "oem-keyleak",
+				Fingerprint: Fingerprint(bloat.Cert),
+				Name:        bloat.Cert.Subject.CommonName,
+				Date:        -700,
+				Reason:      "preloaded OEM root's private key extracted from shipped firmware",
+			},
+			{
+				Slug:        "ca-misissue",
+				Fingerprint: Fingerprint(misissued.Cert),
+				Name:        misissued.Cert.Subject.CommonName,
+				Date:        -450,
+				Reason:      "unconstrained intermediate issued to a subscriber",
+			},
+			{
+				Slug:        "ca-distrust",
+				Fingerprint: Fingerprint(distrusted.Cert),
+				Name:        distrusted.Cert.Subject.CommonName,
+				Date:        -50,
+				Reason:      "root program votes to distrust after repeated audit failures",
+			},
+		},
+	}
+	return tl, nil
+}
+
+// certList is a variadic-to-slice helper that keeps the release tables
+// readable.
+func certList(certs ...*x509.Certificate) []*x509.Certificate { return certs }
+
+// legacyRoot digs the legacy root Apple removed out of the ecosystem: it
+// is the one AOSP cert absent from both the iOS store and the public-CA
+// list (BuildEcosystem adds it to Mozilla/AOSP/OEM only and does not
+// export it as an Authority).
+func legacyRoot(eco *pki.Ecosystem) (*x509.Certificate, error) {
+	for _, c := range eco.AOSP.Certs() {
+		if !eco.IOS.Contains(c) {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("rootprogram: ecosystem has no AOSP-only legacy root")
+}

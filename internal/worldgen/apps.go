@@ -166,6 +166,10 @@ func (w *World) buildApp(bp *blueprint, rng *detrand.Source) (*appmodel.App, err
 		Platform:  l.Platform,
 		Category:  l.Category,
 		CrossKey:  l.CrossKey,
+		// The root-program release the app shipped against. Drawn from a
+		// dedicated child stream so adding the time axis did not perturb
+		// any pre-existing draw in this function.
+		Release: w.Timeline.AssignRelease(rng.Child("release"), l.Platform),
 	}
 
 	// --- first-party hosts -------------------------------------------------

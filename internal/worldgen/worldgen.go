@@ -17,6 +17,7 @@ import (
 	"pinscope/internal/detrand"
 	"pinscope/internal/netem"
 	"pinscope/internal/pki"
+	"pinscope/internal/rootprogram"
 	"pinscope/internal/sdkregistry"
 	"pinscope/internal/tlswire"
 	"pinscope/internal/whois"
@@ -126,6 +127,10 @@ type World struct {
 	Eco   *pki.Ecosystem
 	CT    *ctlog.Log
 	Whois *whois.Registry
+	// Timeline is the versioned root-program axis: platform release lines
+	// plus the distrust-event stream. Derived from the same seed as Eco,
+	// so a given world always carries the same timeline.
+	Timeline *rootprogram.Timeline
 
 	StoreAndroid, StoreIOS *appstore.Store
 	DS                     Datasets
@@ -150,9 +155,16 @@ func Build(p Params) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Child streams derive without advancing the parent, so adding the
+	// timeline leaves every pre-existing draw untouched.
+	tl, err := rootprogram.BuildTimeline(rng.Child("rootprogram"), eco)
+	if err != nil {
+		return nil, err
+	}
 	w := &World{
 		Params:    p,
 		Eco:       eco,
+		Timeline:  tl,
 		CT:        ctlog.New(),
 		Whois:     whois.NewRegistry(),
 		Hosts:     make(map[string]*HostInfo),

@@ -554,6 +554,89 @@ func RunSharded(cfg Config, opts ShardOptions) (*ShardStats, error) {
 	}, err
 }
 
+// TimelineOptions configures a longitudinal run: the same app universe
+// replayed "as of" each selected root-program timeline point (platform
+// releases and distrust events — see internal/rootprogram).
+type TimelineOptions struct {
+	// Points selects timeline point tags (releases like "froyo" or
+	// "kitkat", distrust events like "distrust-ca-distrust"); empty means
+	// every point. Tags resolve to timeline order regardless of input
+	// order.
+	Points []string
+	// Dir, when set, makes the sweep crash-only: each point journals into
+	// Dir/point-<tag>.wal, and rerunning over the directory resumes a
+	// killed sweep — completed points replay, the interrupted point
+	// resumes mid-journal. Per-point exports are byte-identical to an
+	// uninterrupted sweep's.
+	Dir string
+	// KillAtPoint arms Config.KillAfter for only the named point, so a
+	// crash drill can cut the sweep mid-timeline after earlier points
+	// completed. Empty arms it everywhere.
+	KillAtPoint string
+}
+
+// TimelineStudy is a completed longitudinal sweep: one Study per measured
+// timeline point, plus the time-axis aggregates over them.
+type TimelineStudy struct {
+	ls *core.LongitudinalStudy
+}
+
+// RunTimeline executes the longitudinal study mode. The world is built
+// once; each point then re-measures every app against the root stores in
+// force at that point (release stores minus roots distrusted by then).
+func RunTimeline(cfg Config, opts TimelineOptions) (*TimelineStudy, error) {
+	if cfg.JournalPath != "" {
+		return nil, errors.New("pinscope: timeline runs journal per point; use TimelineOptions.Dir, not JournalPath")
+	}
+	ls, err := core.RunLongitudinal(cfg.toCore(), core.TimelineConfig{
+		Points: opts.Points, Dir: opts.Dir, KillAtPoint: opts.KillAtPoint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TimelineStudy{ls: ls}, nil
+}
+
+// Points lists the measured timeline point tags in timeline order.
+func (ts *TimelineStudy) Points() []string {
+	out := make([]string, 0, len(ts.ls.Points))
+	for _, p := range ts.ls.Points {
+		out = append(out, p.Point.Tag)
+	}
+	return out
+}
+
+// Resumed reports how many results across all points were replayed from
+// point journals rather than measured by this process.
+func (ts *TimelineStudy) Resumed() int {
+	n := 0
+	for _, p := range ts.ls.Points {
+		n += p.Study.Resumed
+	}
+	return n
+}
+
+// Report renders the full time-axis report: the timeline itself, Table 3
+// over time, per-point breakage, and the transition deltas.
+func (ts *TimelineStudy) Report() string { return report.Longitudinal(ts.ls) }
+
+// ExportPoint writes one point's dataset as JSON — the standard snapshot
+// shape with Meta.Release stamped to the point tag, loadable by pinserve
+// for distrust-impact queries.
+func (ts *TimelineStudy) ExportPoint(w io.Writer, tag string) error {
+	return ts.ls.ExportPoint(w, tag)
+}
+
+// PointStudy returns one timeline point's completed study, or an error
+// for an unmeasured tag.
+func (ts *TimelineStudy) PointStudy(tag string) (*Study, error) {
+	p := ts.ls.Result(tag)
+	if p == nil {
+		return nil, fmt.Errorf("pinscope: no measured timeline point %q", tag)
+	}
+	return &Study{s: p.Study}, nil
+}
+
 // MergeShards streams a completed sharded run's journals into one exported
 // dataset, byte-identical to the unsharded export of the same Config. The
 // merge is bounded-memory — one journal frame in flight at a time — and

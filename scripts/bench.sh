@@ -9,12 +9,14 @@
 #                                once, then measures the crypto-plane
 #                                benchmarks (warm and cold end-to-end study,
 #                                chain-store and handshake-memo micro
-#                                benches) and the sharded-coordinator pair
-#                                (single shard vs 4 faulted shards), and
-#                                writes BENCH_6.json at the repo root with
+#                                benches), the sharded-coordinator pair
+#                                (single shard vs 4 faulted shards), and the
+#                                longitudinal three-point sweep, and
+#                                writes BENCH_7.json at the repo root with
 #                                ns/op, allocs/op, the warm/cold speedup,
 #                                the speedup against the pre-plane baseline,
-#                                and speedup_vs_single_shard. Finishes by
+#                                speedup_vs_single_shard, and the
+#                                longitudinal-vs-three-studies ratio. Finishes by
 #                                diffing against the previous BENCH_*.json
 #                                snapshot (scripts/bench_compare.sh).
 #
@@ -27,7 +29,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BASELINE_STUDY_NS=3086205112
-OUT=BENCH_6.json
+OUT=BENCH_7.json
 
 if [ "${1:-}" = "--smoke" ]; then
     echo "==> bench smoke (-benchtime 1x)"
@@ -49,6 +51,9 @@ go test . -run NONE -bench 'BenchmarkChainStore$|BenchmarkHandshakeMemo$' -bench
 
 echo "==> sharded coordinator, one shard vs 4 faulted shards (-benchtime 3x -benchmem)"
 go test . -run NONE -bench 'BenchmarkStudySingleShard$|BenchmarkStudyShardedEndToEnd$' -benchtime 3x -benchmem | tee -a "$raw"
+
+echo "==> longitudinal three-point sweep (-benchtime 3x -benchmem)"
+go test . -run NONE -bench 'BenchmarkLongitudinalStudy$' -benchtime 3x -benchmem | tee -a "$raw"
 
 # Parse `BenchmarkName  N  123 ns/op  456 B/op  789 allocs/op` lines into the
 # snapshot JSON. One "key": value per line so bench_compare.sh can read it
@@ -72,10 +77,14 @@ awk -v out="$OUT" -v baseline="$BASELINE_STUDY_NS" '
             print "bench.sh: sharded benchmarks missing from output" > "/dev/stderr"
             exit 1
         }
+        if (!("BenchmarkLongitudinalStudy" in ns)) {
+            print "bench.sh: longitudinal benchmark missing from output" > "/dev/stderr"
+            exit 1
+        }
         # %.0f, not %d: ns/op can exceed 32-bit awk integers and micro
         # benches report fractional nanoseconds.
         printf "{\n" > out
-        printf "  \"snapshot\": \"BENCH_6\",\n" >> out
+        printf "  \"snapshot\": \"BENCH_7\",\n" >> out
         printf "  \"baseline_study_ns_per_op\": %s,\n", baseline >> out
         printf "  \"benchmarks\": {\n" >> out
         for (i = 1; i <= n; i++) {
@@ -90,7 +99,11 @@ awk -v out="$OUT" -v baseline="$BASELINE_STUDY_NS" '
         # worker deaths, a lease takeover, and the streaming merge. On a
         # single-core runner this sits near 1.0 (the workers only share the
         # one core); on an N-core runner it approaches min(N, 4).
-        printf "  \"speedup_vs_single_shard\": %.2f\n", ns["BenchmarkStudySingleShard"] / ns["BenchmarkStudyShardedEndToEnd"] >> out
+        printf "  \"speedup_vs_single_shard\": %.2f,\n", ns["BenchmarkStudySingleShard"] / ns["BenchmarkStudyShardedEndToEnd"] >> out
+        # Three timeline points against three independent studies: the
+        # longitudinal runner builds the world once and re-measures, so a
+        # value below 3.0 prices the shared-world and crypto-plane reuse.
+        printf "  \"longitudinal_vs_three_studies\": %.2f\n", ns["BenchmarkLongitudinalStudy"] / (3 * ns["BenchmarkStudyEndToEnd"]) >> out
         printf "}\n" >> out
     }
 ' "$raw"

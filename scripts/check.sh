@@ -55,6 +55,26 @@ echo "==> go test -race (concurrent packages)"
 go test -race ./internal/core ./internal/netem ./internal/dynamicanalysis ./internal/pinserve ./internal/journal \
     ./internal/pki ./internal/device ./internal/mitmproxy ./internal/shardcoord
 
+# Longitudinal smoke: the mini universe replayed across three root-program
+# timeline points (two Android releases plus a public-CA distrust event),
+# killed mid-timeline by fault injection while the second point's journal
+# is being written, then resumed from the per-point WALs; every resumed
+# per-point export must be byte-identical to the uninterrupted sweep's.
+echo "==> longitudinal smoke (kill mid-timeline, resume, byte-compare)"
+tldir=$(mktemp -d)
+trap 'rm -rf "$tldir"' EXIT
+pts="froyo,kitkat,distrust-ca-distrust"
+go run ./cmd/pinstudy -scale mini -timeline -points "$pts" -export "$tldir/clean.json" > /dev/null
+go run ./cmd/pinstudy -scale mini -timeline -points "$pts" -journal "$tldir/wal" \
+    -kill-after 40 -kill-torn 5 -kill-at-point kitkat > /dev/null 2>&1 && {
+    echo "longitudinal smoke: injected mid-timeline kill did not fire" >&2
+    exit 1
+}
+go run ./cmd/pinstudy -scale mini -timeline -points "$pts" -journal "$tldir/wal" -export "$tldir/resumed.json" > /dev/null
+for tag in froyo kitkat distrust-ca-distrust; do
+    cmp "$tldir/clean-$tag.json" "$tldir/resumed-$tag.json"
+done
+
 # One iteration of every benchmark: proves the suite (including the
 # crypto-plane trajectory benches) still runs; numbers are discarded.
 echo "==> bench smoke"
