@@ -178,6 +178,11 @@ func Generate(cfg GenConfig) (android, ios *Store) {
 			if float64(cfg.PopularCut)/float64(total) > frac {
 				seg = segPopular
 			}
+			// The label reaches this site through the closure parameter, but
+			// both call sites below pass distinct constants ("a"/"i"); folding
+			// the label into the closure would change the derivation labels
+			// and invalidate every seeded world.
+			//pinlint:allow detrandflow label is a distinct per-platform constant at both fill call sites
 			p := newProduct(rng.ChildN(label, i), i, seg, false)
 			seq++
 			*slots = append(*slots, slotted{p.listing(plat, seq), frac})

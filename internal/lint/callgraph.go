@@ -1,0 +1,251 @@
+package lint
+
+// callgraph.go builds a package-level call graph with go/types callee
+// resolution: one node per declared function or method and per function
+// literal, one edge per call site. Static calls (f(), pkg.F(), x.M() on a
+// concrete receiver) resolve through types.Info; references to a function
+// that are not direct calls — method values, functions assigned to
+// variables or passed as arguments — become Dynamic edges, which keeps
+// transitive properties (like goroutinelifetime's signal propagation)
+// conservative without pointer analysis. Calls into other packages resolve
+// to a *types.Func with no node (no body to analyze); analyzers treat
+// those as leaves with known semantics.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CGNode is one function in the call graph: a declared function/method
+// (Fn, Decl set) or a function literal (Lit set).
+type CGNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Calls are this function's outgoing edges, in source order.
+	Calls []CGEdge
+}
+
+// Body returns the function's body (nil for bodiless declarations).
+func (n *CGNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// CGEdge is one call or reference site.
+type CGEdge struct {
+	// Site is the CallExpr for direct calls, or the referencing
+	// expression for dynamic references.
+	Site ast.Node
+	// Callee is the intra-package target, nil when the target is another
+	// package's function (see Fn) or a function literal from elsewhere.
+	Callee *CGNode
+	// Fn is the resolved function object, set whenever resolution
+	// succeeded (including cross-package targets). Nil for calls through
+	// plain function-typed variables.
+	Fn *types.Func
+	// Dynamic marks a reference that is not a direct call: a method
+	// value, a function assigned or passed as a value. The target may or
+	// may not be invoked at runtime.
+	Dynamic bool
+	// Go and Defer mark call sites inside go/defer statements.
+	Go, Defer bool
+}
+
+// CallGraph is the package-level graph.
+type CallGraph struct {
+	// Funcs maps every declared function and method to its node.
+	Funcs map[*types.Func]*CGNode
+	// Lits maps every function literal to its node.
+	Lits map[*ast.FuncLit]*CGNode
+}
+
+// NodeFor returns the node for a resolved function object, nil for
+// cross-package functions.
+func (g *CallGraph) NodeFor(fn *types.Func) *CGNode { return g.Funcs[fn] }
+
+// BuildCallGraph constructs the call graph of one type-checked package.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{Funcs: map[*types.Func]*CGNode{}, Lits: map[*ast.FuncLit]*CGNode{}}
+
+	// Pass 1: create nodes for declarations and literals.
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Funcs[fn] = &CGNode{Fn: fn, Decl: fd}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				g.Lits[lit] = &CGNode{Lit: lit}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: edges. Each node's body is walked shallowly — nested
+	// literals are their own nodes and contribute a Dynamic containment
+	// edge (the enclosing function may invoke or leak them).
+	for _, node := range g.Funcs {
+		if node.Decl.Body != nil {
+			g.buildEdges(node, node.Decl.Body, info)
+		}
+	}
+	for lit, node := range g.Lits {
+		g.buildEdges(node, lit.Body, info)
+	}
+	return g
+}
+
+// buildEdges records body's call and reference edges on from.
+func (g *CallGraph) buildEdges(from *CGNode, body *ast.BlockStmt, info *types.Info) {
+	// Idents consumed as the Fun of a direct call; references seen
+	// elsewhere become dynamic edges.
+	direct := map[ast.Node]bool{}
+
+	var walk func(n ast.Node, inGo, inDefer bool)
+	walk = func(n ast.Node, inGo, inDefer bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m == n {
+					return true // the literal whose body we were asked to walk
+				}
+				// Nested literal: containment edge, body walked as its
+				// own node.
+				from.Calls = append(from.Calls, CGEdge{Site: m, Callee: g.Lits[m], Dynamic: true, Go: inGo, Defer: inDefer})
+				return false
+			case *ast.GoStmt:
+				walkCall(g, from, m.Call, direct, info, true, inDefer, walk)
+				return false
+			case *ast.DeferStmt:
+				walkCall(g, from, m.Call, direct, info, inGo, true, walk)
+				return false
+			case *ast.CallExpr:
+				walkCall(g, from, m, direct, info, inGo, inDefer, walk)
+				return false
+			case *ast.Ident:
+				if direct[m] {
+					return true
+				}
+				if fn, ok := info.Uses[m].(*types.Func); ok {
+					from.Calls = append(from.Calls, CGEdge{Site: m, Callee: g.Funcs[fn], Fn: fn, Dynamic: true, Go: inGo, Defer: inDefer})
+				}
+			}
+			return true
+		})
+	}
+	// Walk the literal body via a wrapper so the top-level FuncLit case
+	// does not immediately return.
+	for _, s := range body.List {
+		walk(s, false, false)
+	}
+}
+
+// walkCall records the edge for one call expression and recurses into its
+// receiver and arguments.
+func walkCall(g *CallGraph, from *CGNode, call *ast.CallExpr, direct map[ast.Node]bool,
+	info *types.Info, inGo, inDefer bool, walk func(ast.Node, bool, bool)) {
+
+	fun := unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		// Immediately-invoked literal: direct edge to the literal node.
+		// Its body is walked from its own node, not from here.
+		from.Calls = append(from.Calls, CGEdge{Site: call, Callee: g.Lits[f], Go: inGo, Defer: inDefer})
+	default:
+		if fn := CalleeOf(info, call); fn != nil {
+			from.Calls = append(from.Calls, CGEdge{Site: call, Callee: g.Funcs[fn], Fn: fn, Go: inGo, Defer: inDefer})
+			if id, ok := fun.(*ast.Ident); ok {
+				direct[id] = true
+			} else if sel, ok := fun.(*ast.SelectorExpr); ok {
+				direct[sel.Sel] = true
+			}
+		}
+		// Receiver expressions (x in x.M(), including chained calls)
+		// may contain further calls and references.
+		walk(call.Fun, inGo, inDefer)
+	}
+	for _, arg := range call.Args {
+		walk(arg, inGo, inDefer)
+	}
+}
+
+// CalleeOf resolves a call expression's static callee through the type
+// checker: a plain function, a package-qualified function, a method on a
+// concrete receiver, or a method expression. Returns nil for calls
+// through function-typed variables, built-ins, and type conversions.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified: pkg.F.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// TransitiveMarks propagates a per-function property up the call graph:
+// seed marks the base functions, and any function with an edge (direct or
+// dynamic, including go/defer) to a marked function becomes marked, to a
+// fixpoint. Mutual recursion converges because marking is monotone, and
+// the result — a set — is independent of map iteration order.
+func (g *CallGraph) TransitiveMarks(seed func(*CGNode) bool) map[*CGNode]bool {
+	marked := map[*CGNode]bool{}
+	seeded := map[*CGNode]bool{} // seed() memo: it scans bodies, call once
+	visit := func(n *CGNode) bool {
+		if marked[n] {
+			return false
+		}
+		if !seeded[n] {
+			seeded[n] = true
+			if seed(n) {
+				marked[n] = true
+				return true
+			}
+		}
+		for _, e := range n.Calls {
+			if e.Callee != nil && marked[e.Callee] {
+				marked[n] = true
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Funcs {
+			if visit(n) {
+				changed = true
+			}
+		}
+		for _, n := range g.Lits {
+			if visit(n) {
+				changed = true
+			}
+		}
+	}
+	return marked
+}

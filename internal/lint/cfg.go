@@ -1,0 +1,471 @@
+package lint
+
+// cfg.go builds basic-block control-flow graphs over go/ast function
+// bodies — the substrate the path-sensitive analyzers (goroutinelifetime,
+// locksafety, journaldiscipline, errdrop) run on. The builder is
+// deliberately conservative: it models Go's structured control flow
+// (if/for/range/switch/select, labeled break/continue, goto, fallthrough),
+// treats panic and the no-return terminators (os.Exit, log.Fatal*,
+// runtime.Goexit) as dead ends rather than edges to the exit block, and
+// collects deferred calls separately since they run on every exit path.
+//
+// A block's Nodes list is non-overlapping: a control statement contributes
+// only its leaf components (init/cond/post expressions, comm statements,
+// the range header) to blocks, never its nested bodies — those live in
+// blocks of their own. Composite statements whose header an analyzer may
+// still need (select dispatch, range loops, go/defer statements) are
+// represented by a CtrlNode wrapper so Block.Inspect can surface the
+// header without descending into the nested bodies twice.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Block is one basic block: a maximal straight-line node sequence.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CtrlNode wraps a control statement's header in a block's node list
+// without pulling the statement's nested bodies into the block. It
+// implements ast.Node positionally but must not be passed to ast.Inspect;
+// Block.Inspect handles it.
+type CtrlNode struct{ Stmt ast.Stmt }
+
+// Pos implements ast.Node.
+func (c CtrlNode) Pos() token.Pos { return c.Stmt.Pos() }
+
+// End implements ast.Node.
+func (c CtrlNode) End() token.Pos { return c.Stmt.End() }
+
+// Inspect applies f to every AST node owned by the block, in order.
+// CtrlNode headers are passed to f directly (no descent — their bodies
+// live in other blocks), and function literals are not descended into:
+// a literal's body is a different function with its own CFG.
+func (b *Block) Inspect(f func(ast.Node) bool) {
+	for _, n := range b.Nodes {
+		if cn, ok := n.(CtrlNode); ok {
+			f(cn)
+			continue
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				f(m)
+				return false
+			}
+			return f(m)
+		})
+	}
+}
+
+// CFG is one function body's control-flow graph. Entry is the first block;
+// Exit is a synthetic empty block every return (and the fall-off end of
+// the body) feeds. Panic and no-return terminator calls end their block
+// with no successors, so Exit-reachability means "can return normally".
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists deferred calls in source order, regardless of path;
+	// they run at every exit, so all-paths analyses treat a deferred
+	// signal as covering the whole function.
+	Defers []*ast.CallExpr
+}
+
+// loopFrame is one enclosing breakable/continuable construct.
+type loopFrame struct {
+	label    string
+	brk      *Block
+	cont     *Block // nil for switch/select frames
+	fallthru *Block // next case block, for fallthrough
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	info   *types.Info
+	cur    *Block // nil while unreachable (after return/branch)
+	frames []loopFrame
+	labels map[string]*Block // goto targets
+	// pendingLabel names the label attached to the next loop/switch built.
+	pendingLabel string
+}
+
+// BuildCFG constructs the control-flow graph of one function body. info
+// may be nil; it is only consulted to recognize no-return terminator
+// calls (os.Exit, log.Fatal*, runtime.Goexit) by qualified name.
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	c := &CFG{Exit: &Block{}}
+	b := &cfgBuilder{cfg: c, info: info, labels: map[string]*Block{}}
+	c.Entry = b.newBlock()
+	b.cur = c.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, c.Exit)
+	}
+	c.Exit.Index = len(c.Blocks)
+	c.Blocks = append(c.Blocks, c.Exit)
+	return c
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a leaf node to the current block (no-op while unreachable).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// Statements after a terminator still get blocks — unreachable ones,
+	// with no predecessors — so analyses can see (and tests can assert on)
+	// dead code.
+	if b.cur == nil {
+		switch s.(type) {
+		case *ast.EmptyStmt:
+			return
+		}
+		b.cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// A label is a join point: goto targets land here.
+		target, ok := b.labels[s.Label.Name]
+		if !ok {
+			target = b.newBlock()
+			b.labels[s.Label.Name] = target
+		}
+		b.edge(b.cur, target)
+		b.cur = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		var post *Block
+		cont := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, cont)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, CtrlNode{s})
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.add(CtrlNode{s})
+		dispatch := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, brk: after})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(dispatch, blk)
+			b.cur = blk
+			if comm.Comm != nil {
+				b.add(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+		// A select with no cases blocks forever; its after-block simply
+		// has no predecessors then.
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s.Call)
+		b.add(CtrlNode{s})
+
+	case *ast.GoStmt:
+		// The spawned body is a different goroutine: its statements do
+		// not belong to this function's blocks. The header (with the
+		// call's arguments, evaluated here) is kept as a CtrlNode.
+		b.add(CtrlNode{s})
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.terminates(call) {
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assignments, declarations, sends, inc/dec, etc.: straight-line.
+		b.add(s)
+	}
+}
+
+// switchStmt builds both expression and type switches.
+func (b *cfgBuilder) switchStmt(s ast.Stmt) {
+	label := b.takeLabel()
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		clauses = s.Body.List
+	}
+	cond := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	caseBlocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		caseBlocks[i] = b.newBlock()
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(cond, caseBlocks[i])
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		frame := loopFrame{label: label, brk: after}
+		if i+1 < len(caseBlocks) {
+			frame.fallthru = caseBlocks[i+1]
+		}
+		b.frames = append(b.frames, frame)
+		b.stmtList(cc.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+// branch resolves break/continue/goto/fallthrough against the frame stack.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	b.add(s)
+	find := func(want func(loopFrame) *Block) *Block {
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if s.Label != nil && f.label != s.Label.Name {
+				continue
+			}
+			if t := want(f); t != nil {
+				return t
+			}
+		}
+		return nil
+	}
+	var target *Block
+	switch s.Tok {
+	case token.BREAK:
+		target = find(func(f loopFrame) *Block { return f.brk })
+	case token.CONTINUE:
+		target = find(func(f loopFrame) *Block { return f.cont })
+	case token.FALLTHROUGH:
+		target = find(func(f loopFrame) *Block { return f.fallthru })
+	case token.GOTO:
+		if s.Label != nil {
+			t, ok := b.labels[s.Label.Name]
+			if !ok {
+				t = b.newBlock()
+				b.labels[s.Label.Name] = t
+			}
+			target = t
+		}
+	}
+	if target != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// noReturnFuncs are the stdlib calls that never return: a block ending in
+// one has no successors, the same as panic.
+var noReturnFuncs = map[[2]string]bool{
+	{"os", "Exit"}:        true,
+	{"runtime", "Goexit"}: true,
+	{"log", "Fatal"}:      true,
+	{"log", "Fatalf"}:     true,
+	{"log", "Fatalln"}:    true,
+}
+
+// terminates reports whether call never returns (panic or a no-return
+// stdlib function).
+func (b *cfgBuilder) terminates(call *ast.CallExpr) bool {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if b.info == nil {
+				return true
+			}
+			if _, isBuiltin := b.info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if b.info == nil {
+			return false
+		}
+		if obj := b.info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil {
+			return noReturnFuncs[[2]string{obj.Pkg().Path(), obj.Name()}]
+		}
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func (c *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(c.Entry)
+	return seen
+}
+
+// ExitReachable reports whether the function can return normally.
+func (c *CFG) ExitReachable() bool {
+	return c.Reachable()[c.Exit]
+}

@@ -65,6 +65,54 @@ type Config struct {
 	// by PKIIssuancePackages — internal/pki itself, the issuance layer the
 	// analyzer routes everyone else through.
 	PKIIssuanceExempt []string
+
+	// GoroutineLifetimePackages lists packages goroutinelifetime scans:
+	// every go statement there must reach a completion signal. Entries
+	// ending in "/..." match by prefix.
+	GoroutineLifetimePackages []string
+
+	// LockSafetyPackages lists packages locksafety scans for Lock/Unlock
+	// pairing and blocking-while-locked. Entries ending in "/..." match by
+	// prefix.
+	LockSafetyPackages []string
+
+	// JournalPackages lists packages journaldiscipline scans. Entries
+	// ending in "/..." match by prefix.
+	JournalPackages []string
+
+	// JournalWriterPackages lists the packages permitted to construct or
+	// resume WAL writers (journal.Create / ResumeWriter / AppendTo).
+	JournalWriterPackages []string
+
+	// JournalImplPackage is the WAL implementation package: exempt from
+	// journaldiscipline, and the only place the magic and O_APPEND may
+	// appear.
+	JournalImplPackage string
+
+	// DetrandFlowPackages lists packages detrandflow scans for child-label
+	// discipline. Entries ending in "/..." match by prefix.
+	DetrandFlowPackages []string
+
+	// DetrandFlowExempt lists packages detrandflow skips even when matched
+	// — internal/detrand itself, which builds labels from parameters by
+	// design.
+	DetrandFlowExempt []string
+
+	// DetrandSourceTypes names the deterministic source types whose
+	// Child/ChildN derivations detrandflow checks.
+	DetrandSourceTypes []TypeRef
+
+	// ErrDropPackages lists packages errdrop scans for discarded
+	// Close/Sync/Flush errors. Entries ending in "/..." match by prefix.
+	ErrDropPackages []string
+
+	// ErrDropCloserTypes lists write-handle types (beyond *os.File and
+	// *bufio.Writer) whose dropped Close/Sync/Flush errors are flagged.
+	ErrDropCloserTypes []TypeRef
+
+	// ErrDropExemptTypes lists types errdrop skips — atomicio.Writer,
+	// whose post-Commit Close is a documented no-op.
+	ErrDropExemptTypes []TypeRef
 }
 
 // DefaultConfig is pinscope's policy: the table the ISSUE calls for,
@@ -136,10 +184,31 @@ func DefaultConfig() *Config {
 		SwapFuncs: map[string][]string{
 			"pinscope/internal/pinserve": {"Server.swap"},
 		},
-		AtomicWritePackages: []string{"pinscope", "pinscope/..."},
-		AtomicWriteExempt:   []string{"pinscope/internal/atomicio"},
-		PKIIssuancePackages: []string{"pinscope", "pinscope/..."},
-		PKIIssuanceExempt:   []string{"pinscope/internal/pki"},
+		AtomicWritePackages:       []string{"pinscope", "pinscope/..."},
+		AtomicWriteExempt:         []string{"pinscope/internal/atomicio"},
+		PKIIssuancePackages:       []string{"pinscope", "pinscope/..."},
+		PKIIssuanceExempt:         []string{"pinscope/internal/pki"},
+		GoroutineLifetimePackages: []string{"pinscope", "pinscope/..."},
+		LockSafetyPackages:        []string{"pinscope", "pinscope/..."},
+		JournalPackages:           []string{"pinscope", "pinscope/..."},
+		JournalWriterPackages: []string{
+			"pinscope/internal/journal",
+			"pinscope/internal/core",
+			"pinscope/internal/shardcoord",
+		},
+		JournalImplPackage:  "pinscope/internal/journal",
+		DetrandFlowPackages: []string{"pinscope", "pinscope/..."},
+		DetrandFlowExempt:   []string{"pinscope/internal/detrand"},
+		DetrandSourceTypes: []TypeRef{
+			{Pkg: "pinscope/internal/detrand", Name: "Source"},
+		},
+		ErrDropPackages: []string{"pinscope", "pinscope/..."},
+		ErrDropCloserTypes: []TypeRef{
+			{Pkg: "pinscope/internal/journal", Name: "Writer"},
+		},
+		ErrDropExemptTypes: []TypeRef{
+			{Pkg: "pinscope/internal/atomicio", Name: "Writer"},
+		},
 	}
 }
 

@@ -1,0 +1,275 @@
+package lint
+
+// dataflow.go is the analysis layer over the CFG: reaching definitions for
+// local variables (enough to ask "where was this receiver opened / derived
+// from?") and the two all-paths predicates the discipline analyzers need —
+// "does every path to the exit pass a node satisfying P" and "does every
+// path to this node pass a node satisfying P first".
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// ReachingDefs holds, per block, the definitions of each local variable
+// that can reach the block's entry. A definition is the AST node that
+// assigns the variable: an assignment or declaration statement, a range
+// header (CtrlNode), or — for parameters and receivers — the *ast.Field
+// that declares them.
+type ReachingDefs struct {
+	cfg  *CFG
+	info *types.Info
+	in   map[*Block]map[*types.Var]map[ast.Node]bool
+}
+
+// BuildReachingDefs solves reaching definitions over c to a fixpoint.
+// params (the function's receiver, parameter and named-result fields) seed
+// the entry block's definitions.
+func BuildReachingDefs(c *CFG, info *types.Info, params ...*ast.FieldList) *ReachingDefs {
+	r := &ReachingDefs{cfg: c, info: info, in: map[*Block]map[*types.Var]map[ast.Node]bool{}}
+
+	entry := map[*types.Var]map[ast.Node]bool{}
+	for _, fl := range params {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					entry[v] = map[ast.Node]bool{f: true}
+				}
+			}
+		}
+	}
+	r.in[c.Entry] = entry
+
+	// Worklist to fixpoint: out(b) = gen(b) over in(b); in(b) = ∪ out(preds).
+	work := make([]*Block, len(c.Blocks))
+	copy(work, c.Blocks)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := r.transferBlock(b, r.in[b])
+		for _, s := range b.Succs {
+			if r.merge(s, out) {
+				work = append(work, s)
+			}
+		}
+	}
+	return r
+}
+
+// merge unions defs into in(b); reports whether anything changed.
+func (r *ReachingDefs) merge(b *Block, defs map[*types.Var]map[ast.Node]bool) bool {
+	in := r.in[b]
+	if in == nil {
+		in = map[*types.Var]map[ast.Node]bool{}
+		r.in[b] = in
+	}
+	changed := false
+	for v, nodes := range defs {
+		dst := in[v]
+		if dst == nil {
+			dst = map[ast.Node]bool{}
+			in[v] = dst
+		}
+		for n := range nodes {
+			if !dst[n] {
+				dst[n] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// transferBlock applies b's definitions to state, returning the out set.
+func (r *ReachingDefs) transferBlock(b *Block, state map[*types.Var]map[ast.Node]bool) map[*types.Var]map[ast.Node]bool {
+	out := map[*types.Var]map[ast.Node]bool{}
+	for v, nodes := range state {
+		cp := map[ast.Node]bool{}
+		for n := range nodes {
+			cp[n] = true
+		}
+		out[v] = cp
+	}
+	for _, n := range b.Nodes {
+		r.transferNode(n, out)
+	}
+	return out
+}
+
+// transferNode kills and gens definitions for one block node.
+func (r *ReachingDefs) transferNode(n ast.Node, state map[*types.Var]map[ast.Node]bool) {
+	def := func(id *ast.Ident, site ast.Node) {
+		var v *types.Var
+		if d, ok := r.info.Defs[id].(*types.Var); ok {
+			v = d
+		} else if u, ok := r.info.Uses[id].(*types.Var); ok {
+			v = u
+		}
+		if v == nil {
+			return
+		}
+		state[v] = map[ast.Node]bool{site: true} // strong update: kill + gen
+	}
+	switch n := n.(type) {
+	case CtrlNode:
+		if rg, ok := n.Stmt.(*ast.RangeStmt); ok {
+			if id, ok := rg.Key.(*ast.Ident); ok {
+				def(id, n)
+			}
+			if id, ok := rg.Value.(*ast.Ident); ok {
+				def(id, n)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				def(id, n)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := unparen(n.X).(*ast.Ident); ok {
+			def(id, n)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						if id.Name != "_" {
+							def(id, n)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// DefsAt returns the definitions of v that reach the use at node index idx
+// within block b (i.e. after applying the block's first idx nodes).
+func (r *ReachingDefs) DefsAt(b *Block, idx int, v *types.Var) []ast.Node {
+	state := map[*types.Var]map[ast.Node]bool{}
+	for vv, nodes := range r.in[b] {
+		cp := map[ast.Node]bool{}
+		for n := range nodes {
+			cp[n] = true
+		}
+		state[vv] = cp
+	}
+	for i := 0; i < idx && i < len(b.Nodes); i++ {
+		r.transferNode(b.Nodes[i], state)
+	}
+	return sortedDefs(state[v])
+}
+
+// DefsReaching returns the definitions of v reaching the entry of b.
+func (r *ReachingDefs) DefsReaching(b *Block, v *types.Var) []ast.Node {
+	return sortedDefs(r.in[b][v])
+}
+
+// sortedDefs renders a definition set in source order, so diagnostics that
+// mention definitions are deterministic.
+func sortedDefs(set map[ast.Node]bool) []ast.Node {
+	var out []ast.Node
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// EveryPathHits reports whether every entry→exit path passes through a
+// block for which hit returns true. Paths that never reach the exit
+// (infinite loops, paths ending in panic or a no-return call) do not
+// count; use ExitReachable to detect functions that cannot return at all.
+// Implementation: the exit must be unreachable once hitting blocks are
+// removed from the graph.
+func (c *CFG) EveryPathHits(hit func(*Block) bool) bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool // returns true if exit reached avoiding hits
+	walk = func(b *Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		if hit(b) {
+			return false
+		}
+		if b == c.Exit {
+			return true
+		}
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return !walk(c.Entry)
+}
+
+// HitsBefore reports whether every entry path to target's node index
+// targetIdx in block target passes a node satisfying hit first. Nodes
+// earlier in the target block itself count. CtrlNode headers are passed
+// to hit as-is; other nodes are inspected recursively.
+func (c *CFG) HitsBefore(target *Block, targetIdx int, hit func(ast.Node) bool) bool {
+	nodeHits := func(n ast.Node) bool {
+		if cn, ok := n.(CtrlNode); ok {
+			return hit(cn)
+		}
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			if m != nil && hit(m) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	blockHits := func(b *Block, upto int) bool {
+		n := len(b.Nodes)
+		if upto >= 0 && upto < n {
+			n = upto
+		}
+		for i := 0; i < n; i++ {
+			if nodeHits(b.Nodes[i]) {
+				return true
+			}
+		}
+		return false
+	}
+	// DFS from entry over non-hitting blocks; reaching target whose prefix
+	// before targetIdx does not hit means an unguarded path exists.
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool // true = unguarded path to target found
+	walk = func(b *Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		if b == target {
+			return !blockHits(b, targetIdx)
+		}
+		if blockHits(b, -1) {
+			return false
+		}
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return !walk(c.Entry)
+}

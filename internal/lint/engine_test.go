@@ -1,0 +1,320 @@
+package lint
+
+// engine_test.go unit-tests the analysis engine itself — CFG shape,
+// reaching definitions, the all-paths predicates, and call-graph
+// resolution — on small inline sources, independent of any analyzer.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc parses and type-checks one import-free source file.
+func typecheckSrc(t *testing.T, src string) (*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return file, info
+}
+
+func funcBody(t *testing.T, file *ast.File, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd.Body
+		}
+	}
+	t.Fatalf("no func %q", name)
+	return nil
+}
+
+// findNode returns the first node under root for which pred is true.
+func findNode(t *testing.T, root ast.Node, pred func(ast.Node) bool) ast.Node {
+	t.Helper()
+	var out ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if n != nil && pred(n) {
+			out = n
+			return false
+		}
+		return true
+	})
+	if out == nil {
+		t.Fatal("node not found")
+	}
+	return out
+}
+
+// callTo matches a direct call of the named function.
+func callTo(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	file, info := typecheckSrc(t, `package p
+func f() int {
+	x := 1
+	return x
+	x = 2
+	return x
+}`)
+	c := BuildCFG(funcBody(t, file, "f"), info)
+	if !c.ExitReachable() {
+		t.Fatal("exit should be reachable through the first return")
+	}
+	dead := findNode(t, file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		return ok && as.Tok == token.ASSIGN
+	})
+	blk, _, ok := findBlockNode(c, dead.Pos())
+	if !ok {
+		t.Fatal("dead statement should still get a block")
+	}
+	if c.Reachable()[blk] {
+		t.Fatal("statements after return must be unreachable")
+	}
+	if len(blk.Preds) != 0 {
+		t.Fatalf("dead block has %d preds, want 0", len(blk.Preds))
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	file, info := typecheckSrc(t, `package p
+func always() { panic("x") }
+func maybe(b bool) {
+	if b {
+		panic("x")
+	}
+}`)
+	if c := BuildCFG(funcBody(t, file, "always"), info); c.ExitReachable() {
+		t.Fatal("a body ending in panic cannot return normally")
+	}
+	if c := BuildCFG(funcBody(t, file, "maybe"), info); !c.ExitReachable() {
+		t.Fatal("the non-panicking path must reach the exit")
+	}
+}
+
+func TestEveryPathHits(t *testing.T) {
+	file, info := typecheckSrc(t, `package p
+func sig() {}
+func both(b bool) {
+	if b {
+		sig()
+	} else {
+		sig()
+	}
+}
+func one(b bool) {
+	if b {
+		sig()
+	}
+}`)
+	hit := func(b *Block) bool {
+		found := false
+		b.Inspect(func(n ast.Node) bool {
+			if callTo("sig")(n) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	if c := BuildCFG(funcBody(t, file, "both"), info); !c.EveryPathHits(hit) {
+		t.Fatal("both branches signal: every path hits")
+	}
+	if c := BuildCFG(funcBody(t, file, "one"), info); c.EveryPathHits(hit) {
+		t.Fatal("the else path avoids the signal")
+	}
+}
+
+func TestHitsBefore(t *testing.T) {
+	file, info := typecheckSrc(t, `package p
+func guard()  {}
+func target() {}
+func always() {
+	guard()
+	target()
+}
+func sometimes(b bool) {
+	if b {
+		guard()
+	}
+	target()
+}`)
+	check := func(name string, want bool) {
+		t.Helper()
+		body := funcBody(t, file, name)
+		c := BuildCFG(body, info)
+		tgt := findNode(t, body, callTo("target"))
+		blk, idx, ok := findBlockNode(c, tgt.Pos())
+		if !ok {
+			t.Fatalf("%s: target not in CFG", name)
+		}
+		got := c.HitsBefore(blk, idx, callTo("guard"))
+		if got != want {
+			t.Fatalf("%s: HitsBefore = %v, want %v", name, got, want)
+		}
+	}
+	check("always", true)
+	check("sometimes", false)
+}
+
+func TestReachingDefsMergeAcrossBranch(t *testing.T) {
+	file, info := typecheckSrc(t, `package p
+func f(b bool) int {
+	x := 1
+	if b {
+		x = 2
+	}
+	return x
+}`)
+	body := funcBody(t, file, "f")
+	c := BuildCFG(body, info)
+	rd := BuildReachingDefs(c, info)
+
+	decl := findNode(t, body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		return ok && as.Tok == token.DEFINE
+	})
+	id := decl.(*ast.AssignStmt).Lhs[0].(*ast.Ident)
+	v := info.Defs[id].(*types.Var)
+
+	ret := findNode(t, body, func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+	blk, idx, ok := findBlockNode(c, ret.Pos())
+	if !ok {
+		t.Fatal("return not in CFG")
+	}
+	defs := rd.DefsAt(blk, idx, v)
+	if len(defs) != 2 {
+		t.Fatalf("got %d reaching defs of x at the return, want 2 (join of both branches)", len(defs))
+	}
+	if defs[0].Pos() >= defs[1].Pos() {
+		t.Fatal("DefsAt must return definitions in source order")
+	}
+}
+
+func TestTransitiveMarksMutualRecursion(t *testing.T) {
+	file, info := typecheckSrc(t, `package p
+func a(n int) {
+	if n > 0 {
+		b(n - 1)
+	}
+}
+func b(n int) {
+	if n > 0 {
+		a(n - 1)
+	}
+	sig()
+}
+func sig()   {}
+func lonely() {}`)
+	g := BuildCallGraph([]*ast.File{file}, info)
+	marked := g.TransitiveMarks(func(n *CGNode) bool {
+		return n.Fn != nil && n.Fn.Name() == "sig"
+	})
+	status := map[string]bool{}
+	for fn, node := range g.Funcs {
+		status[fn.Name()] = marked[node]
+	}
+	for _, want := range []string{"a", "b", "sig"} {
+		if !status[want] {
+			t.Fatalf("%s should be marked (reaches sig), marks: %v", want, status)
+		}
+	}
+	if status["lonely"] {
+		t.Fatal("lonely calls nothing and must stay unmarked")
+	}
+}
+
+func TestCallGraphMethodValue(t *testing.T) {
+	file, info := typecheckSrc(t, `package p
+type T struct{}
+func (T) M() {}
+func f() {
+	var t T
+	m := t.M
+	m()
+}`)
+	g := BuildCallGraph([]*ast.File{file}, info)
+	var fNode *CGNode
+	for fn, node := range g.Funcs {
+		if fn.Name() == "f" {
+			fNode = node
+		}
+	}
+	found := false
+	for _, e := range fNode.Calls {
+		if e.Dynamic && e.Fn != nil && e.Fn.Name() == "M" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("the method value t.M must produce a dynamic edge to M")
+	}
+}
+
+func TestCallGraphGoDeferEdges(t *testing.T) {
+	file, info := typecheckSrc(t, `package p
+func f() {
+	go h()
+	defer h()
+}
+func h() {}`)
+	g := BuildCallGraph([]*ast.File{file}, info)
+	var fNode *CGNode
+	for fn, node := range g.Funcs {
+		if fn.Name() == "f" {
+			fNode = node
+		}
+	}
+	var goEdge, deferEdge bool
+	for _, e := range fNode.Calls {
+		if e.Fn == nil || e.Fn.Name() != "h" {
+			continue
+		}
+		if e.Go {
+			goEdge = true
+		}
+		if e.Defer {
+			deferEdge = true
+		}
+	}
+	if !goEdge || !deferEdge {
+		t.Fatalf("want go and defer edges to h, got go=%v defer=%v", goEdge, deferEdge)
+	}
+
+	c := BuildCFG(funcBody(t, file, "f"), info)
+	if len(c.Defers) != 1 {
+		t.Fatalf("CFG should record 1 deferred call, got %d", len(c.Defers))
+	}
+}

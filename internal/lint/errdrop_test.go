@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pinscope/internal/lint"
+	"pinscope/internal/lint/linttest"
+)
+
+func TestErrDrop(t *testing.T) {
+	cfg := &lint.Config{
+		ErrDropPackages:    []string{"example.com/edrop"},
+		ErrDropCloserTypes: []lint.TypeRef{{Pkg: "pinscope/internal/journal", Name: "Writer"}},
+		ErrDropExemptTypes: []lint.TypeRef{{Pkg: "pinscope/internal/atomicio", Name: "Writer"}},
+	}
+	linttest.Run(t, "testdata/errdrop", "example.com/edrop", lint.NewErrDrop(cfg))
+}

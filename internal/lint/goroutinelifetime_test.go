@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pinscope/internal/lint"
+	"pinscope/internal/lint/linttest"
+)
+
+func TestGoroutineLifetime(t *testing.T) {
+	cfg := &lint.Config{
+		GoroutineLifetimePackages: []string{"example.com/golife"},
+	}
+	linttest.Run(t, "testdata/goroutinelifetime", "example.com/golife", lint.NewGoroutineLifetime(cfg))
+}

@@ -1,0 +1,198 @@
+package lint
+
+// journaldiscipline guards the WAL's crash-safety contract from the
+// outside in:
+//
+//  1. WAL bytes come only from the journal package. Constructing or
+//     resuming a journal.Writer (journal.Create, journal.ResumeWriter,
+//     Recovery.AppendTo) is restricted to the designated writer packages;
+//     forging the WAL magic string or opening files with os.O_APPEND
+//     anywhere else is flagged outright.
+//  2. Durable writes fsync before rename: every os.Rename call must be
+//     dominated by a Sync call — on all paths from the function entry to
+//     the rename, a .Sync() happens first — so the renamed bytes are on
+//     disk before the old artifact is unlinked.
+//  3. Resuming is meta-checked: every ResumeWriter / AppendTo call outside
+//     the journal package must be dominated by a read of the recovered
+//     journal's Meta, the strict-config gate that keeps a foreign run's WAL
+//     from being appended to.
+//
+// Rules 2 and 3 are path-sensitive (CFG + HitsBefore); rule 1 is a plain
+// reference scan. The journal implementation package itself is exempt.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// restrictedJournalFuncs are the WAL-writer constructors of rule 1; the
+// map value documents what each one hands out.
+var restrictedJournalFuncs = map[string]string{
+	"Create":       "a fresh WAL writer",
+	"ResumeWriter": "an append handle to a recovered WAL",
+	"AppendTo":     "an append handle to a recovered WAL",
+}
+
+// metaCheckedJournalFuncs are the rule-3 resume entry points.
+var metaCheckedJournalFuncs = map[string]bool{
+	"ResumeWriter": true,
+	"AppendTo":     true,
+}
+
+// NewJournalDiscipline builds the journaldiscipline analyzer over cfg.
+func NewJournalDiscipline(cfg *Config) *Analyzer {
+	a := &Analyzer{
+		Name: "journaldiscipline",
+		Doc: "WAL bytes only through journal.Writer, fsync before rename on durable " +
+			"paths, and strict meta checks before resuming a recovered journal",
+	}
+	a.Run = func(pass *Pass) error {
+		if !matchPkg(cfg.JournalPackages, pass.PkgPath) || pass.PkgPath == cfg.JournalImplPackage {
+			return nil
+		}
+		allowedWriter := matchPkg(cfg.JournalWriterPackages, pass.PkgPath)
+		for _, file := range pass.Files {
+			checkJournalRefs(pass, cfg, file, allowedWriter)
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkJournalPaths(pass, cfg, fd.Body)
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkJournalPaths(pass, cfg, lit.Body)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// journalFunc resolves obj to a function of the journal implementation
+// package, returning its name.
+func journalFunc(cfg *Config, obj types.Object) (string, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != cfg.JournalImplPackage {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// checkJournalRefs enforces rule 1 on one file.
+func checkJournalRefs(pass *Pass, cfg *Config, file *ast.File, allowedWriter bool) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if allowedWriter {
+				return true
+			}
+			name, ok := journalFunc(cfg, pass.Info.Uses[n])
+			if !ok {
+				return true
+			}
+			if what, restricted := restrictedJournalFuncs[name]; restricted {
+				pass.Reportf(n.Pos(),
+					"journal.%s hands out %s; only the designated writer packages may produce WAL bytes",
+					name, what)
+			}
+		case *ast.BasicLit:
+			//pinlint:allow journaldiscipline this literal is the analyzer's own match pattern, not WAL bytes
+			if n.Kind == token.STRING && strings.Contains(n.Value, "PINWAL1") {
+				pass.Reportf(n.Pos(),
+					"WAL magic forged outside the journal package; all journal bytes must flow through journal.Writer")
+			}
+		case *ast.SelectorExpr:
+			if obj := pass.Info.Uses[n.Sel]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "os" && obj.Name() == "O_APPEND" {
+				pass.Reportf(n.Pos(),
+					"os.O_APPEND outside the journal package; appending to artifacts bypasses the WAL's framing and recovery")
+			}
+		}
+		return true
+	})
+}
+
+// checkJournalPaths enforces the path-sensitive rules 2 and 3 on one body.
+func checkJournalPaths(pass *Pass, cfg *Config, body *ast.BlockStmt) {
+	// Collect the interesting call sites first; most bodies have none and
+	// skip CFG construction entirely.
+	type site struct {
+		call *ast.CallExpr
+		rule int // 2 = rename, 3 = resume
+		name string
+	}
+	var sites []site
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are checked as their own bodies
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if obj := pass.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "os" && obj.Name() == "Rename" {
+				sites = append(sites, site{call, 2, "os.Rename"})
+				return true
+			}
+		}
+		if fn := CalleeOf(pass.Info, call); fn != nil {
+			if name, ok := journalFunc(cfg, fn); ok && metaCheckedJournalFuncs[name] {
+				sites = append(sites, site{call, 3, "journal." + name})
+			}
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	c := BuildCFG(body, pass.Info)
+	for _, s := range sites {
+		blk, idx, ok := findBlockNode(c, s.call.Pos())
+		if !ok {
+			continue
+		}
+		switch s.rule {
+		case 2:
+			guarded := c.HitsBefore(blk, idx, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				return ok && sel.Sel.Name == "Sync"
+			})
+			if !guarded {
+				pass.Reportf(s.call.Pos(),
+					"%s not preceded by Sync on every path; a crash can unlink the old artifact before the new bytes are durable", s.name)
+			}
+		case 3:
+			guarded := c.HitsBefore(blk, idx, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				return ok && sel.Sel.Name == "Meta"
+			})
+			if !guarded {
+				pass.Reportf(s.call.Pos(),
+					"%s not preceded by a journal meta check on every path; resuming without it can append this run's frames to a foreign WAL", s.name)
+			}
+		}
+	}
+}
+
+// findBlockNode locates the block node containing pos.
+func findBlockNode(c *CFG, pos token.Pos) (*Block, int, bool) {
+	for _, b := range c.Blocks {
+		for i, n := range b.Nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				return b, i, true
+			}
+		}
+	}
+	return nil, 0, false
+}

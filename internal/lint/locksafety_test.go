@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"pinscope/internal/lint"
+	"pinscope/internal/lint/linttest"
+)
+
+func TestLockSafety(t *testing.T) {
+	cfg := &lint.Config{
+		LockSafetyPackages: []string{"example.com/locks"},
+	}
+	linttest.Run(t, "testdata/locksafety", "example.com/locks", lint.NewLockSafety(cfg))
+}

@@ -19,6 +19,11 @@ func Suite(cfg *Config) []*Analyzer {
 		NewAtomicSwap(cfg),
 		NewAtomicWrite(cfg),
 		NewPKIIssuance(cfg),
+		NewGoroutineLifetime(cfg),
+		NewLockSafety(cfg),
+		NewJournalDiscipline(cfg),
+		NewDetrandFlow(cfg),
+		NewErrDrop(cfg),
 	}
 }
 

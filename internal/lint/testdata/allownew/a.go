@@ -1,0 +1,29 @@
+// Package allownew exercises the //pinlint:allow grammar against the
+// v2 analyzer names: a justified directive suppresses, a bare or
+// misspelled one is itself a finding and suppresses nothing.
+package allownew
+
+import "sync"
+
+var mu sync.Mutex
+
+func suppressed(ch chan int) {
+	mu.Lock()
+	//pinlint:allow locksafety fixture: deliberate handoff send under lock
+	ch <- 1
+	mu.Unlock()
+}
+
+func unjustified(ch chan int) {
+	mu.Lock()
+	//pinlint:allow locksafety
+	ch <- 1
+	mu.Unlock()
+}
+
+func typo(ch chan int) {
+	mu.Lock()
+	//pinlint:allow locksafty deliberate handoff send under lock
+	ch <- 1
+	mu.Unlock()
+}

@@ -1,0 +1,72 @@
+// Package dflow exercises detrandflow: child labels must be reviewable
+// constants, distinct per lineage, and loop derivations must vary.
+package dflow
+
+import "pinscope/internal/detrand"
+
+func dyn() string { return "d" }
+
+func okDistinct(rng *detrand.Source) {
+	a := rng.Child("alpha")
+	b := rng.Child("beta")
+	_, _ = a, b
+}
+
+func dupLabel(rng *detrand.Source) {
+	a := rng.Child("twin")
+	b := rng.Child("twin") // want "duplicate child label \"twin\" on rng"
+	_, _ = a, b
+}
+
+func okDistinctReceivers(rng *detrand.Source) {
+	a := rng.Child("twin")
+	b := a.Child("twin") // different lineage: parent differs, streams differ
+	_ = b
+}
+
+func noConst(rng *detrand.Source) {
+	label := dyn()
+	_ = rng.Child(label) // want "child label has no compile-time constant component"
+}
+
+func okPrefix(rng *detrand.Source, host string) {
+	_ = rng.Child("pin/" + host)
+}
+
+func loopInvariant(rng *detrand.Source) {
+	for i := 0; i < 3; i++ {
+		_ = rng.Child("iter") // want "derives the same stream every iteration"
+	}
+}
+
+func okLoopVariant(rng *detrand.Source) {
+	for i := 0; i < 3; i++ {
+		r := rng.ChildN("iter", i)
+		_ = r.Child("leaf") // receiver varies per iteration
+	}
+}
+
+func okChildNLoop(rng *detrand.Source) {
+	for i := 0; i < 4; i++ {
+		_ = rng.ChildN("slot", i)
+	}
+}
+
+func dupChildNSameIndex(rng *detrand.Source, i int) {
+	a := rng.ChildN("q", i)
+	b := rng.ChildN("q", i) // want "duplicate child label \"q\" on rng"
+	_, _ = a, b
+}
+
+func okChildNDistinctIndex(rng *detrand.Source) {
+	a := rng.ChildN("q", 1)
+	b := rng.ChildN("q", 2)
+	_, _ = a, b
+}
+
+func allowedDup(rng *detrand.Source) {
+	a := rng.Child("dup")
+	//pinlint:allow detrandflow fixture: sibling streams intentionally identical
+	b := rng.Child("dup")
+	_, _ = a, b
+}

@@ -1,0 +1,101 @@
+// Package edrop exercises errdrop: Close/Sync/Flush errors on write
+// paths must be checked.
+package edrop
+
+import (
+	"bufio"
+	"os"
+
+	"pinscope/internal/atomicio"
+	"pinscope/internal/journal"
+)
+
+func dropCreateClose(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Write([]byte("x"))
+	f.Close() // want "error from f\.Close discarded on a write path"
+}
+
+func dropSync(path string) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	f.Sync()  // want "error from f\.Sync discarded on a write path"
+	f.Close() // want "error from f\.Close discarded on a write path"
+}
+
+func okReadClose(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	f.Close() // read-only handle: close error is inconsequential
+}
+
+func okCleanupOnError(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close() // this path already returns the write error
+		return err
+	}
+	return f.Close()
+}
+
+func okExplicitDiscard(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_ = f.Close()
+}
+
+func dropFlush(f *os.File) {
+	bw := bufio.NewWriter(f)
+	bw.WriteString("x")
+	bw.Flush() // want "error from bw\.Flush discarded on a write path"
+}
+
+func dropJournalClose(path string) {
+	w, err := journal.Create(path, []byte("m"))
+	if err != nil {
+		return
+	}
+	w.Close() // want "error from w\.Close discarded on a write path"
+}
+
+func okAtomicWriterClose(path string) error {
+	w, err := atomicio.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte("x")); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Commit(); err != nil {
+		w.Close()
+		return err
+	}
+	w.Close() // post-Commit close is a documented no-op (exempt type)
+	return nil
+}
+
+func okUnknownProvenance(f *os.File) {
+	f.Close() // parameter: write-ness unknown, stay silent
+}
+
+func allowedDrop(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	//pinlint:allow errdrop fixture: deliberate fire-and-forget close
+	f.Close()
+}

@@ -1,0 +1,112 @@
+// Package golife exercises goroutinelifetime: every go statement must
+// reach a completion signal on all paths.
+package golife
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leakyHelper never signals, directly or transitively.
+func leakyHelper() { work() }
+
+// signalingHelper signals, so goroutines running it are bounded.
+func signalingHelper(wg *sync.WaitGroup) { wg.Done() }
+
+func leakPlain() {
+	go func() { // want "goroutine can exit without signaling completion"
+		work()
+	}()
+}
+
+func okDeferDone(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func okDeferredLit(wg *sync.WaitGroup) {
+	go func() {
+		defer func() {
+			wg.Done()
+		}()
+		work()
+	}()
+}
+
+func leakEarlyReturn(ch chan int, b bool) {
+	go func() { // want "goroutine can exit without signaling completion"
+		if b {
+			return
+		}
+		ch <- 1
+	}()
+}
+
+func okAllPaths(ch chan int, b bool) {
+	go func() {
+		if b {
+			ch <- 2
+			return
+		}
+		ch <- 1
+	}()
+}
+
+func okRangeWorker(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func leakForever() {
+	go func() { // want "goroutine loops forever without any completion signal"
+		for {
+			work()
+		}
+	}()
+}
+
+func okSelectLoop(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func okDirectCall(wg *sync.WaitGroup) {
+	go signalingHelper(wg)
+}
+
+func leakDirectCall() {
+	go leakyHelper() // want "goroutine runs leakyHelper, which never signals"
+}
+
+func okTransitiveCall(wg *sync.WaitGroup) {
+	go func() {
+		signalingHelper(wg)
+	}()
+}
+
+func okClose(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work()
+	}()
+}
+
+func allowedLeak() {
+	//pinlint:allow goroutinelifetime fixture: demonstrates a justified suppression
+	go leakyHelper()
+}

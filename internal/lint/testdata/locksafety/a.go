@@ -1,0 +1,140 @@
+// Package locks exercises locksafety: pairing on every path, no blocking
+// operation or return while a mutex is definitely held.
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	cv *sync.Cond
+	n  int
+}
+
+func (c *counter) ok() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) okDefer(b bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b {
+		return
+	}
+	c.n++
+}
+
+func (c *counter) okDeferredLit() {
+	c.mu.Lock()
+	defer func() {
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+func (c *counter) doubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want "c\.mu locked again while already held"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func (c *counter) earlyReturn(b bool) {
+	c.mu.Lock()
+	if b {
+		return // want "returns with c\.mu held"
+	}
+	c.mu.Unlock()
+}
+
+func (c *counter) sendWhileHolding(ch chan int) {
+	c.mu.Lock()
+	ch <- 1 // want "channel send while holding c\.mu"
+	c.mu.Unlock()
+}
+
+func (c *counter) recvWhileHolding(ch chan int) {
+	c.mu.Lock()
+	<-ch // want "channel receive while holding c\.mu"
+	c.mu.Unlock()
+}
+
+func (c *counter) selectWhileHolding(a, b chan int) {
+	c.mu.Lock()
+	select { // want "select without default while holding c\.mu"
+	case <-a:
+	case b <- 1:
+	}
+	c.mu.Unlock()
+}
+
+func (c *counter) okSelectDefault(a chan int) {
+	c.mu.Lock()
+	select {
+	case <-a:
+	default:
+	}
+	c.mu.Unlock()
+}
+
+func (c *counter) waitWhileHolding(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want "blocking call wg\.Wait while holding c\.mu"
+	c.mu.Unlock()
+}
+
+func (c *counter) sleepWhileHolding() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking call time\.Sleep while holding c\.mu"
+	c.mu.Unlock()
+}
+
+func (c *counter) okCondWait() {
+	c.mu.Lock()
+	for c.n == 0 {
+		c.cv.Wait() // releasing the mutex is Cond.Wait's contract: exempt
+	}
+	c.mu.Unlock()
+}
+
+func (c *counter) okConditionalRelease(b bool, ch chan int) {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+	}
+	// Must-hold: the lock is only maybe-held here, so no report.
+	ch <- 1
+	if !b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) okRead() {
+	c.rw.RLock()
+	_ = c.n
+	c.rw.RUnlock()
+}
+
+func (c *counter) okReentrantRead() {
+	c.rw.RLock()
+	c.rw.RLock() // shared locks are re-acquirable: no self-deadlock
+	c.rw.RUnlock()
+	c.rw.RUnlock()
+}
+
+func (c *counter) leakRead() {
+	c.rw.RLock()
+	_ = c.n
+} // want "returns with c\.rw held"
+
+func (c *counter) allowedHold(ch chan int) {
+	c.mu.Lock()
+	//pinlint:allow locksafety fixture: deliberate handoff send under lock
+	ch <- 1
+	c.mu.Unlock()
+}

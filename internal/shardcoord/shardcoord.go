@@ -202,11 +202,15 @@ func Run(cfg Config) (*Stats, error) {
 	wg.Wait()
 
 	// Close any writer a failure path left open (normal completion closes
-	// per slice; killed writers closed themselves).
+	// per slice; killed writers closed themselves). A failed close means
+	// the journal tail may not be durable — surface it, or a rerun would
+	// trust a journal that silently lost its last frames.
 	for _, s := range c.slices {
 		s.jmu.Lock()
 		if s.w != nil {
-			s.w.Close()
+			if err := s.w.Close(); err != nil {
+				c.fatal = append(c.fatal, fmt.Errorf("shardcoord: slice %d journal close: %w", s.idx, err))
+			}
 			s.w = nil
 		}
 		s.jmu.Unlock()
@@ -371,7 +375,10 @@ func (c *coordinator) openJournal(s *sliceState, epoch int64) (int, error) {
 	defer s.jmu.Unlock()
 	if s.w != nil {
 		// Prior holder's writer (already dead if killed; stalled holders
-		// are fenced before they can touch it again).
+		// are fenced before they can touch it again). Its close error is
+		// irrelevant: the resume below re-verifies every frame on disk, so
+		// anything this writer failed to make durable is simply recomputed.
+		//pinlint:allow errdrop resume re-verifies the WAL; an undurable tail is recomputed under the new lease
 		s.w.Close()
 		s.w = nil
 	}

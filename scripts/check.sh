@@ -1,13 +1,9 @@
 #!/bin/sh
 # check.sh — the repo's one-command health gate: gofmt, build, vet, the
-# pinlint invariant suite, full test suite (shuffled), then a race-detector
-# pass over the packages with real concurrency (the study runner's worker
-# pool, the record pipes, the flow tap, the serving layer's snapshot swap,
-# the result journal's append path, the shard coordinator's lease protocol,
-# and the crypto plane's shared caches —
-# chain store, signature memo, handshake memo, forged-leaf store), a
-# one-iteration benchmark smoke, and a short fuzz smoke over journal
-# recovery.
+# pinlint invariant suite diffed against its checked-in baseline, full
+# test suite (shuffled), a race-detector pass over the whole tree (minus
+# the slowest fault-injection e2e sweeps), a one-iteration benchmark
+# smoke, and a short fuzz smoke over journal recovery.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,18 +38,28 @@ go vet -copylocks -loopclosure -atomic \
 
 # pinlint runs before the expensive passes: the custom invariant suite
 # (detrandonly, mapdeterminism, exportshape, atomicswap, atomicwrite,
-# pkiissuance) must be clean.
-echo "==> pinlint"
-go run ./cmd/pinlint ./...
+# pkiissuance, goroutinelifetime, locksafety, journaldiscipline,
+# detrandflow, errdrop) is diffed against the checked-in baseline, so
+# only NEW findings fail the gate (see scripts/lint_diff.sh).
+echo "==> pinlint (baseline diff)"
+./scripts/lint_diff.sh
 
 # -shuffle=on randomizes test and subtest execution order so accidental
 # inter-test coupling (shared globals, order-dependent caches) cannot hide.
 echo "==> go test -shuffle=on ./..."
 go test -shuffle=on ./...
 
-echo "==> go test -race (concurrent packages)"
-go test -race ./internal/core ./internal/netem ./internal/dynamicanalysis ./internal/pinserve ./internal/journal \
-    ./internal/pki ./internal/device ./internal/mitmproxy ./internal/shardcoord
+# The race pass covers the WHOLE tree, not a hand-picked package list: a
+# hand-picked list silently loses coverage every time a new package grows
+# a goroutine. Only the multi-second fault-injection e2e sweeps are
+# skipped under -race — they re-run work the shuffled pass above already
+# covered and their cost multiplies badly under the race detector; the
+# concurrency they exercise is still raced through the remaining tests of
+# the same packages.
+echo "==> go test -race ./..."
+go test -race -timeout 20m \
+    -skip 'TestFaultedStudyIsDeterministicAcrossSchedules|TestStudySurvivesHeavyFaults|TestKillAtEveryFrameBoundaryThenResume|TestDegradationAndQuarantinePaths' \
+    ./...
 
 # Longitudinal smoke: the mini universe replayed across three root-program
 # timeline points (two Android releases plus a public-CA distrust event),

@@ -1,0 +1,16 @@
+#!/bin/sh
+# lint_diff.sh — run pinlint against the checked-in baseline: the gate
+# fails only on findings not present in lint_baseline.json, so a legacy
+# accepted finding cannot block unrelated work while any NEW finding
+# still breaks the build. The baseline keys on analyzer+file+message
+# (line numbers deliberately excluded), so findings do not churn when
+# unrelated edits move code around.
+#
+# After deliberately fixing or accepting findings, regenerate with
+# `make lint-baseline` and commit the result; the diff of the baseline
+# file is then the reviewable record of what was accepted.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/pinlint -baseline lint_baseline.json ./...
