@@ -8,6 +8,7 @@
 //	         [-faults 0.1] [-retries 2] [-chaos]
 //	         [-journal run.wal] [-resume] [-kill-after N] [-kill-torn K]
 //	         [-shards N] [-shard-kill 1@3,2@0] [-merge]
+//	         [-shard-listen host:port] [-shard-connect host:port] [-shard-scope label]
 //	         [-timeline] [-points tag,tag,...] [-kill-at-point tag]
 //	         [-coldcrypto] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
@@ -20,6 +21,13 @@
 // command resumes an interrupted run from the journals. -merge folds the
 // completed slice journals into the exported dataset (-export, or stdout),
 // byte-identical to an unsharded same-seed run's export.
+//
+// With -shard-listen the sharded run goes cross-machine: this process is
+// the coordinator, serving the run over message-framed TCP, and any number
+// of `pinstudy -shard-connect host:port` workers (started before, after,
+// or restarted mid-run) dial in, receive the run configuration over the
+// wire, and stream slice results back under the same lease protocol. The
+// journals land on the coordinator's disk; merge as usual with -merge.
 //
 // With -timeline the study runs longitudinally: the same app universe is
 // replayed across root-program releases and distrust events (-points picks
@@ -62,6 +70,9 @@ func main() {
 	shards := flag.Int("shards", 0, "run the study as N crash-only slices; -journal names the shard directory")
 	shardKill := flag.String("shard-kill", "", "fault injection: comma-separated slice@afterN worker deaths (requires -shards)")
 	merge := flag.Bool("merge", false, "merge a completed sharded run's journals into the dataset (requires -shards)")
+	shardListen := flag.String("shard-listen", "", "serve a cross-machine sharded run: listen on host:port for shard workers (requires -shards and -journal)")
+	shardConnect := flag.String("shard-connect", "", "join a cross-machine sharded run as a worker: dial the coordinator at host:port")
+	shardScope := flag.String("shard-scope", "", "worker label for -shard-connect backoff jitter (default hostname-pid)")
 	timeline := flag.Bool("timeline", false, "run longitudinally across root-program releases and distrust events")
 	points := flag.String("points", "", "timeline points for -timeline (comma-separated tags; empty = all)")
 	killAtPoint := flag.String("kill-at-point", "", "arm -kill-after only at this timeline point (requires -timeline)")
@@ -102,6 +113,14 @@ func main() {
 	cfg.KillTorn = *killTorn
 	cfg.ColdCrypto = *coldCrypto
 
+	if *shardConnect != "" {
+		runShardWorker(*shardConnect, *shardScope)
+		return
+	}
+	if *shardListen != "" {
+		runShardServe(cfg, *shards, *jpath, *workers, *shardListen)
+		return
+	}
 	if *shards > 0 || *merge || *shardKill != "" {
 		runSharded(cfg, *shards, *shardKill, *killTorn, *jpath, *export, *workers, *merge)
 		return
@@ -364,6 +383,63 @@ func runSharded(cfg pinscope.Config, shards int, shardKill string, killTorn int,
 	}
 	fmt.Fprintf(os.Stderr, "pinstudy: sharded run complete in %s; merge with -shards %d -merge\n",
 		time.Since(start).Round(time.Millisecond), shards)
+}
+
+// runShardServe handles -shard-listen: the coordinator half of a
+// cross-machine sharded run. Workers join with -shard-connect; the run
+// resumes from the journals if interrupted, and -merge folds the result.
+func runShardServe(cfg pinscope.Config, shards int, dir string, workers int, addr string) {
+	if shards <= 0 {
+		fmt.Fprintln(os.Stderr, "pinstudy: -shard-listen requires -shards")
+		os.Exit(2)
+	}
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "pinstudy: -shard-listen requires -journal (the shard-journal directory)")
+		os.Exit(2)
+	}
+	cfg.JournalPath = "" // sharded runs journal per slice under dir
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "pinstudy: serving sharded study (seed %d): %d shards on %s, journals in %s...\n",
+		cfg.Seed, shards, addr, dir)
+	stats, err := pinscope.ServeShards(cfg, pinscope.ShardOptions{
+		Shards: shards, Workers: workers, Dir: dir,
+	}, addr)
+	if stats != nil {
+		fmt.Fprintf(os.Stderr, "pinstudy: %d worker conns / %d shards: %d leases expired, %d slices reassigned, %d results resumed, %d duplicates dropped, %d zombie frames fenced\n",
+			stats.Workers, stats.Shards, stats.LeasesExpired, stats.Reassigned,
+			stats.ResumedFrames, stats.Duplicates, stats.Fenced)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pinstudy: %v\n", err)
+		fmt.Fprintf(os.Stderr, "pinstudy: shard journals survive in %s; rerun the same command to resume\n", dir)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pinstudy: sharded serve complete in %s; merge with -shards %d -journal %s -merge\n",
+		time.Since(start).Round(time.Millisecond), shards, dir)
+}
+
+// runShardWorker handles -shard-connect: the worker half of a
+// cross-machine sharded run. The run's configuration ships over the wire,
+// so the worker needs no flags beyond the coordinator's address.
+func runShardWorker(addr, scope string) {
+	if scope == "" {
+		// The scope is the worker's operator-facing name in coordinator
+		// logs and its backoff-jitter decorrelation label — it must differ
+		// per machine and per process, which is exactly what host-ambient
+		// identity provides. It never feeds study results: every exported
+		// byte is a pure function of the run config the coordinator ships.
+		host, err := os.Hostname() //pinlint:allow detrandonly worker identity label, never reaches study output
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		scope = fmt.Sprintf("%s-%d", host, os.Getpid()) //pinlint:allow detrandonly worker identity label, never reaches study output
+	}
+	fmt.Fprintf(os.Stderr, "pinstudy: shard worker %s dialing %s...\n", scope, addr)
+	if err := pinscope.ConnectShardWorker(addr, scope); err != nil {
+		fmt.Fprintf(os.Stderr, "pinstudy: shard worker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "pinstudy: shard worker done: coordinator reports the run complete")
 }
 
 // parseShardKills parses "slice@afterN[,slice@afterN...]".

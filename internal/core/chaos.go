@@ -31,6 +31,12 @@ type ChaosPoint struct {
 	// Nil for the rate-0 reference and for rates whose derived plan is
 	// empty.
 	Sharded *ShardDrill
+	// Net is the network-chaos drill at this rate: the same point rerun
+	// over the simulated shardnet transport under the derived plan's
+	// network fault family (delays, drops, duplicate delivery,
+	// partitions) plus its worker kills, again held byte-identical to the
+	// point's own export. Nil under the same conditions as Sharded.
+	Net *NetDrill
 }
 
 // ShardDrill is one chaos point's sharded rerun: coordinator accounting
@@ -39,6 +45,15 @@ type ChaosPoint struct {
 // keeps the report honest about what was checked rather than assumed.
 type ShardDrill struct {
 	Stats         shardcoord.Stats
+	ByteIdentical bool
+}
+
+// NetDrill is one chaos point's transported rerun over the simulated
+// network: transport accounting, the injected fault counts, and the
+// merge-equivalence verdict (same loud-failure contract as ShardDrill).
+type NetDrill struct {
+	Stats         NetShardStats
+	NetFaults     int
 	ByteIdentical bool
 }
 
@@ -113,6 +128,10 @@ func chaosPoint(cfg Config, rate float64) (ChaosPoint, error) {
 		if err != nil {
 			return ChaosPoint{}, err
 		}
+		pt.Net, err = netDrill(cfg, rate, s)
+		if err != nil {
+			return ChaosPoint{}, err
+		}
 	}
 	return pt, nil
 }
@@ -154,4 +173,43 @@ func shardDrill(cfg Config, rate float64, s *Study) (*ShardDrill, error) {
 			rate, merged.Len(), single.Len())
 	}
 	return &ShardDrill{Stats: *stats, ByteIdentical: true}, nil
+}
+
+// netDrill reruns one chaos point over the simulated shardnet transport
+// under the same derived fault plan — kills become mid-stream connection
+// deaths, and the plan's network family batters the wire itself — then
+// holds the merged export against the point's own export byte for byte:
+// the sweep's proof that a hostile network degrades progress, never data.
+func netDrill(cfg Config, rate float64, s *Study) (*NetDrill, error) {
+	const shards, workers = 4, 4
+	ranges := sliceRanges(len(shardUniverse(s.World)), shards)
+	items := make([]int, len(ranges))
+	for i, rg := range ranges {
+		items[i] = rg[1]
+	}
+	plan := faultinject.DeriveShardPlan(cfg.Params.Seed, rate, workers, items)
+	if plan == nil {
+		return nil, nil
+	}
+	dir, err := os.MkdirTemp("", "pinscope-chaos-net-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	stats, err := RunShardedNet(cfg, ShardedConfig{Shards: shards, Workers: workers, Dir: dir, Faults: plan})
+	if err != nil {
+		return nil, fmt.Errorf("core: chaos net drill at rate %g: %w", rate, err)
+	}
+	var single, merged bytes.Buffer
+	if err := s.WriteJSON(&single); err != nil {
+		return nil, err
+	}
+	if err := MergeShards(&merged, cfg, ShardedConfig{Shards: shards, Dir: dir}); err != nil {
+		return nil, fmt.Errorf("core: chaos net drill at rate %g: %w", rate, err)
+	}
+	if !bytes.Equal(merged.Bytes(), single.Bytes()) {
+		return nil, fmt.Errorf("core: chaos net drill at rate %g: merged export diverges from the point's own export (%d vs %d bytes)",
+			rate, merged.Len(), single.Len())
+	}
+	return &NetDrill{Stats: *stats, NetFaults: plan.Net.Faults(), ByteIdentical: true}, nil
 }

@@ -317,19 +317,149 @@ type LeaseExpiry struct {
 	StallTicks int64
 }
 
+// NetTTL is the lease TTL, in logical network ticks, that the simulated
+// transport (internal/shardnet) uses by default. Network fault durations
+// are drawn relative to it so a derived delay or partition is guaranteed
+// to straddle at least one lease deadline — short enough to heal, long
+// enough that the takeover machinery actually fires.
+const NetTTL = 64
+
+// NetDelay holds one slice's result frame in flight for Ticks of the
+// network clock while later frames (heartbeats included) overtake it —
+// the reordering drill: the lease must survive on heartbeats alone and
+// the coordinator must not write the late frame out of order.
+type NetDelay struct {
+	// Slice and Item name the result frame that is delayed.
+	Slice int
+	Item  int
+	// Ticks is the extra in-flight time on the network's logical clock.
+	Ticks int64
+}
+
+// NetDrop silently discards one slice's result frame and severs the
+// connection that carried it — a reliable stream is in-order-or-dead, so
+// a lost frame means a dead conn. The worker must reconnect with backoff
+// and be re-granted the slice at its resume point.
+type NetDrop struct {
+	Slice int
+	Item  int
+}
+
+// NetDup delivers one slice's result frame twice. The coordinator must
+// admit it exactly once: the duplicate arrives after the original has
+// advanced the slice cursor and is discarded as already-journaled.
+type NetDup struct {
+	Slice int
+	Item  int
+}
+
+// NetPartition silently drops every frame, both directions, on the
+// connection holding Slice — starting when the holder sends result frame
+// AfterItem — for Ticks of the network clock. Neither side learns the
+// link is gone; only heartbeat silence does: the lease expires, a
+// survivor takes over, and the healed zombie's stale-epoch frames must be
+// fenced away from the slice WAL.
+type NetPartition struct {
+	Slice     int
+	AfterItem int
+	Ticks     int64
+}
+
+// NetChaos groups the network fault family for one transported sharded
+// run. A nil chaos injects nothing; all accessors are nil-safe. At most
+// one fault of each kind applies per slice and each fires once.
+type NetChaos struct {
+	Delays     []NetDelay
+	Drops      []NetDrop
+	Dups       []NetDup
+	Partitions []NetPartition
+}
+
+// Any reports whether the chaos injects anything. Nil-safe.
+func (n *NetChaos) Any() bool {
+	return n != nil && (len(n.Delays) > 0 || len(n.Drops) > 0 ||
+		len(n.Dups) > 0 || len(n.Partitions) > 0)
+}
+
+// Faults counts the injected network faults. Nil-safe.
+func (n *NetChaos) Faults() int {
+	if n == nil {
+		return 0
+	}
+	return len(n.Delays) + len(n.Drops) + len(n.Dups) + len(n.Partitions)
+}
+
+// DelayFor returns the in-flight delay for (slice, item), or 0, false.
+// Nil-safe.
+func (n *NetChaos) DelayFor(slice, item int) (int64, bool) {
+	if n == nil {
+		return 0, false
+	}
+	for _, d := range n.Delays {
+		if d.Slice == slice && d.Item == item {
+			return d.Ticks, true
+		}
+	}
+	return 0, false
+}
+
+// DropFor reports whether the result frame (slice, item) is dropped
+// (severing its connection). Nil-safe.
+func (n *NetChaos) DropFor(slice, item int) bool {
+	if n == nil {
+		return false
+	}
+	for _, d := range n.Drops {
+		if d.Slice == slice && d.Item == item {
+			return true
+		}
+	}
+	return false
+}
+
+// DupFor reports whether the result frame (slice, item) is delivered
+// twice. Nil-safe.
+func (n *NetChaos) DupFor(slice, item int) bool {
+	if n == nil {
+		return false
+	}
+	for _, d := range n.Dups {
+		if d.Slice == slice && d.Item == item {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionFor returns the partition starting at result frame
+// (slice, item), or 0, false. Nil-safe.
+func (n *NetChaos) PartitionFor(slice, item int) (int64, bool) {
+	if n == nil {
+		return 0, false
+	}
+	for _, p := range n.Partitions {
+		if p.Slice == slice && p.AfterItem == item {
+			return p.Ticks, true
+		}
+	}
+	return 0, false
+}
+
 // ShardPlan groups the shard-death fault family for one sharded run. A
 // nil plan injects nothing. At most one kill and one expiry apply per
 // slice: like ProcessKill, each fires once — the takeover run of the same
 // slice does not re-die, mirroring a machine that crashed and was
-// replaced.
+// replaced. Net carries the network fault family for transported runs
+// (internal/shardnet); the in-process coordinator ignores it.
 type ShardPlan struct {
 	Kills    []ShardKill
 	Expiries []LeaseExpiry
+	Net      *NetChaos
 }
 
 // Any reports whether the plan injects anything. Nil-safe.
 func (p *ShardPlan) Any() bool {
-	return p != nil && (len(p.Kills) > 0 || len(p.Expiries) > 0)
+	return p != nil && (len(p.Kills) > 0 || len(p.Expiries) > 0 || p.Net.Any())
 }
 
 // KillFor returns the kill fault for slice, or nil. Nil-safe.
@@ -358,38 +488,91 @@ func (p *ShardPlan) ExpiryFor(slice int) *LeaseExpiry {
 	return nil
 }
 
-// DeriveShardPlan seeds a shard-death plan from (seed, rate): each slice
-// independently draws whether its holder is killed and whether its lease
-// is stalled into expiry, with the cut point and torn length drawn from
-// the slice's item count. The chaos sweep uses this so rising fault rates
-// kill shards too. Kills are capped at workers-1 so at least one worker
-// survives to finish the run; rate 0 yields nil.
+// NetFaults returns the plan's network chaos (nil for a nil plan).
+// Nil-safe, like every other accessor on the plan.
+func (p *ShardPlan) NetFaults() *NetChaos {
+	if p == nil {
+		return nil
+	}
+	return p.Net
+}
+
+// DeriveShardPlan seeds a shard-death-and-network plan from (seed, rate):
+// each slice independently draws whether its holder is killed, whether
+// its lease is stalled into expiry, and which network pathologies (delay,
+// drop, duplicate delivery, partition) hit its result stream, with every
+// cut point drawn from the slice's item count. The chaos sweep uses this
+// so rising fault rates kill shards and degrade the wire too.
+//
+// Progress caps: kills stay capped at workers-1 so at least one worker
+// survives, and the progress-hampering faults — kills, drops (they sever
+// the holder's connection) and partitions — together touch at most
+// len(sliceItems)-1 slices, so at least one shard always makes progress
+// on a never-severed link. Delay durations and partition windows are
+// drawn relative to NetTTL so they straddle a lease deadline. Rate 0
+// yields nil.
 func DeriveShardPlan(seed int64, rate float64, workers int, sliceItems []int) *ShardPlan {
 	if rate <= 0 {
 		return nil
 	}
 	p := &ShardPlan{}
+	net := &NetChaos{}
 	kills := 0
+	hampered := 0
+	maxHampered := len(sliceItems) - 1
 	for slice, items := range sliceItems {
 		if items == 0 {
 			continue
 		}
 		rng := detrand.New(seed).Child("shardfault/" + strconv.Itoa(slice))
-		if kills < workers-1 && rng.Bool(rate) {
+		killed := false
+		if kills < workers-1 && hampered < maxHampered && rng.Bool(rate) {
 			p.Kills = append(p.Kills, ShardKill{
 				Slice:        slice,
 				AfterResults: rng.Intn(items),
 				TornBytes:    rng.Intn(24),
 			})
 			kills++
-			continue
+			hampered++
+			killed = true
 		}
-		if rng.Bool(rate) {
+		if !killed && items >= 2 && rng.Bool(rate) {
+			// The stall point stays strictly inside the leased region:
+			// [1, items-1]. A stall after the final append would sit
+			// between the work and the lease release, which the
+			// coordinator no longer honors (see shardcoord.maybeStall).
 			p.Expiries = append(p.Expiries, LeaseExpiry{
 				Slice:        slice,
-				AfterResults: 1 + rng.Intn(items),
+				AfterResults: 1 + rng.Intn(items-1),
 			})
 		}
+		// Network family, drawn from its own child so adding it leaves
+		// the kill/expiry draws of existing seeds untouched.
+		nrng := detrand.New(seed).Child("netfault/" + strconv.Itoa(slice))
+		if nrng.Bool(rate) {
+			net.Delays = append(net.Delays, NetDelay{
+				Slice: slice,
+				Item:  nrng.Intn(items),
+				Ticks: NetTTL/2 + int64(nrng.Intn(2*NetTTL)),
+			})
+		}
+		if nrng.Bool(rate) {
+			net.Dups = append(net.Dups, NetDup{Slice: slice, Item: nrng.Intn(items)})
+		}
+		if !killed && hampered < maxHampered && nrng.Bool(rate) {
+			net.Drops = append(net.Drops, NetDrop{Slice: slice, Item: nrng.Intn(items)})
+			hampered++
+		} else if !killed && hampered < maxHampered && nrng.Bool(rate) {
+			net.Partitions = append(net.Partitions, NetPartition{
+				Slice:     slice,
+				AfterItem: nrng.Intn(items),
+				Ticks:     NetTTL + int64(nrng.Intn(2*NetTTL)),
+			})
+			hampered++
+		}
+	}
+	if net.Any() {
+		p.Net = net
 	}
 	if !p.Any() {
 		return nil

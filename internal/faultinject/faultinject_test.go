@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -216,5 +217,83 @@ func TestDeriveShardPlanDeterministicAndCapped(t *testing.T) {
 		if same && len(a.Kills) > 0 {
 			t.Log("seed 77 and 78 derived identical kills (unlikely but legal)")
 		}
+	}
+}
+
+func TestDeriveShardPlanNetFamilyCappedAndDeterministic(t *testing.T) {
+	items := []int{10, 10, 10, 10, 10, 10, 10, 10}
+	a := DeriveShardPlan(311, 1.0, 4, items)
+	b := DeriveShardPlan(311, 1.0, 4, items)
+	if a == nil || !a.Net.Any() {
+		t.Fatalf("rate-1.0 derivation injected no network chaos: %+v", a)
+	}
+	if !reflect.DeepEqual(a.Net, b.Net) {
+		t.Fatalf("same seed derived different network chaos:\n%+v\n%+v", a.Net, b.Net)
+	}
+
+	// Progress cap: the faults that hamper progress — kills, drops
+	// (severed conns), partitions — must leave at least one slice on a
+	// never-severed link.
+	hampered := len(a.Kills) + len(a.Net.Drops) + len(a.Net.Partitions)
+	if hampered > len(items)-1 {
+		t.Fatalf("%d hampering faults across %d slices: no guaranteed progress", hampered, len(items))
+	}
+	// A killed slice draws no drop or partition on top: the kill already
+	// severs its connection.
+	killed := map[int]bool{}
+	for _, k := range a.Kills {
+		killed[k.Slice] = true
+	}
+	for _, d := range a.Net.Drops {
+		if killed[d.Slice] {
+			t.Fatalf("slice %d drew both a kill and a drop", d.Slice)
+		}
+	}
+	for _, p := range a.Net.Partitions {
+		if killed[p.Slice] {
+			t.Fatalf("slice %d drew both a kill and a partition", p.Slice)
+		}
+	}
+
+	// Every fault point stays inside its slice, and durations are drawn
+	// relative to NetTTL so they interact with a lease deadline.
+	for _, d := range a.Net.Delays {
+		if d.Item < 0 || d.Item >= items[d.Slice] {
+			t.Fatalf("delay item %d outside slice of %d items", d.Item, items[d.Slice])
+		}
+		if d.Ticks < NetTTL/2 {
+			t.Fatalf("delay of %d ticks cannot overtake anything meaningful (TTL %d)", d.Ticks, NetTTL)
+		}
+	}
+	for _, d := range a.Net.Drops {
+		if d.Item < 0 || d.Item >= items[d.Slice] {
+			t.Fatalf("drop item %d outside slice of %d items", d.Item, items[d.Slice])
+		}
+	}
+	for _, d := range a.Net.Dups {
+		if d.Item < 0 || d.Item >= items[d.Slice] {
+			t.Fatalf("dup item %d outside slice of %d items", d.Item, items[d.Slice])
+		}
+	}
+	for _, p := range a.Net.Partitions {
+		if p.AfterItem < 0 || p.AfterItem >= items[p.Slice] {
+			t.Fatalf("partition point %d outside slice of %d items", p.AfterItem, items[p.Slice])
+		}
+		if p.Ticks < NetTTL {
+			t.Fatalf("partition of %d ticks cannot outlive a lease (TTL %d)", p.Ticks, NetTTL)
+		}
+	}
+
+	// The stall point of a derived expiry stays strictly inside the
+	// leased region: a stall after the final append would sit between the
+	// work and the lease release, which the coordinator refuses to honor.
+	for _, e := range a.Expiries {
+		if e.AfterResults < 1 || e.AfterResults > items[e.Slice]-1 {
+			t.Fatalf("expiry point %d outside [1, %d]", e.AfterResults, items[e.Slice]-1)
+		}
+	}
+
+	if DeriveShardPlan(311, 0, 4, items) != nil {
+		t.Fatal("rate 0 produced a plan")
 	}
 }

@@ -151,6 +151,7 @@ func DefaultConfig() *Config {
 		CheckedDeterminism: []string{
 			"pinscope/internal/pinserve",
 			"pinscope/internal/advisor",
+			"pinscope/internal/shardnet",
 			"pinscope/cmd/...",
 		},
 		AllowedWallClock: map[string][]string{
@@ -163,9 +164,18 @@ func DefaultConfig() *Config {
 				"Server.wrap",        // per-request latency histogram
 				"Server.handleStats", // uptime report
 			},
+			// The TCP transport is the one shardnet file on real time:
+			// frame deadlines and lease TTLs against remote peers have to
+			// be wall-clock. Both readers implement the package's Clock
+			// interface; everything else in the package schedules on it.
+			"pinscope/internal/shardnet": {
+				"wallClock.Now",
+				"wallClock.WaitUntil",
+				"wallDeadline",
+			},
 			// CLI progress banners time the run for the operator.
 			"pinscope/cmd/worldgen":  {"main"},
-			"pinscope/cmd/pinstudy":  {"main", "runSharded", "runTimeline"},
+			"pinscope/cmd/pinstudy":  {"main", "runSharded", "runShardServe", "runTimeline"},
 			"pinscope/cmd/pinscoped": {"main", "runSelftest"},
 		},
 		MapOrderPackages: []string{"pinscope", "pinscope/..."},
@@ -195,6 +205,7 @@ func DefaultConfig() *Config {
 			"pinscope/internal/journal",
 			"pinscope/internal/core",
 			"pinscope/internal/shardcoord",
+			"pinscope/internal/shardnet",
 		},
 		JournalImplPackage:  "pinscope/internal/journal",
 		DetrandFlowPackages: []string{"pinscope", "pinscope/..."},

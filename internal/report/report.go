@@ -392,7 +392,7 @@ func Robustness(s *core.Study) string {
 // and the largest drift of any Table 3 dynamic prevalence from the
 // fault-free reference.
 func Chaos(points []core.ChaosPoint) string {
-	t := &table{header: []string{"Fault rate", "Apps", "Attempts", "Retried", "Quarantined", "Degraded", "Max |drift| (pp)", "Shards killed", "Resumed frames", "Shard merge"}}
+	t := &table{header: []string{"Fault rate", "Apps", "Attempts", "Retried", "Quarantined", "Degraded", "Max |drift| (pp)", "Shards killed", "Resumed frames", "Shard merge", "Net faults", "Fenced", "Net merge"}}
 	for _, p := range points {
 		degraded := p.Stats.DynamicOnly + p.Stats.StaticOnly + p.Stats.None
 		killed, resumed, merge := "-", "-", "-"
@@ -404,6 +404,15 @@ func Chaos(points []core.ChaosPoint) string {
 				merge = "identical"
 			}
 		}
+		netFaults, fenced, netMerge := "-", "-", "-"
+		if p.Net != nil {
+			netFaults = fmt.Sprintf("%d", p.Net.NetFaults)
+			fenced = fmt.Sprintf("%d", p.Net.Stats.Net.Fenced)
+			netMerge = "diverged"
+			if p.Net.ByteIdentical {
+				netMerge = "identical"
+			}
+		}
 		t.add(
 			fmt.Sprintf("%.0f%%", p.Rate*100),
 			fmt.Sprintf("%d", p.Stats.Apps),
@@ -413,6 +422,7 @@ func Chaos(points []core.ChaosPoint) string {
 			fmt.Sprintf("%d", degraded),
 			fmt.Sprintf("%.2f", p.MaxAbsDriftPP),
 			killed, resumed, merge,
+			netFaults, fenced, netMerge,
 		)
 	}
 	return "Chaos sweep: Table 3 dynamic-prevalence drift under rising fault rates\n\n" + t.String()

@@ -375,12 +375,16 @@ func (c *coordinator) openJournal(s *sliceState, epoch int64) (int, error) {
 	defer s.jmu.Unlock()
 	if s.w != nil {
 		// Prior holder's writer (already dead if killed; stalled holders
-		// are fenced before they can touch it again). Its close error is
-		// irrelevant: the resume below re-verifies every frame on disk, so
-		// anything this writer failed to make durable is simply recomputed.
-		//pinlint:allow errdrop resume re-verifies the WAL; an undurable tail is recomputed under the new lease
-		s.w.Close()
+		// are fenced before they can touch it again). The resume below
+		// re-verifies every frame on disk, so an undurable tail is simply
+		// recomputed — but a failed close still gets surfaced: fsync and
+		// close errors taint the filesystem state every later append
+		// depends on, the same rule the completion path enforces.
+		err := s.w.Close()
 		s.w = nil
+		if err != nil {
+			return 0, fmt.Errorf("shardcoord: slice %d prior-writer close on takeover: %w", s.idx, err)
+		}
 	}
 	var w *journal.Writer
 	frames := 0
@@ -468,12 +472,20 @@ func (c *coordinator) append(worker int, l *lease, frame []byte) error {
 }
 
 // maybeStall consumes the slice's induced lease-expiry fault: after the
-// configured append, the holder goes silent past its TTL.
+// configured append, the holder goes silent past its TTL. The stall only
+// fires inside the leased region — while the slice still has work and the
+// caller still holds a live lease. Without the s.next bound, a fault
+// configured at AfterResults == Items would fire between the last append
+// and the lease release in complete(): the holder would stall with the
+// journal complete but still open, a survivor would "take over" finished
+// work, and the prior writer's close would happen on the takeover path
+// instead of the completion path.
 func (c *coordinator) maybeStall(worker int, l *lease) {
 	s := l.s
 	c.mu.Lock()
 	e := c.cfg.Faults.ExpiryFor(s.idx)
-	if e == nil || s.stalled || s.next != e.AfterResults || s.holder != worker || s.epoch != l.epoch {
+	if e == nil || s.stalled || s.done || !s.leased || s.next >= s.conf.Items ||
+		s.next != e.AfterResults || s.holder != worker || s.epoch != l.epoch {
 		c.mu.Unlock()
 		return
 	}

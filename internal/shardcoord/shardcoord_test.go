@@ -282,3 +282,24 @@ func TestManySlicesFewWorkersUnderChurn(t *testing.T) {
 		}
 	}
 }
+
+// TestStallAtCompletionBoundaryDoesNotFire pins the maybeStall bound: an
+// expiry configured at AfterResults == Items used to fire between the
+// final append and the lease release in complete(), stalling a holder
+// whose journal was already done — a survivor would "take over" finished
+// work and the journal close would happen on the takeover path. The
+// coordinator now refuses to honor a stall outside the leased region.
+func TestStallAtCompletionBoundaryDoesNotFire(t *testing.T) {
+	cfg := synthConfig(t.TempDir(), 3, 5, 2)
+	cfg.Faults = &faultinject.ShardPlan{
+		Expiries: []faultinject.LeaseExpiry{{Slice: 1, AfterResults: 5}},
+	}
+	stats, err := shardcoord.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyComplete(t, cfg)
+	if stats.Expired != 0 || stats.Reassigned != 0 {
+		t.Fatalf("completion-boundary stall fired: %+v", stats)
+	}
+}

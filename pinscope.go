@@ -489,6 +489,13 @@ type ShardOptions struct {
 	Kills []ShardKill
 	// KillTorn is the torn-frame length each injected kill leaves on disk.
 	KillTorn int
+	// NetChaosRate, for transported runs (RunShardedNet), derives a
+	// seeded network fault plan — delayed, dropped, and duplicated
+	// frames, plus partitions long enough to expire a lease — at this
+	// rate on top of any explicit Kills. 0 injects nothing; the plan is
+	// capped so at least one shard always makes progress. Ignored by
+	// in-process and TCP runs (a real wire is not simulated).
+	NetChaosRate float64
 }
 
 // ShardKill names one injected shard death: the holder of Slice dies while
@@ -552,6 +559,142 @@ func RunSharded(cfg Config, opts ShardOptions) (*ShardStats, error) {
 		LeasesExpired: stats.Expired, Reassigned: stats.Reassigned,
 		ResumedFrames: stats.ResumedFrames,
 	}, err
+}
+
+// NetShardStats reports a transported sharded run: the shard accounting
+// plus the transport's own counters.
+type NetShardStats struct {
+	ShardStats
+	// Fenced counts zombie-epoch frames refused after a lease takeover;
+	// Duplicates counts deliveries discarded as already journaled;
+	// Reordered counts results buffered ahead of the slice cursor;
+	// SendRetries counts coordinator send attempts beyond the first;
+	// ConnDrops counts connections that died or were declared dead.
+	Fenced, Duplicates, Reordered, SendRetries, ConnDrops int
+}
+
+func netShardStats(stats *core.NetShardStats) *NetShardStats {
+	if stats == nil {
+		return nil
+	}
+	return &NetShardStats{
+		ShardStats: ShardStats{
+			Workers: stats.Net.Workers, Shards: stats.Net.Slices,
+			WorkersKilled: stats.WorkersKilled,
+			LeasesExpired: stats.Net.Expired, Reassigned: stats.Net.Reassigned,
+			ResumedFrames: stats.Net.ResumedFrames,
+		},
+		Fenced:      stats.Net.Fenced,
+		Duplicates:  stats.Net.Duplicates,
+		Reordered:   stats.Net.Reordered,
+		SendRetries: stats.Net.SendRetries,
+		ConnDrops:   stats.Net.ConnDrops,
+	}
+}
+
+// netConfig renders the options for a transported run, deriving the
+// seeded network fault plan when NetChaosRate is set: with no explicit
+// kills the derived plan applies wholesale; with explicit kills only its
+// network family rides along (mixing two kill sources could leave no
+// surviving worker).
+func (o ShardOptions) netConfig(cfg core.Config) (core.ShardedConfig, error) {
+	sc := core.ShardedConfig{
+		Shards:  o.Shards,
+		Workers: o.Workers,
+		Dir:     o.Dir,
+		Faults:  o.plan(o.KillTorn),
+	}
+	if o.NetChaosRate > 0 {
+		derived, err := core.DeriveNetPlan(cfg, sc, o.NetChaosRate)
+		if err != nil {
+			return sc, err
+		}
+		if sc.Faults == nil {
+			sc.Faults = derived
+		} else if derived != nil {
+			sc.Faults.Net = derived.Net
+		}
+	}
+	return sc, nil
+}
+
+// RunShardedNet executes the sharded study over the deterministic
+// simulated network: the coordinator and its worker fleet exchange
+// framed messages — heartbeats separated from result streams — through an
+// in-process transport whose pathologies (delayed, dropped, and
+// duplicated frames, partitions that outlive a lease) are seeded draws
+// via ShardOptions.NetChaosRate. Lease takeover, epoch fencing, and
+// backed-off sends recover from every injected fault; journals, resume
+// semantics, and MergeShards byte-identity are exactly RunSharded's.
+func RunShardedNet(cfg Config, opts ShardOptions) (*NetShardStats, error) {
+	cc := cfg.toCore()
+	if cfg.JournalPath != "" || cfg.KillAfter > 0 {
+		return nil, errors.New("pinscope: sharded runs journal per shard; JournalPath and KillAfter do not apply")
+	}
+	sc, err := opts.netConfig(cc)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := core.RunShardedNet(cc, sc)
+	if stats == nil {
+		return nil, err
+	}
+	return netShardStats(stats), err
+}
+
+// RunShardedTCP is RunShardedNet over real loopback TCP: the coordinator
+// listens on 127.0.0.1, workers dial it, and every frame crosses an
+// actual socket under the same CRC-checked framing the journals use.
+// Network chaos is not injected — the wire is real — but injected worker
+// kills still fire, leaving torn wire frames the framing must reject.
+func RunShardedTCP(cfg Config, opts ShardOptions) (*NetShardStats, error) {
+	cc := cfg.toCore()
+	if cfg.JournalPath != "" || cfg.KillAfter > 0 {
+		return nil, errors.New("pinscope: sharded runs journal per shard; JournalPath and KillAfter do not apply")
+	}
+	stats, err := core.RunShardedTCP(cc, core.ShardedConfig{
+		Shards:  opts.Shards,
+		Workers: opts.Workers,
+		Dir:     opts.Dir,
+		Faults:  opts.plan(opts.KillTorn),
+	})
+	if stats == nil {
+		return nil, err
+	}
+	return netShardStats(stats), err
+}
+
+// ServeShards runs the coordinator half of a cross-machine sharded study:
+// it listens on addr (host:port), ships each connecting worker the run's
+// configuration, and returns once every slice is journaled under
+// opts.Dir — merge them with MergeShards. It waits for workers rather
+// than failing when none are connected, so workers may be started after,
+// or restarted during, the run; an interrupted serve resumes from the
+// journals like any sharded run.
+func ServeShards(cfg Config, opts ShardOptions, addr string) (*NetShardStats, error) {
+	cc := cfg.toCore()
+	if cfg.JournalPath != "" || cfg.KillAfter > 0 {
+		return nil, errors.New("pinscope: sharded runs journal per shard; JournalPath and KillAfter do not apply")
+	}
+	stats, err := core.ServeShards(cc, core.ShardedConfig{
+		Shards:  opts.Shards,
+		Workers: opts.Workers,
+		Dir:     opts.Dir,
+	}, addr)
+	if stats == nil {
+		return nil, err
+	}
+	return netShardStats(stats), err
+}
+
+// ConnectShardWorker runs the worker half of a cross-machine sharded
+// study: it dials the coordinator at addr, rebuilds the measurement bench
+// from the run configuration it is handed (seed and parameters cross the
+// wire, never data), and works granted slices until the coordinator
+// reports the run done. scope labels this worker in backoff derivations
+// so two workers never jitter in lockstep.
+func ConnectShardWorker(addr, scope string) error {
+	return core.ConnectShardWorker(addr, scope)
 }
 
 // TimelineOptions configures a longitudinal run: the same app universe
